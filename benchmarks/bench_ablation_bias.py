@@ -1,0 +1,72 @@
+"""Ablation — Eq. 1's temporal bias vs the uniform transition model.
+
+§IV-A motivates the softmax transition probability over the "typical"
+uniform model with temporal continuity (Fig. 2: the edge soonest after
+the current one is the most correlated).  This ablation runs the
+identical pipeline under all four implemented biases on link prediction
+and reports accuracy plus the walk-length side effect (recency bias
+chains more hops inside bursts; late bias exhausts the future faster).
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import SgnsConfig, train_embeddings
+from repro.graph import TemporalGraph
+from repro.tasks import LinkPredictionTask
+from repro.tasks.link_prediction import LinkPredictionConfig
+from repro.tasks.training import TrainSettings
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+BIASES = ["uniform", "softmax-late", "softmax-recency", "linear"]
+
+
+def test_ablation_transition_bias(benchmark, email_edges):
+    graph = TemporalGraph.from_edge_list(email_edges.with_reverse_edges())
+    task = LinkPredictionTask(LinkPredictionConfig(
+        training=TrainSettings(epochs=15, learning_rate=0.05)))
+
+    def evaluate(bias, seed):
+        engine = TemporalWalkEngine(graph)
+        corpus = engine.run(
+            WalkConfig(num_walks_per_node=10, max_walk_length=6, bias=bias),
+            seed=seed,
+        )
+        embeddings, _ = train_embeddings(
+            corpus, graph.num_nodes, SgnsConfig(dim=8, epochs=5),
+            seed=seed + 1,
+        )
+        result = task.run(embeddings, email_edges, seed=seed + 2)
+        return result.auc, float(corpus.lengths.mean())
+
+    def run_all():
+        rows = []
+        for bias in BIASES:
+            outcomes = [evaluate(bias, seed) for seed in (11, 31, 51)]
+            rows.append({
+                "bias": bias,
+                "lp auc": float(np.mean([o[0] for o in outcomes])),
+                "mean walk length": float(np.mean([o[1] for o in outcomes])),
+            })
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("")
+    emit(render_table(rows, title="Transition-bias ablation "
+                                  "(ia-email shaped, link prediction)"))
+
+    by_bias = {r["bias"]: r for r in rows}
+    # Every bias yields a usable model on this dataset scale...
+    for row in rows:
+        assert row["lp auc"] > 0.8, row["bias"]
+    # ...and the default softmax-recency is competitive with the best
+    # (within 2 AUC points), supporting the paper's Eq. 1 choice without
+    # overclaiming a gap the dataset may not expose.
+    best = max(r["lp auc"] for r in rows)
+    assert by_bias["softmax-recency"]["lp auc"] > best - 0.02
+
+    recorder = ExperimentRecorder("ablation_bias")
+    recorder.add("rows", rows)
+    recorder.save()

@@ -1,0 +1,86 @@
+"""Ablation — CTDNE temporal walks vs the snapshot model (§II-B).
+
+The paper dismisses snapshot-sequence methods because each snapshot is
+"analyzed without the temporal information" inside it.  On the
+drifting-community graph, three representations of the same dynamics
+compete through the identical classifier: temporal walks (CTDNE),
+recency-weighted cumulative-snapshot embeddings, and one static graph.
+"""
+
+import numpy as np
+
+from repro.baselines import run_static_walks, snapshot_embeddings
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import SgnsConfig, train_embeddings
+from repro.graph import TemporalGraph, generators
+from repro.tasks import NodeClassificationTask
+from repro.tasks.node_classification import NodeClassificationConfig
+from repro.tasks.training import TrainSettings
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+
+def test_ablation_snapshot_model(benchmark):
+    dataset = generators.drifting_temporal_sbm(
+        num_nodes=400, num_classes=4, relabel_fraction=0.5, seed=9
+    )
+    graph = TemporalGraph.from_edge_list(dataset.edges.with_reverse_edges())
+    walk_config = WalkConfig(num_walks_per_node=10, max_walk_length=6,
+                             bias="softmax-late")
+    sgns = SgnsConfig(dim=8, epochs=5)
+    nc = NodeClassificationConfig(
+        training=TrainSettings(epochs=25, learning_rate=0.05))
+
+    def classify(embeddings, seed):
+        return NodeClassificationTask(nc).run(
+            embeddings, dataset.labels, seed=seed
+        ).accuracy
+
+    def run_all():
+        seeds = (3, 13, 23)
+        temporal, snapshot, static = [], [], []
+        for seed in seeds:
+            corpus = TemporalWalkEngine(graph).run(walk_config, seed=seed)
+            emb, _ = train_embeddings(corpus, graph.num_nodes, sgns,
+                                      seed=seed)
+            temporal.append(classify(emb, seed))
+
+            snap_emb = snapshot_embeddings(
+                graph, num_snapshots=4, walk_config=walk_config,
+                sgns_config=sgns, seed=seed,
+            )
+            snapshot.append(classify(snap_emb, seed))
+
+            static_corpus = run_static_walks(graph, walk_config, seed=seed)
+            emb_s, _ = train_embeddings(static_corpus, graph.num_nodes,
+                                        sgns, seed=seed)
+            static.append(classify(emb_s, seed))
+        return (float(np.mean(temporal)), float(np.mean(snapshot)),
+                float(np.mean(static)))
+
+    temporal_acc, snapshot_acc, static_acc = benchmark.pedantic(
+        run_all, rounds=1, iterations=1
+    )
+    chance = float(np.bincount(dataset.labels).max() / len(dataset.labels))
+    rows = [
+        {"model": "temporal walks (CTDNE)", "accuracy": temporal_acc},
+        {"model": "snapshot model (recency-weighted)",
+         "accuracy": snapshot_acc},
+        {"model": "single static graph (DeepWalk)", "accuracy": static_acc},
+        {"model": "majority chance", "accuracy": chance},
+    ]
+    emit("")
+    emit(render_table(rows, title="Temporal vs snapshot vs static on "
+                                  "drifting communities"))
+    # The paper's ordering: finest temporal granularity wins; snapshots
+    # beat a single static graph but lose to CTDNE.
+    assert temporal_acc > static_acc + 0.05
+    assert snapshot_acc > static_acc - 0.02
+    assert temporal_acc >= snapshot_acc - 0.03
+
+    recorder = ExperimentRecorder("ablation_snapshot_model")
+    recorder.add("temporal", temporal_acc)
+    recorder.add("snapshot", snapshot_acc)
+    recorder.add("static", static_acc)
+    recorder.save()

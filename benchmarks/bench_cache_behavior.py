@@ -1,0 +1,78 @@
+"""Measured cache behaviour per workload (Fig. 3's L2 column, honestly).
+
+The Fig. 3 comparison includes L2 hit rates per workload; the GPU model
+estimates them analytically, but the cache simulator can *measure* them:
+each kernel's real address trace (built from the executed walks, the
+embedding-row touches, the BFS visit order, and GEMM streaming) replays
+through the same two-level hierarchy.  The expected ordering — streaming
+GEMM caches best, CSR-local walk next, scattered embedding updates and
+visited-flag-probing BFS worst — is asserted, not assumed.
+"""
+
+from repro.baselines import bfs
+from repro.bench import ExperimentRecorder, render_table
+from repro.hwmodel.cache import (
+    CacheConfig,
+    CacheHierarchy,
+    bfs_trace,
+    embedding_trace,
+    streaming_trace,
+    walk_trace,
+)
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+L1 = CacheConfig(size_bytes=32 * 1024, line_bytes=64, ways=8)
+L2 = CacheConfig(size_bytes=1024 * 1024, line_bytes=64, ways=16)
+LIMIT = 120_000
+
+
+def test_cache_behavior(benchmark, wiki_graph):
+    corpus = TemporalWalkEngine(wiki_graph).run(
+        WalkConfig(num_walks_per_node=4, max_walk_length=6), seed=1
+    )
+    bfs_result = bfs(wiki_graph, 0)
+
+    traces = {
+        "gemm (streaming)": streaming_trace(
+            256 * 1024, passes=4, limit=LIMIT),
+        "rwalk (CSR scan)": walk_trace(corpus, wiki_graph, limit=LIMIT),
+        "word2vec (row gather)": embedding_trace(
+            corpus, dim=8, pad_to_line=False, limit=LIMIT),
+        "bfs (flag probes)": bfs_trace(wiki_graph, bfs_result, limit=LIMIT),
+    }
+
+    def replay_all():
+        out = {}
+        for name, trace in traces.items():
+            hierarchy = CacheHierarchy(L1, L2)
+            out[name] = hierarchy.access_many(trace)
+        return out
+
+    results = benchmark.pedantic(replay_all, rounds=1, iterations=1)
+
+    rows = [
+        {"workload": name,
+         "l1 hit": res["l1_hit_rate"],
+         "l2 hit": res["l2_hit_rate"],
+         "dram accesses": int(res["dram_accesses"])}
+        for name, res in results.items()
+    ]
+    emit("")
+    emit(render_table(rows, title="Measured cache behaviour "
+                                  "(32 KiB L1 / 1 MiB L2)"))
+
+    l1 = {name: res["l1_hit_rate"] for name, res in results.items()}
+    # Streaming GEMM re-use beats every irregular kernel at L1.
+    assert l1["gemm (streaming)"] > l1["bfs (flag probes)"]
+    assert l1["gemm (streaming)"] > l1["word2vec (row gather)"]
+    # The walk's per-vertex slice scan has spatial locality BFS's
+    # visited-flag probing lacks (§VII-B's "large portion of the work
+    # performed for a single vertex exhibits spatial locality").
+    assert l1["rwalk (CSR scan)"] > l1["bfs (flag probes)"]
+
+    recorder = ExperimentRecorder("cache_behavior")
+    for name, res in results.items():
+        recorder.add(name, res)
+    recorder.save()

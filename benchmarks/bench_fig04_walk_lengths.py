@@ -1,0 +1,79 @@
+"""Fig. 4 — power-law distribution of temporal random walk lengths.
+
+Paper: on wiki-talk, most walks are 1-5 nodes long and the frequency of
+longer walks decreases exponentially; this is the property that starves
+sentence-at-a-time GPU word2vec (§V-B).  We regenerate the histogram on
+the wiki-talk-shaped graph with a generous length cap so the tail is the
+walk's own termination, not the cap.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentRecorder, render_bars, render_table
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+
+def test_fig04_walk_length_distribution(benchmark, wiki_graph):
+    engine = TemporalWalkEngine(wiki_graph)
+    config = WalkConfig(num_walks_per_node=10, max_walk_length=20)
+
+    corpus = benchmark.pedantic(
+        lambda: engine.run(config, seed=1), rounds=3, iterations=1
+    )
+
+    fractions = corpus.length_fractions()
+    rows = [
+        {
+            "walk length": int(length),
+            "fraction": float(frac),
+            "log10(fraction)": float(np.log10(max(frac, 1e-12))),
+        }
+        for length, frac in sorted(fractions.items())
+    ]
+    emit("")
+    emit(render_table(rows, title="Fig. 4 — walk length distribution "
+                                  "(wiki-talk shaped)"))
+    emit("")
+    emit(render_bars({int(k): float(v) for k, v in sorted(fractions.items())},
+                     title="linear scale", width=40))
+
+    # Paper's shape claims.
+    short_mass = sum(v for k, v in fractions.items() if k <= 5)
+    emit(f"mass at length <= 5: {short_mass:.3f}")
+    assert short_mass > 0.8, "most walks must be short (Fig. 4)"
+    # Exponential-ish decay: each bin past the mode is at most ~the
+    # previous one.
+    mode = max(fractions, key=fractions.get)
+    tail = [fractions.get(k, 0.0) for k in range(mode, 20)]
+    assert all(a >= b * 0.9 for a, b in zip(tail, tail[1:]))
+
+    recorder = ExperimentRecorder("fig04_walk_lengths")
+    recorder.add("fractions", {int(k): float(v) for k, v in fractions.items()})
+    recorder.add("short_mass_le5", short_mass)
+    recorder.save()
+
+
+def test_fig04_other_datasets_similar(benchmark, stackoverflow_edges,
+                                      email_edges):
+    """Paper: "Other datasets also show similar patterns"."""
+    from repro.graph import TemporalGraph
+
+    def run_all():
+        out = {}
+        for name, edges in (("stackoverflow", stackoverflow_edges),
+                            ("ia-email", email_edges)):
+            graph = TemporalGraph.from_edge_list(edges)
+            corpus = TemporalWalkEngine(graph).run(
+                WalkConfig(num_walks_per_node=4, max_walk_length=20), seed=4
+            )
+            out[name] = corpus.length_fractions()
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, fractions in results.items():
+        short_mass = sum(v for k, v in fractions.items() if k <= 5)
+        emit(f"{name}: mass at length <= 5 = {short_mass:.3f}, "
+             f"max length = {max(fractions)}")
+        assert short_mass > 0.75

@@ -1,0 +1,99 @@
+"""§IV-C — random-walk temporal learning vs GCN on feature-less graphs.
+
+The paper motivates the walk-based pipeline against GCN: "the presented
+algorithm works on feature-less graphs and uses a single-integer
+vertex-identifier as a feature, whereas GCN requires vertex-wise long
+feature vectors", and GCN "mostly works on static graphs and cannot
+model the graph dynamics".  This bench makes both points measurable on
+node classification:
+
+1. a stationary dblp-shaped graph with no node features — GCN must fall
+   back to degree+random features and loses to walk embeddings;
+2. a drifting-community graph — GCN's static adjacency additionally
+   blends stale epochs.
+"""
+
+import numpy as np
+
+from repro.baselines.gcn import TrainableGcn
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import SgnsConfig, train_embeddings
+from repro.graph import TemporalGraph, generators
+from repro.tasks import NodeClassificationTask
+from repro.tasks.node_classification import NodeClassificationConfig
+from repro.tasks.splits import stratified_node_split
+from repro.tasks.training import TrainSettings
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+
+def walk_accuracy(dataset, graph, seed, bias="softmax-recency"):
+    corpus = TemporalWalkEngine(graph).run(
+        WalkConfig(num_walks_per_node=10, max_walk_length=6, bias=bias),
+        seed=seed,
+    )
+    embeddings, _ = train_embeddings(
+        corpus, graph.num_nodes, SgnsConfig(dim=8, epochs=6), seed=seed + 1
+    )
+    config = NodeClassificationConfig(
+        training=TrainSettings(epochs=25, learning_rate=0.05)
+    )
+    return NodeClassificationTask(config).run(
+        embeddings, dataset.labels, seed=seed + 2
+    ).accuracy
+
+
+def gcn_accuracy(dataset, graph, seed):
+    splits = stratified_node_split(dataset.labels, seed=seed + 2)
+    gcn = TrainableGcn(graph, feature_dim=16, hidden_dim=32,
+                       num_classes=dataset.num_classes, seed=seed)
+    gcn.fit(dataset.labels, splits.train, epochs=200, lr=0.1)
+    return gcn.accuracy(dataset.labels, splits.test)
+
+
+def test_gcn_comparison(benchmark):
+    stationary = generators.dblp3_like(scale=0.2, seed=31)
+    stationary_graph = TemporalGraph.from_edge_list(
+        stationary.edges.with_reverse_edges()
+    )
+    drifting = generators.drifting_temporal_sbm(
+        num_nodes=400, num_classes=4, relabel_fraction=0.5, seed=32
+    )
+    drifting_graph = TemporalGraph.from_edge_list(
+        drifting.edges.with_reverse_edges()
+    )
+
+    def run_all():
+        seeds = (5, 25)
+        rows = []
+        for name, dataset, graph, bias in (
+            ("dblp3 (stationary, feature-less)", stationary,
+             stationary_graph, "softmax-recency"),
+            ("drifting communities", drifting, drifting_graph,
+             "softmax-late"),
+        ):
+            walk = float(np.mean(
+                [walk_accuracy(dataset, graph, s, bias) for s in seeds]))
+            gcn = float(np.mean(
+                [gcn_accuracy(dataset, graph, s) for s in seeds]))
+            chance = float(np.bincount(dataset.labels).max()
+                           / len(dataset.labels))
+            rows.append({"dataset": name, "temporal walks": walk,
+                         "GCN": gcn, "chance": chance})
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    emit("")
+    emit(render_table(rows, title="§IV-C — walk pipeline vs GCN on "
+                                  "feature-less temporal graphs"))
+
+    for row in rows:
+        # Both methods learn something...
+        assert row["GCN"] > row["chance"] - 0.02, row["dataset"]
+        # ...but the walk pipeline wins without needing node features.
+        assert row["temporal walks"] > row["GCN"] + 0.05, row["dataset"]
+
+    recorder = ExperimentRecorder("gcn_comparison")
+    recorder.add("rows", rows)
+    recorder.save()

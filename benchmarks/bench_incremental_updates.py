@@ -1,0 +1,86 @@
+"""Extension bench — incremental pipeline updates on an evolving graph.
+
+§VII-B motivates the time-breakdown study with deployments where the
+graph keeps evolving and "an entire pipeline needs to run" per update.
+This bench quantifies the alternative the library provides: after each
+appended edge batch, re-walk only affected nodes and fine-tune the
+existing skip-gram model (``IncrementalEmbedder.update``) instead of a
+full rebuild.  Reported: per-update seconds and downstream LP quality of
+both strategies.
+"""
+
+import numpy as np
+
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import SgnsConfig
+from repro.graph import DynamicTemporalGraph, generators
+from repro.tasks import LinkPredictionTask
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.tasks.link_prediction import LinkPredictionConfig
+from repro.tasks.training import TrainSettings
+from repro.walk import WalkConfig
+
+from conftest import emit
+
+NUM_BATCHES = 4
+
+
+def test_incremental_vs_full_rebuild(benchmark):
+    edges = generators.ia_email_like(scale=0.01, seed=81).sorted_by_time()
+    # 60% initial graph, then 4 appended batches of 10% each.
+    cut = int(0.6 * len(edges))
+    initial = edges.take(np.arange(cut))
+    step = (len(edges) - cut) // NUM_BATCHES
+    batches = [
+        edges.take(np.arange(cut + i * step,
+                             cut + (i + 1) * step if i < NUM_BATCHES - 1
+                             else len(edges)))
+        for i in range(NUM_BATCHES)
+    ]
+
+    walk_config = WalkConfig(num_walks_per_node=6, max_walk_length=6)
+    sgns_config = SgnsConfig(dim=8, epochs=3)
+    task = LinkPredictionTask(LinkPredictionConfig(
+        training=TrainSettings(epochs=12, learning_rate=0.05)))
+
+    def run(strategy: str):
+        dynamic = DynamicTemporalGraph(initial)
+        embedder = IncrementalEmbedder(
+            dynamic, walk_config=walk_config, sgns_config=sgns_config,
+            seed=5,
+        )
+        embedder.rebuild()
+        update_seconds = []
+        for edge_batch in batches:
+            dynamic.append(edge_batch)
+            if strategy == "incremental":
+                report = embedder.update()
+            else:
+                report = embedder.rebuild()
+            update_seconds.append(report.seconds)
+        auc = task.run(embedder.embeddings, dynamic.edge_list(), seed=6).auc
+        return float(np.mean(update_seconds)), auc
+
+    benchmark.pedantic(lambda: run("incremental"), rounds=1, iterations=1)
+
+    incremental_s, incremental_auc = run("incremental")
+    rebuild_s, rebuild_auc = run("rebuild")
+
+    rows = [
+        {"strategy": "incremental update", "sec/update": incremental_s,
+         "final lp auc": incremental_auc},
+        {"strategy": "full rebuild", "sec/update": rebuild_s,
+         "final lp auc": rebuild_auc},
+    ]
+    emit("")
+    emit(render_table(rows, title="Evolving-graph maintenance: incremental "
+                                  "vs full pipeline re-run"))
+    # The speed/quality trade-off: updates must be cheaper, quality close.
+    assert incremental_s < rebuild_s
+    assert incremental_auc > rebuild_auc - 0.08
+
+    recorder = ExperimentRecorder("incremental_updates")
+    recorder.add("incremental", {"seconds": incremental_s,
+                                 "auc": incremental_auc})
+    recorder.add("rebuild", {"seconds": rebuild_s, "auc": rebuild_auc})
+    recorder.save()

@@ -1,0 +1,72 @@
+"""Roofline placement of the pipeline kernels (companion to Fig. 11).
+
+Operational intensity explains the stall taxonomy: every pipeline
+kernel sits left of the ridge point (memory/bandwidth side — matching
+the walk's and word2vec's scoreboard-heavy stalls, and meaning even a
+perfectly occupied classifier GEMM would be bandwidth-limited), while
+dense VGG-class GEMM sits right of it (compute side).
+"""
+
+from repro.baselines import VggModel
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import BatchedSgnsTrainer, SgnsConfig
+from repro.hwmodel.roofline import (
+    Roofline,
+    RooflinePoint,
+    pipeline_roofline_points,
+)
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+
+def test_roofline_placement(benchmark, wiki_graph):
+    def run_kernels():
+        engine = TemporalWalkEngine(wiki_graph)
+        corpus = engine.run(WalkConfig(), seed=1)
+        sgns = SgnsConfig(dim=8, epochs=1)
+        trainer = BatchedSgnsTrainer(sgns, batch_sentences=1024)
+        trainer.train(corpus, wiki_graph.num_nodes, seed=2)
+        return engine.last_stats, trainer.last_stats, sgns
+
+    walk_stats, w2v_stats, sgns = benchmark.pedantic(
+        run_kernels, rounds=1, iterations=1
+    )
+
+    roofline = Roofline.from_gpu()
+    points = pipeline_roofline_points(
+        walk_stats, w2v_stats, sgns, [(16, 32), (32, 1)], batch_size=128
+    )
+    vgg = VggModel.vgg16()
+    points.append(RooflinePoint(
+        name="vgg (contrast)", flops=vgg.total_flops(),
+        bytes_moved=vgg.total_bytes(),
+    ))
+
+    rows = []
+    for point in points:
+        rows.append({
+            "kernel": point.name,
+            "flops/byte": point.operational_intensity,
+            "bound": roofline.classify(point),
+            "attainable gflops": roofline.attainable(
+                point.operational_intensity) / 1e9,
+        })
+    emit("")
+    emit(render_table(rows, title=f"Roofline placement (ridge at "
+                                  f"{roofline.ridge_intensity:.1f} "
+                                  "flops/byte)"))
+
+    by_name = {r["kernel"]: r for r in rows}
+    # The front-end kernels are bandwidth-side; dense VGG is compute-side.
+    assert by_name["rwalk"]["bound"] == "memory-bound"
+    assert by_name["word2vec"]["bound"] == "memory-bound"
+    assert by_name["vgg (contrast)"]["bound"] == "compute-bound"
+    # Intensity ordering: walk < word2vec < VGG.
+    assert (by_name["rwalk"]["flops/byte"]
+            < by_name["vgg (contrast)"]["flops/byte"])
+
+    recorder = ExperimentRecorder("roofline")
+    recorder.add("ridge", roofline.ridge_intensity)
+    recorder.add("rows", rows)
+    recorder.save()

@@ -1,0 +1,130 @@
+"""Table III — execution-time breakdown across graph sizes, CPU vs GPU.
+
+Paper (synthetic ER graphs, nodes fixed, edges swept to 200M): per-phase
+times for rwalk / word2vec / training-per-epoch / testing on both CPU
+and GPU.  Shape claims reproduced here:
+
+1. times grow monotonically with graph size;
+2. the GPU loses at small sizes (launch + PCIe transfer dominate) and
+   wins at large sizes — a crossover;
+3. classifier training dominates the end-to-end time.
+
+Every ladder rung actually runs the walk and word2vec kernels (wall
+times reported); CPU and GPU seconds come from the roofline/GPU models
+fed with each rung's measured statistics, scaled 1:100 from the paper's
+ladder (10k nodes, 1k..2M edges).
+"""
+
+import time
+
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import BatchedSgnsTrainer, SgnsConfig
+from repro.graph import TemporalGraph, generators
+from repro.hwmodel import classifier_kernel, walk_kernel, word2vec_kernel
+from repro.hwmodel.gpu import cpu_time_seconds
+from repro.hwmodel.profiler import (
+    profile_classifier,
+    profile_random_walk,
+    profile_word2vec,
+)
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+from conftest import emit
+
+NODES = 10_000
+EDGE_LADDER = [1_000, 10_000, 50_000, 200_000, 1_000_000, 2_000_000]
+CLASSIFIER_DIMS = [(16, 32), (32, 1)]
+EPOCHS = 30
+
+
+def measure_rung(num_edges: int) -> dict:
+    edges = generators.erdos_renyi_temporal(NODES, num_edges, seed=num_edges)
+    graph = TemporalGraph.from_edge_list(edges)
+    engine = TemporalWalkEngine(graph)
+
+    start = time.perf_counter()
+    corpus = engine.run(WalkConfig(), seed=1)
+    rwalk_wall = time.perf_counter() - start
+    walk_stats = engine.last_stats
+
+    sgns = SgnsConfig(dim=8, epochs=1)
+    trainer = BatchedSgnsTrainer(sgns, batch_sentences=4096)
+    start = time.perf_counter()
+    trainer.train(corpus, graph.num_nodes, seed=2)
+    w2v_wall = time.perf_counter() - start
+    w2v_stats = trainer.last_stats
+
+    # Classifier sample counts follow Fig. 7 (pos+neg per partition).
+    train_samples = 2 * int(0.6 * num_edges)
+    test_samples = 2 * int(0.2 * num_edges)
+
+    walk_profile = profile_random_walk(walk_stats)
+    w2v_profile = profile_word2vec(w2v_stats, sgns)
+    train_profile = profile_classifier(
+        "train", CLASSIFIER_DIMS, train_samples, 128, True)
+    test_profile = profile_classifier(
+        "test", CLASSIFIER_DIMS, test_samples, 1024, False)
+
+    def cpu(profile):
+        return cpu_time_seconds(profile.mix.total, profile.mix.memory * 8.0,
+                                threads=64)
+
+    gpu_reports = {
+        "rwalk": walk_kernel(walk_stats, graph).report(),
+        "word2vec": word2vec_kernel(w2v_stats, sgns, graph.num_nodes,
+                                    4096).report(),
+        "train": classifier_kernel("train", CLASSIFIER_DIMS, 128,
+                                   train_samples, True).report(),
+        "test": classifier_kernel("test", CLASSIFIER_DIMS, 1024,
+                                  test_samples, False).report(),
+    }
+    return {
+        "edges": num_edges,
+        "rwalk wall": rwalk_wall,
+        "w2v wall": w2v_wall,
+        "rwalk cpu": cpu(walk_profile),
+        "rwalk gpu": gpu_reports["rwalk"].time_seconds,
+        "w2v cpu": cpu(w2v_profile),
+        "w2v gpu": gpu_reports["word2vec"].time_seconds,
+        "train/ep cpu": cpu(train_profile),
+        "train/ep gpu": gpu_reports["train"].time_seconds,
+        "test cpu": cpu(test_profile),
+        "test gpu": gpu_reports["test"].time_seconds,
+    }
+
+
+def test_table3_time_breakdown(benchmark):
+    benchmark.pedantic(lambda: measure_rung(50_000), rounds=1, iterations=1)
+
+    rows = [measure_rung(m) for m in EDGE_LADDER]
+    emit("")
+    emit(render_table(rows, title="Table III — per-phase seconds "
+                                  "(10k nodes, scaled 1:100 ladder)"))
+
+    small, large = rows[0], rows[-1]
+    # Monotone growth with graph size.
+    for phase in ("rwalk cpu", "w2v cpu", "train/ep cpu"):
+        values = [r[phase] for r in rows]
+        assert values == sorted(values), phase
+    # Crossover: GPU relative advantage improves with size, and at the
+    # largest size the GPU wins both front-end kernels.
+    def gpu_advantage(row, phase):
+        return row[f"{phase} cpu"] / row[f"{phase} gpu"]
+    for phase in ("rwalk", "w2v"):
+        assert gpu_advantage(large, phase) > gpu_advantage(small, phase), phase
+    assert gpu_advantage(large, "w2v") > 1.0
+    # Small graphs: transfer/launch-dominated GPU loses on the walk.
+    assert gpu_advantage(small, "rwalk") < 1.0
+
+    # Training dominates end-to-end time (30 epochs, paper's insight 1).
+    for device in ("cpu", "gpu"):
+        end_to_end = (large[f"rwalk {device}"] + large[f"w2v {device}"]
+                      + EPOCHS * large[f"train/ep {device}"]
+                      + large[f"test {device}"])
+        train_share = EPOCHS * large[f"train/ep {device}"] / end_to_end
+        emit(f"{device}: training share of end-to-end = {train_share:.1%}")
+        assert train_share > 0.5, device
+
+    recorder = ExperimentRecorder("table3_time_breakdown")
+    recorder.add("rows", rows)
+    recorder.save()

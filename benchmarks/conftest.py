@@ -1,0 +1,54 @@
+"""Shared fixtures and helpers for the benchmark suite.
+
+Every benchmark regenerates one paper table or figure: it prints the
+rows/series the paper reports (shape reproduction, not absolute numbers)
+and records them as JSON under ``bench_results/`` via
+:class:`repro.bench.ExperimentRecorder`.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+from repro.graph import TemporalGraph, generators
+
+
+def emit(text: str) -> None:
+    """Print benchmark output so it survives pytest capture settings."""
+    print(text)
+    sys.stdout.flush()
+
+
+@pytest.fixture(scope="session")
+def wiki_edges():
+    """wiki-talk-shaped directed interaction graph (Fig. 4/5 input)."""
+    return generators.wiki_talk_like(scale=0.003, seed=101)
+
+
+@pytest.fixture(scope="session")
+def wiki_graph(wiki_edges):
+    return TemporalGraph.from_edge_list(wiki_edges)
+
+
+@pytest.fixture(scope="session")
+def stackoverflow_edges():
+    """stackoverflow-shaped graph (Fig. 8a / Fig. 10 input)."""
+    return generators.stackoverflow_like(scale=0.0005, seed=102)
+
+
+@pytest.fixture(scope="session")
+def email_edges():
+    """ia-email-shaped graph (Fig. 8b-d / Fig. 9 input)."""
+    return generators.ia_email_like(scale=0.005, seed=103)
+
+
+@pytest.fixture(scope="session")
+def er_graph_large():
+    """Synthetic Erdos-Renyi hardware-study graph (Fig. 3/11, Table III).
+
+    Scaled ~1:100 from the paper's 10M-node / 200M-edge input.
+    """
+    edges = generators.erdos_renyi_temporal(100_000, 2_000_000, seed=104)
+    return TemporalGraph.from_edge_list(edges)

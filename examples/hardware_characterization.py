@@ -1,0 +1,93 @@
+"""Hardware characterization of the pipeline's kernels.
+
+Reproduces, on one synthetic Erdos-Renyi graph, the paper's hardware
+study in miniature: the per-kernel dynamic instruction mix (Fig. 9), the
+modeled GPU stall breakdown (Fig. 11), and the CPU thread-scaling curve
+under static vs work-stealing scheduling (Fig. 10) — all driven by the
+statistics the real kernels just produced.
+
+Run:  python examples/hardware_characterization.py
+"""
+
+from repro import generators
+from repro.bench import render_table
+from repro.embedding import BatchedSgnsTrainer, SgnsConfig
+from repro.graph import TemporalGraph
+from repro.hwmodel import (
+    classifier_kernel,
+    profile_classifier,
+    profile_random_walk,
+    profile_word2vec,
+    scaling_curve,
+    walk_kernel,
+    word2vec_kernel,
+)
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+
+def main() -> None:
+    edges = generators.erdos_renyi_temporal(20_000, 400_000, seed=8)
+    graph = TemporalGraph.from_edge_list(edges)
+    print(f"synthetic ER graph: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    engine = TemporalWalkEngine(graph)
+    corpus = engine.run(WalkConfig(), seed=9)
+    walk_stats = engine.last_stats
+
+    sgns = SgnsConfig(dim=8, epochs=1)
+    trainer = BatchedSgnsTrainer(sgns, batch_sentences=2048)
+    trainer.train(corpus, graph.num_nodes, seed=10)
+    w2v_stats = trainer.last_stats
+
+    classifier_dims = [(16, 32), (32, 1)]
+
+    # Fig. 9: dynamic instruction mixes.
+    profiles = [
+        profile_random_walk(walk_stats),
+        profile_word2vec(w2v_stats, sgns),
+        profile_classifier("train", classifier_dims, 50_000, 128, True),
+        profile_classifier("test", classifier_dims, 10_000, 1024, False),
+    ]
+    rows = [{"kernel": p.name, **{k: round(v, 3) for k, v in
+                                  p.fractions().items()}} for p in profiles]
+    print()
+    print(render_table(rows, title="Dynamic instruction mix per kernel "
+                                   "(Fig. 9 analogue)"))
+
+    # Fig. 11: modeled GPU stall breakdown.
+    kernels = [
+        walk_kernel(walk_stats, graph),
+        word2vec_kernel(w2v_stats, sgns, graph.num_nodes, 2048),
+        classifier_kernel("train", classifier_dims, 128, 50_000, True),
+        classifier_kernel("test", classifier_dims, 1024, 10_000, False),
+    ]
+    rows = []
+    for kernel in kernels:
+        report = kernel.report()
+        fractions = report.stalls.fractions()
+        rows.append({
+            "kernel": report.name,
+            "dominant stall": report.stalls.dominant(),
+            "share": round(max(fractions.values()), 2),
+            "sm util": round(report.sm_utilization, 3),
+        })
+    print()
+    print(render_table(rows, title="Modeled GPU stalls per kernel "
+                                   "(Fig. 11 analogue)"))
+
+    # Fig. 10: thread scaling over measured per-vertex work.
+    work = walk_stats.work_per_start_node + 1.0
+    threads = [1, 2, 4, 8, 16, 32, 64, 128, 256]
+    dynamic = scaling_curve(work, threads, policy="dynamic")
+    static = scaling_curve(work, threads, policy="static")
+    rows = [{"threads": t,
+             "work-stealing": round(dynamic[t], 1),
+             "static": round(static[t], 1)} for t in threads]
+    print()
+    print(render_table(rows, title="Walk-kernel thread scaling "
+                                   "(Fig. 10 analogue)"))
+
+
+if __name__ == "__main__":
+    main()

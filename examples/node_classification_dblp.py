@@ -1,0 +1,94 @@
+"""Node classification: identifying a researcher's area from co-authorship.
+
+The paper's node-classification application is "identifying the
+professional role of a user" (§I); its datasets are DBLP co-author
+networks labeled by research area (Table II).  This example runs the
+pipeline on the dblp5-shaped dataset, then demonstrates the paper's core
+premise — that modeling a dynamic graph as static loses information — on
+a *drifting-community* graph: the identical embedding + classifier stack
+runs on temporal walks vs static DeepWalk walks.  (On the stationary
+dblp graph itself, timestamps carry no label signal and static walks do
+fine; the drift is what temporal validity pays for.)
+
+Run:  python examples/node_classification_dblp.py
+"""
+
+import numpy as np
+
+from repro import generators
+from repro.baselines import run_static_walks
+from repro.bench import render_table
+from repro.embedding import SgnsConfig, train_embeddings
+from repro.graph import TemporalGraph
+from repro.tasks import NodeClassificationTask
+from repro.tasks.node_classification import NodeClassificationConfig
+from repro.tasks.training import TrainSettings
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+
+def classify(embeddings, labels, seed):
+    config = NodeClassificationConfig(
+        training=TrainSettings(epochs=25, learning_rate=0.05)
+    )
+    return NodeClassificationTask(config).run(embeddings, labels, seed=seed)
+
+
+def main() -> None:
+    dataset = generators.dblp5_like(scale=0.25, seed=4)
+    labels = dataset.labels
+    print(f"{dataset.name}: {dataset.edges.num_nodes} authors, "
+          f"{len(dataset.edges)} temporal co-author edges, "
+          f"{dataset.num_classes} research areas")
+    print("class sizes:", np.bincount(labels).tolist())
+
+    graph = TemporalGraph.from_edge_list(dataset.edges.with_reverse_edges())
+    walk_config = WalkConfig(num_walks_per_node=10, max_walk_length=6)
+    sgns_config = SgnsConfig(dim=8, epochs=5)
+
+    corpus = TemporalWalkEngine(graph).run(walk_config, seed=5)
+    embeddings, _ = train_embeddings(
+        corpus, graph.num_nodes, sgns_config, seed=6
+    )
+    result = classify(embeddings, labels, seed=7)
+    chance = np.bincount(labels).max() / len(labels)
+    print(f"\ndblp5 pipeline: {result.summary()} "
+          f"(majority-class chance {chance:.3f})")
+
+    # ---- temporal vs static on a graph whose communities drift ----
+    drifting = generators.drifting_temporal_sbm(
+        num_nodes=400, num_classes=4, relabel_fraction=0.5, seed=8
+    )
+    dgraph = TemporalGraph.from_edge_list(
+        drifting.edges.with_reverse_edges()
+    )
+    late_biased = WalkConfig(
+        num_walks_per_node=10, max_walk_length=6, bias="softmax-late"
+    )
+    rows = []
+    for name, walk_corpus in (
+        ("temporal (CTDNE)", TemporalWalkEngine(dgraph).run(late_biased,
+                                                            seed=9)),
+        ("static (DeepWalk)", run_static_walks(dgraph, late_biased, seed=9)),
+    ):
+        emb, _ = train_embeddings(
+            walk_corpus, dgraph.num_nodes, sgns_config, seed=10
+        )
+        rows.append({
+            "walks": name,
+            "test accuracy": classify(emb, drifting.labels, seed=11).accuracy,
+        })
+    rows.append({
+        "walks": "majority-class chance",
+        "test accuracy": np.bincount(drifting.labels).max()
+        / len(drifting.labels),
+    })
+    print()
+    print(render_table(
+        rows,
+        title="Drifting communities (labels = final state): temporal vs "
+              "static walks",
+    ))
+
+
+if __name__ == "__main__":
+    main()

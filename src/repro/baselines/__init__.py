@@ -1,0 +1,27 @@
+"""Comparison workloads.
+
+Fig. 3 contrasts the pipeline's kernels against a pure graph traversal
+(BFS on a Rodinia-style synthetic graph), dense deep-learning inference
+(VGG on ImageNet-shaped inputs), and GCN inference (Reddit-shaped input).
+This package implements all three plus a static DeepWalk baseline used to
+ablate the value of temporal information.
+"""
+
+from repro.baselines.bfs import BfsResult, bfs, bfs_gpu_kernel
+from repro.baselines.vgg import VGG16_LAYERS, VggModel, gemm_seconds_per_flop
+from repro.baselines.gcn import GcnModel, gcn_gpu_kernel
+from repro.baselines.deepwalk import run_static_walks
+from repro.baselines.snapshot_model import snapshot_embeddings
+
+__all__ = [
+    "BfsResult",
+    "bfs",
+    "bfs_gpu_kernel",
+    "VGG16_LAYERS",
+    "VggModel",
+    "gemm_seconds_per_flop",
+    "GcnModel",
+    "gcn_gpu_kernel",
+    "run_static_walks",
+    "snapshot_embeddings",
+]

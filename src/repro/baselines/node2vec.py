@@ -1,0 +1,98 @@
+"""node2vec: second-order biased static walks.
+
+The paper's related work (§II-A) places node2vec next to DeepWalk as
+the standard static random-walk embedding family; its return parameter
+``p`` and in-out parameter ``q`` interpolate between BFS-like and
+DFS-like exploration.  Provided as a second static baseline so the
+temporal-vs-static ablations aren't hostage to DeepWalk's uniform
+first-order behaviour.
+
+Complexity: each step scores every neighbor of the current node against
+the previous node's (dst-sorted) adjacency — the classic O(deg x log
+deg) second-order cost; this baseline is meant for the ablation scale,
+not the hardware-study graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.graph.csr import TemporalGraph
+from repro.rng import SeedLike, make_rng
+from repro.walk.config import WalkConfig
+from repro.walk.corpus import PAD, WalkCorpus
+
+
+class Node2VecWalker:
+    """Second-order walker with return parameter p and in-out parameter q."""
+
+    def __init__(self, graph: TemporalGraph, p: float = 1.0,
+                 q: float = 1.0) -> None:
+        if p <= 0 or q <= 0:
+            raise WalkError(f"p and q must be positive, got p={p}, q={q}")
+        self.graph = graph
+        self.p = p
+        self.q = q
+        # Per-node dst-sorted adjacency for O(log deg) membership tests.
+        self._sorted_dst: list[np.ndarray] = []
+        for node in range(graph.num_nodes):
+            dsts, _ = graph.neighbors(node)
+            self._sorted_dst.append(np.sort(dsts))
+
+    def _is_neighbor(self, node: int, candidate: int) -> bool:
+        arr = self._sorted_dst[node]
+        index = np.searchsorted(arr, candidate)
+        return bool(index < len(arr) and arr[index] == candidate)
+
+    def _step_weights(self, prev: int, candidates: np.ndarray) -> np.ndarray:
+        weights = np.empty(len(candidates), dtype=np.float64)
+        for i, candidate in enumerate(candidates):
+            c = int(candidate)
+            if c == prev:
+                weights[i] = 1.0 / self.p          # return
+            elif self._is_neighbor(prev, c):
+                weights[i] = 1.0                   # stay local (BFS-like)
+            else:
+                weights[i] = 1.0 / self.q          # move outward (DFS-like)
+        return weights
+
+    def run(
+        self,
+        config: WalkConfig,
+        seed: SeedLike = None,
+        start_nodes: np.ndarray | None = None,
+    ) -> WalkCorpus:
+        """Generate K second-order walks per start node (timestamp-blind)."""
+        graph = self.graph
+        rng = make_rng(seed)
+        if start_nodes is None:
+            start_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+        k = config.num_walks_per_node
+        starts = np.tile(np.asarray(start_nodes, dtype=np.int64), k)
+        num_walks = len(starts)
+        matrix = np.full((num_walks, config.max_walk_length), PAD,
+                         dtype=np.int64)
+        lengths = np.ones(num_walks, dtype=np.int64)
+
+        for row, start in enumerate(starts):
+            current = int(start)
+            previous: int | None = None
+            matrix[row, 0] = current
+            for step in range(1, config.max_walk_length):
+                candidates, _ = graph.neighbors(current)
+                if len(candidates) == 0:
+                    break
+                if previous is None:
+                    choice = int(candidates[rng.integers(0, len(candidates))])
+                else:
+                    weights = self._step_weights(previous, candidates)
+                    probabilities = weights / weights.sum()
+                    choice = int(candidates[
+                        rng.choice(len(candidates), p=probabilities)
+                    ])
+                matrix[row, step] = choice
+                lengths[row] = step + 1
+                previous = current
+                current = choice
+        return WalkCorpus(matrix, lengths, start_nodes=starts)

@@ -1,0 +1,129 @@
+"""VGG-16: the dense deep-learning contrast workload.
+
+Two roles in the paper:
+
+1. Fig. 3 includes VGG inference (ImageNet-shaped input) as the
+   regular, compute-dense extreme of the comparison.
+2. §VII-B measures that the pipeline's classifier is 37.4x slower *per
+   instruction* than VGG because its GEMMs are tiny ("the largest layer
+   size in VGG is 3136x larger"), i.e. GEMM libraries are optimized for
+   big dense shapes.  :func:`gemm_seconds_per_flop` re-measures that
+   effect for real with numpy GEMMs of both shapes.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hwmodel.gpu import GpuKernelModel
+from repro.rng import SeedLike, make_rng
+
+# VGG-16 convolution layers expressed as im2col GEMMs for a 224x224x3
+# input: (M, K, N) = (spatial output positions, kernel fan-in, output
+# channels); the three classifier layers follow.
+VGG16_LAYERS: list[tuple[int, int, int]] = [
+    (224 * 224, 3 * 3 * 3, 64),
+    (224 * 224, 3 * 3 * 64, 64),
+    (112 * 112, 3 * 3 * 64, 128),
+    (112 * 112, 3 * 3 * 128, 128),
+    (56 * 56, 3 * 3 * 128, 256),
+    (56 * 56, 3 * 3 * 256, 256),
+    (56 * 56, 3 * 3 * 256, 256),
+    (28 * 28, 3 * 3 * 256, 512),
+    (28 * 28, 3 * 3 * 512, 512),
+    (28 * 28, 3 * 3 * 512, 512),
+    (14 * 14, 3 * 3 * 512, 512),
+    (14 * 14, 3 * 3 * 512, 512),
+    (14 * 14, 3 * 3 * 512, 512),
+    (1, 7 * 7 * 512, 4096),
+    (1, 4096, 4096),
+    (1, 4096, 1000),
+]
+
+
+@dataclass
+class VggModel:
+    """VGG-16 inference workload description."""
+
+    layers: list[tuple[int, int, int]]
+    batch_size: int = 1
+
+    @classmethod
+    def vgg16(cls, batch_size: int = 1) -> "VggModel":
+        """The standard VGG-16 layer stack at ``batch_size``."""
+        return cls(layers=list(VGG16_LAYERS), batch_size=batch_size)
+
+    def total_flops(self) -> float:
+        """Total GEMM flops of one inference pass."""
+        return sum(2.0 * self.batch_size * m * k * n for m, k, n in self.layers)
+
+    def total_bytes(self) -> float:
+        """Total operand bytes touched across all layers."""
+        return sum(
+            4.0 * (self.batch_size * m * k + k * n + self.batch_size * m * n)
+            for m, k, n in self.layers
+        )
+
+    def largest_layer_elements(self) -> int:
+        """Max weight-matrix element count (the 3136x comparison basis)."""
+        return max(k * n for _, k, n in self.layers)
+
+    def gpu_kernel(self) -> GpuKernelModel:
+        """GPU model of VGG inference for the Fig. 3 comparison."""
+        flops = self.total_flops()
+        bytes_touched = self.total_bytes()
+        items = sum(self.batch_size * m * n for m, _, n in self.layers) / 4.0
+        return GpuKernelModel(
+            name="vgg",
+            items=items,
+            fp_per_item=flops / items,
+            loads_per_item=bytes_touched / 4.0 / items,
+            bytes_per_item=bytes_touched / items,
+            serial_fp_chain=1.0,
+            irregular_fraction=0.0,       # perfectly streaming
+            divergence_cv=0.0,
+            working_set_bytes=bytes_touched / len(self.layers),
+            kernel_launches=len(self.layers),
+            transfer_bytes=self.batch_size * 224 * 224 * 3 * 4.0,
+        )
+
+    def forward_seconds(self, seed: SeedLike = None) -> float:
+        """Actually run the GEMM sequence in numpy and time it.
+
+        Real measured dense-GEMM time on this host — the honest half of
+        the §VII-B per-instruction comparison.
+        """
+        rng = make_rng(seed)
+        total = 0.0
+        for m, k, n in self.layers:
+            a = rng.random((self.batch_size * m, k), dtype=np.float64)
+            b = rng.random((k, n), dtype=np.float64)
+            start = time.perf_counter()
+            a @ b
+            total += time.perf_counter() - start
+        return total
+
+
+def gemm_seconds_per_flop(
+    m: int, k: int, n: int, repeats: int = 3, seed: SeedLike = None
+) -> float:
+    """Measured seconds-per-flop of one numpy GEMM shape.
+
+    Comparing a VGG-sized shape against the pipeline's classifier shapes
+    reproduces §VII-B's size-gap finding: small GEMMs run at a far worse
+    per-flop rate than large ones on the same BLAS.
+    """
+    rng = make_rng(seed)
+    a = rng.random((m, k))
+    b = rng.random((k, n))
+    a @ b  # warm up BLAS threads
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        a @ b
+        best = min(best, time.perf_counter() - start)
+    flops = 2.0 * m * k * n
+    return best / flops

@@ -1,0 +1,15 @@
+"""Experiment harness utilities used by the benchmark suite."""
+
+from repro.bench.tables import format_value, render_series, render_table
+from repro.bench.figures import render_bars, render_grouped_bars
+from repro.bench.runner import ExperimentRecorder, sweep
+
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_bars",
+    "render_grouped_bars",
+    "format_value",
+    "ExperimentRecorder",
+    "sweep",
+]

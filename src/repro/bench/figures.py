@@ -1,0 +1,81 @@
+"""Terminal figure rendering: ASCII bar charts for benchmark series.
+
+The paper's artifact reports everything through terminal logs; a bar
+rendering of a figure's series makes the regenerated shapes (saturation
+knees, power-law decay, speedup ladders) visible at a glance without a
+plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping
+
+from repro.bench.tables import format_value
+
+BAR_CHARACTER = "#"
+
+
+def render_bars(
+    series: Mapping[Any, float],
+    title: str | None = None,
+    width: int = 40,
+    log_scale: bool = False,
+) -> str:
+    """Render an x -> value mapping as a horizontal ASCII bar chart.
+
+    Bars are scaled to ``width`` characters against the series maximum;
+    ``log_scale`` renders log10 magnitudes (for speedup ladders and
+    power-law decays that span decades).  Non-positive values render as
+    empty bars with their value still printed.
+    """
+    import math
+
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    items = list(series.items())
+    if not items:
+        return f"{title}\n(no data)" if title else "(no data)"
+
+    def magnitude(value: float) -> float:
+        if value <= 0:
+            return 0.0
+        return math.log10(1.0 + value) if log_scale else value
+
+    magnitudes = [magnitude(v) for _, v in items]
+    top = max(magnitudes) or 1.0
+    label_width = max(len(str(k)) for k, _ in items)
+    value_strings = [format_value(v) for _, v in items]
+    value_width = max(len(s) for s in value_strings)
+
+    lines = [title] if title else []
+    for (key, _value), mag, value_str in zip(items, magnitudes,
+                                             value_strings):
+        bar = BAR_CHARACTER * max(0, round(width * mag / top))
+        lines.append(
+            f"{str(key).rjust(label_width)}  {value_str.rjust(value_width)}"
+            f"  |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def render_grouped_bars(
+    groups: Mapping[str, Mapping[Any, float]],
+    title: str | None = None,
+    width: int = 40,
+) -> str:
+    """Render several named series one block after another, shared scale."""
+    all_values = [v for series in groups.values() for v in series.values()]
+    top = max((v for v in all_values if v > 0), default=1.0)
+    blocks = [title] if title else []
+    for name, series in groups.items():
+        scaled = {k: v for k, v in series.items()}
+        block_lines = [f"-- {name}"]
+        label_width = max((len(str(k)) for k in series), default=1)
+        for key, value in scaled.items():
+            bar = BAR_CHARACTER * max(0, round(width * max(value, 0) / top))
+            block_lines.append(
+                f"{str(key).rjust(label_width)}  "
+                f"{format_value(value).rjust(8)}  |{bar}"
+            )
+        blocks.append("\n".join(block_lines))
+    return "\n".join(blocks)

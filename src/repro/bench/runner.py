@@ -1,0 +1,63 @@
+"""Experiment recording and parameter sweeps.
+
+Benchmarks persist their regenerated tables/series as JSON under
+``bench_results/`` so EXPERIMENTS.md's paper-vs-measured entries can be
+re-derived from artifacts rather than terminal scrollback.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from typing import Any, Callable, Iterable
+
+DEFAULT_RESULTS_DIR = Path(__file__).resolve().parents[3] / "bench_results"
+
+
+class ExperimentRecorder:
+    """Writes one experiment's data to ``bench_results/<name>.json``."""
+
+    def __init__(self, name: str, results_dir: str | os.PathLike | None = None
+                 ) -> None:
+        self.name = name
+        self.results_dir = Path(results_dir) if results_dir else DEFAULT_RESULTS_DIR
+        self.data: dict[str, Any] = {"experiment": name, "recorded_at": time.time()}
+
+    def add(self, key: str, value: Any) -> None:
+        """Record ``value`` under ``key`` (coerced to JSON-safe types)."""
+        self.data[key] = _jsonable(value)
+
+    def save(self) -> Path:
+        """Write the record to ``bench_results/<name>.json``; returns the path."""
+        self.results_dir.mkdir(parents=True, exist_ok=True)
+        path = self.results_dir / f"{self.name}.json"
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.data, handle, indent=2, sort_keys=True)
+        return path
+
+
+def _jsonable(value: Any) -> Any:
+    """Recursively coerce numpy scalars/arrays into JSON-safe values."""
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def sweep(
+    values: Iterable[Any], fn: Callable[[Any], dict[str, Any]]
+) -> list[dict[str, Any]]:
+    """Run ``fn`` for each parameter value; rows get the value attached."""
+    rows = []
+    for value in values:
+        row = {"param": value}
+        row.update(fn(value))
+        rows.append(row)
+    return rows

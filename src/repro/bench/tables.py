@@ -1,0 +1,61 @@
+"""Plain-text table and series rendering for benchmark output.
+
+Every benchmark regenerates its paper table/figure as an aligned text
+table printed to the terminal (the paper's artifact does the same via
+terminal logs), so results are diffable and greppable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+
+def format_value(value: Any) -> str:
+    """Compact human formatting: floats to 4 significant digits."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_table(
+    rows: Iterable[dict[str, Any]],
+    headers: list[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render dict rows as an aligned text table.
+
+    ``headers`` fixes column order (defaults to first row's key order);
+    missing cells render empty.
+    """
+    rows = list(rows)
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if headers is None:
+        headers = list(rows[0].keys())
+    cells = [[format_value(r.get(h, "")) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in cells))
+        for i, h in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str, series: dict[Any, Any], x_label: str = "x", y_label: str = "y"
+) -> str:
+    """Render an x->y mapping (one figure line/series) as a table."""
+    rows = [{x_label: k, y_label: v} for k, v in series.items()]
+    return render_table(rows, headers=[x_label, y_label], title=name)

@@ -1,0 +1,363 @@
+"""Command-line interface.
+
+The paper's artifact drives everything through shell scripts
+(``build_linkpred_run.sh`` etc.) plus two Python utilities
+(``preprocess_dataset.py``, ``generate_synthetic.py``).  This module is
+the equivalent front door:
+
+- ``repro generate``    — synthetic graphs (Table II shapes or plain ER)
+  written as ``.wel`` / labeled ``.npz`` bundles;
+- ``repro preprocess``  — clean a raw edge list into normalized ``.wel``
+  (strip comments, normalize timestamps), like the artifact's script;
+- ``repro linkpred``    — end-to-end link prediction on a ``.wel`` file
+  or a named dataset shape;
+- ``repro nodeclass``   — end-to-end node classification on a labeled
+  ``.npz`` bundle or a named dataset shape;
+- ``repro characterize``— the hardware study (instruction mixes, GPU
+  stalls, thread scaling) on a synthetic ER graph.
+
+Every command takes ``--seed`` and the pipeline hyperparameters the
+artifact exposes (walks, walk length, dimension, epochs...).  Run
+``python -m repro <command> --help`` for details.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.bench.tables import render_table
+from repro.embedding.trainer import SgnsConfig
+from repro.errors import ReproError
+from repro.graph import TemporalGraph, compute_stats, generators
+from repro.graph.io import LabeledTemporalDataset, read_wel, write_wel
+from repro.tasks.link_prediction import LinkPredictionConfig
+from repro.tasks.node_classification import NodeClassificationConfig
+from repro.tasks.pipeline import Pipeline, PipelineConfig
+from repro.tasks.training import TrainSettings
+from repro.walk.config import WalkConfig
+
+LP_SHAPES = ("ia-email", "wiki-talk", "stackoverflow")
+NC_SHAPES = ("dblp3", "dblp5", "brain")
+
+
+def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
+    group = parser.add_argument_group(
+        "pipeline hyperparameters (paper defaults: K=10, L=6, d=8)"
+    )
+    group.add_argument("--walks", type=int, default=10,
+                       help="random walks per node (K)")
+    group.add_argument("--length", type=int, default=6,
+                       help="maximum walk length in nodes (L)")
+    group.add_argument("--bias", default="softmax-recency",
+                       choices=["uniform", "softmax-late",
+                                "softmax-recency", "linear"],
+                       help="Eq. 1 transition bias")
+    group.add_argument("--dim", type=int, default=8,
+                       help="embedding dimension (d)")
+    group.add_argument("--w2v-epochs", type=int, default=5,
+                       help="word2vec epochs")
+    group.add_argument("--batch-sentences", type=int, default=1024,
+                       help="word2vec batch size (0 = sequential trainer)")
+    group.add_argument("--epochs", type=int, default=30,
+                       help="classifier training epochs")
+    group.add_argument("--lr", type=float, default=0.05,
+                       help="classifier learning rate")
+    group.add_argument("--target-accuracy", type=float, default=None,
+                       help="stop training at this validation accuracy")
+    group.add_argument("--directed", action="store_true",
+                       help="walk the directed stream (default mirrors "
+                            "each edge)")
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
+    training = TrainSettings(
+        epochs=args.epochs,
+        learning_rate=args.lr,
+        target_accuracy=args.target_accuracy,
+    )
+    config = PipelineConfig(
+        walk=WalkConfig(
+            num_walks_per_node=args.walks,
+            max_walk_length=args.length,
+            bias=args.bias,
+        ),
+        sgns=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
+        batch_sentences=args.batch_sentences or None,
+        treat_undirected=not args.directed,
+        link_prediction=LinkPredictionConfig(training=training),
+        node_classification=NodeClassificationConfig(training=training),
+    )
+    return Pipeline(config)
+
+
+# ---------------------------------------------------------------------------
+# Commands
+# ---------------------------------------------------------------------------
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """``repro generate``: write a synthetic dataset to disk."""
+    if args.dataset:
+        data = generators.dataset_by_name(
+            args.dataset, scale=args.scale, seed=args.seed
+        )
+        if isinstance(data, LabeledTemporalDataset):
+            if not args.output.endswith(".npz"):
+                print("error: labeled datasets must be written to .npz",
+                      file=sys.stderr)
+                return 2
+            data.save(args.output)
+            print(f"wrote {args.output}: {data.edges.num_nodes} nodes, "
+                  f"{len(data.edges)} edges, {data.num_classes} classes")
+        else:
+            write_wel(data.sorted_by_time(), args.output)
+            print(f"wrote {args.output}: {data.num_nodes} nodes, "
+                  f"{len(data)} edges")
+    else:
+        edges = generators.erdos_renyi_temporal(
+            args.nodes, args.edges, seed=args.seed
+        )
+        write_wel(edges.sorted_by_time(), args.output)
+        print(f"wrote {args.output}: {edges.num_nodes} nodes, "
+              f"{len(edges)} edges (Erdos-Renyi)")
+    return 0
+
+
+def cmd_preprocess(args: argparse.Namespace) -> int:
+    """``repro preprocess``: normalize a raw edge list into .wel."""
+    edges = read_wel(args.input, normalize=True)
+    write_wel(edges.sorted_by_time(), args.output)
+    print(f"wrote {args.output}: {edges.num_nodes} nodes, {len(edges)} "
+          "edges, timestamps normalized to [0, 1]")
+    return 0
+
+
+def cmd_linkpred(args: argparse.Namespace) -> int:
+    """``repro linkpred``: end-to-end link prediction."""
+    if args.input:
+        edges = read_wel(args.input)
+        source = args.input
+    else:
+        edges = generators.dataset_by_name(args.dataset, seed=args.seed)
+        source = f"{args.dataset} (synthetic shape)"
+    stats = compute_stats(TemporalGraph.from_edge_list(edges))
+    print(f"input: {source} — {stats.num_nodes} nodes, "
+          f"{stats.num_edges} temporal edges")
+    result = _pipeline_from_args(args).run_link_prediction(
+        edges, seed=args.seed
+    )
+    print(result.summary())
+    return 0
+
+
+def cmd_nodeclass(args: argparse.Namespace) -> int:
+    """``repro nodeclass``: end-to-end node classification."""
+    if args.input:
+        dataset = LabeledTemporalDataset.load(args.input)
+        source = args.input
+    else:
+        dataset = generators.dataset_by_name(args.dataset, seed=args.seed)
+        source = f"{args.dataset} (synthetic shape)"
+    print(f"input: {source} — {dataset.edges.num_nodes} nodes, "
+          f"{len(dataset.edges)} edges, {dataset.num_classes} classes")
+    result = _pipeline_from_args(args).run_node_classification(
+        dataset, seed=args.seed
+    )
+    print(result.summary())
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """``repro sweep``: Fig. 8-style hyperparameter sweep."""
+    from repro.tasks.sweeps import sweep_dataset
+
+    values = [int(v) for v in args.values.split(",")]
+    if args.input:
+        if args.input.endswith(".npz"):
+            dataset = LabeledTemporalDataset.load(args.input)
+        else:
+            dataset = read_wel(args.input)
+        source = args.input
+    else:
+        dataset = generators.dataset_by_name(args.dataset, seed=args.seed)
+        source = f"{args.dataset} (synthetic shape)"
+    print(f"sweeping {args.parameter} over {values} on {source} "
+          f"({len(args.seeds.split(','))} seeds)")
+    result = sweep_dataset(
+        dataset, args.parameter, values,
+        seeds=tuple(int(s) for s in args.seeds.split(",")),
+        base_walk=WalkConfig(num_walks_per_node=args.walks,
+                             max_walk_length=args.length, bias=args.bias),
+        base_sgns=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
+    )
+    print(render_table(result.rows(), title=f"accuracy vs {args.parameter}"))
+    print(f"saturation point (1% tolerance): "
+          f"{result.saturation_point(0.01)}")
+    return 0
+
+
+def cmd_characterize(args: argparse.Namespace) -> int:
+    """``repro characterize``: the hardware study tables."""
+    from repro.embedding.batched import BatchedSgnsTrainer
+    from repro.hwmodel import (
+        classifier_kernel,
+        profile_classifier,
+        profile_random_walk,
+        profile_word2vec,
+        scaling_curve,
+        walk_kernel,
+        word2vec_kernel,
+    )
+    from repro.walk.engine import TemporalWalkEngine
+
+    edges = generators.erdos_renyi_temporal(args.nodes, args.edges,
+                                            seed=args.seed)
+    graph = TemporalGraph.from_edge_list(edges)
+    print(f"synthetic ER graph: {graph.num_nodes} nodes, "
+          f"{graph.num_edges} edges")
+
+    engine = TemporalWalkEngine(graph)
+    corpus = engine.run(
+        WalkConfig(num_walks_per_node=args.walks,
+                   max_walk_length=args.length, bias=args.bias),
+        seed=args.seed,
+    )
+    walk_stats = engine.last_stats
+    sgns = SgnsConfig(dim=args.dim, epochs=1)
+    trainer = BatchedSgnsTrainer(sgns, batch_sentences=args.batch_sentences
+                                 or 1024)
+    trainer.train(corpus, graph.num_nodes, seed=args.seed + 1)
+    w2v_stats = trainer.last_stats
+    dims = [(2 * args.dim, 32), (32, 1)]
+
+    profiles = [
+        profile_random_walk(walk_stats),
+        profile_word2vec(w2v_stats, sgns),
+        profile_classifier("train", dims, 10 * graph.num_edges, 128, True),
+        profile_classifier("test", dims, graph.num_edges, 1024, False),
+    ]
+    print()
+    print(render_table(
+        [{"kernel": p.name, **{k: round(v, 3) for k, v in
+                               p.fractions().items()}} for p in profiles],
+        title="Dynamic instruction mix (Fig. 9 analogue)",
+    ))
+
+    kernels = [
+        walk_kernel(walk_stats, graph),
+        word2vec_kernel(w2v_stats, sgns, graph.num_nodes,
+                        args.batch_sentences or 1024),
+        classifier_kernel("train", dims, 128, 10 * graph.num_edges, True),
+        classifier_kernel("test", dims, 1024, graph.num_edges, False),
+    ]
+    rows = []
+    for kernel in kernels:
+        report = kernel.report()
+        rows.append({
+            "kernel": report.name,
+            "dominant stall": report.stalls.dominant(),
+            "sm util": round(report.sm_utilization, 4),
+            "time (s)": report.time_seconds,
+        })
+    print()
+    print(render_table(rows, title="Modeled GPU kernels (Fig. 11 analogue)"))
+
+    work = walk_stats.work_per_start_node + 1.0
+    curve = scaling_curve(work, [1, 2, 4, 8, 16, 32, 64, 128])
+    print()
+    print(render_table(
+        [{"threads": t, "speedup": round(s, 1)} for t, s in curve.items()],
+        title="Walk-kernel thread scaling, work stealing (Fig. 10 analogue)",
+    ))
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse CLI parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Random walk-based temporal graph learning "
+                    "(IISWC 2021 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate", help="generate a synthetic dataset")
+    gen.add_argument("--dataset", choices=LP_SHAPES + NC_SHAPES,
+                     help="Table II dataset shape (omit for plain ER)")
+    gen.add_argument("--scale", type=float, default=None,
+                     help="size scale for dataset shapes")
+    gen.add_argument("--nodes", type=int, default=10_000,
+                     help="ER node count")
+    gen.add_argument("--edges", type=int, default=100_000,
+                     help="ER edge count")
+    gen.add_argument("--seed", type=int, default=0)
+    gen.add_argument("-o", "--output", required=True,
+                     help=".wel for edge lists, .npz for labeled datasets")
+    gen.set_defaults(func=cmd_generate)
+
+    pre = sub.add_parser("preprocess",
+                         help="normalize a raw edge list into .wel")
+    pre.add_argument("-i", "--input", required=True)
+    pre.add_argument("-o", "--output", required=True)
+    pre.set_defaults(func=cmd_preprocess)
+
+    lp = sub.add_parser("linkpred", help="run end-to-end link prediction")
+    src = lp.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help=".wel temporal graph")
+    src.add_argument("--dataset", choices=LP_SHAPES,
+                     help="synthetic Table II shape")
+    _add_pipeline_arguments(lp)
+    lp.set_defaults(func=cmd_linkpred)
+
+    nc = sub.add_parser("nodeclass",
+                        help="run end-to-end node classification")
+    src = nc.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input", help=".npz labeled dataset bundle")
+    src.add_argument("--dataset", choices=NC_SHAPES,
+                     help="synthetic Table II shape")
+    _add_pipeline_arguments(nc)
+    nc.set_defaults(func=cmd_nodeclass)
+
+    sweep = sub.add_parser("sweep",
+                           help="Fig. 8-style hyperparameter sweep")
+    src = sweep.add_mutually_exclusive_group(required=True)
+    src.add_argument("--input",
+                     help=".wel graph (LP) or .npz labeled bundle (NC)")
+    src.add_argument("--dataset", choices=LP_SHAPES + NC_SHAPES,
+                     help="synthetic Table II shape")
+    sweep.add_argument("--parameter", required=True,
+                       choices=["num_walks", "walk_length", "dimension"])
+    sweep.add_argument("--values", required=True,
+                       help="comma-separated values, e.g. 1,2,4,8")
+    sweep.add_argument("--seeds", default="11,31",
+                       help="comma-separated seeds to average over")
+    _add_pipeline_arguments(sweep)
+    sweep.set_defaults(func=cmd_sweep)
+
+    hw = sub.add_parser("characterize",
+                        help="hardware study on a synthetic ER graph")
+    hw.add_argument("--nodes", type=int, default=20_000)
+    hw.add_argument("--edges", type=int, default=400_000)
+    _add_pipeline_arguments(hw)
+    hw.set_defaults(func=cmd_characterize)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except (ReproError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1

@@ -1,0 +1,127 @@
+"""Batched SGNS trainer (the paper's GPU word2vec design, §V-B).
+
+The paper's key observation: temporal-walk "sentences" are short (Fig. 4),
+so a sentence-at-a-time GPU word2vec launches huge numbers of tiny
+kernels and starves the device.  Their fix batches many sentences per
+kernel and lets all pairs in a batch read a *stale* snapshot of the
+embedding matrices, relying on update sparsity to preserve accuracy; a
+16k-sentence batch gave a 124.2x speedup with no accuracy loss (Fig. 5).
+
+:class:`BatchedSgnsTrainer` is the exact numpy analogue: all pairs from a
+batch of sentences evaluate gradients against one weight snapshot
+(:meth:`SkipGramModel.batch_gradients`), then a single scatter-add applies
+them.  Batch size 1 degenerates to the sequential trainer's semantics, so
+the Fig. 5 sweep is a single code path.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.rng import SeedLike, make_rng
+from repro.embedding.negative import NegativeSampler
+from repro.embedding.skipgram import SkipGramModel, generate_pairs
+from repro.embedding.trainer import SgnsConfig, TrainerStats
+from repro.embedding.vocab import Vocabulary
+from repro.walk.corpus import WalkCorpus
+
+
+class BatchedSgnsTrainer:
+    """SGNS with one vectorized update per batch of sentences."""
+
+    def __init__(self, config: SgnsConfig, batch_sentences: int = 1024) -> None:
+        if batch_sentences < 1:
+            raise ValueError(
+                f"batch_sentences must be >= 1, got {batch_sentences}"
+            )
+        self.config = config
+        self.batch_sentences = batch_sentences
+        self.last_stats: TrainerStats | None = None
+
+    def train(
+        self,
+        corpus: WalkCorpus,
+        num_nodes: int,
+        seed: SeedLike = None,
+        model: SkipGramModel | None = None,
+    ) -> SkipGramModel:
+        """Train SGNS over the corpus; returns the (possibly new) model."""
+        cfg = self.config
+        rng = make_rng(seed)
+        vocab = Vocabulary.from_corpus(corpus, num_nodes)
+        sampler = NegativeSampler(vocab)
+        if model is None:
+            model = SkipGramModel(num_nodes, cfg.dim, seed=rng)
+        keep = (
+            vocab.keep_probabilities(cfg.subsample_threshold)
+            if cfg.subsample_threshold is not None
+            else None
+        )
+
+        stats = TrainerStats()
+        start = time.perf_counter()
+        sentences = [s for s in corpus.sentences(min_length=2)]
+        total_batches = cfg.epochs * max(
+            1, -(-len(sentences) // self.batch_sentences)
+        )
+        batch_index = 0
+        loss_accum = 0.0
+        for _epoch in range(cfg.epochs):
+            for base in range(0, len(sentences), self.batch_sentences):
+                batch = sentences[base: base + self.batch_sentences]
+                centers_parts: list[np.ndarray] = []
+                contexts_parts: list[np.ndarray] = []
+                for sentence in batch:
+                    if keep is not None:
+                        sentence = vocab.subsample_sentence(sentence, keep, rng)
+                        if len(sentence) < 2:
+                            continue
+                    c, o = generate_pairs(
+                        sentence, cfg.window, rng, cfg.dynamic_window
+                    )
+                    if len(c):
+                        centers_parts.append(c)
+                        contexts_parts.append(o)
+                lr = self._lr(batch_index, total_batches)
+                batch_index += 1
+                stats.sentences += len(batch)
+                if not centers_parts:
+                    continue
+                centers = np.concatenate(centers_parts)
+                contexts = np.concatenate(contexts_parts)
+                if cfg.shared_negatives:
+                    shared = sampler.sample(cfg.negatives, rng)
+                    negatives = np.broadcast_to(
+                        shared, (len(centers), cfg.negatives)
+                    ).copy()
+                else:
+                    negatives = sampler.sample_matrix(
+                        len(centers), cfg.negatives, rng
+                    )
+                # All pairs read this snapshot; the scatter-add below is the
+                # stale concurrent update of §V-B.
+                gc, go, gn, loss = model.batch_gradients(centers, contexts, negatives)
+                model.apply_batch(
+                    centers, contexts, negatives, gc, go, gn, lr,
+                    update=cfg.update_mode, cap=cfg.update_cap,
+                )
+                stats.pairs_trained += len(centers)
+                stats.updates += 1
+                stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
+                loss_accum += loss
+                stats.losses.append(loss)
+
+        stats.wall_seconds = time.perf_counter() - start
+        stats.mean_loss = loss_accum / max(1, stats.updates)
+        self.last_stats = stats
+        return model
+
+    def _lr(self, batch_index: int, total_batches: int) -> float:
+        """Linear decay over batches, floored."""
+        cfg = self.config
+        if total_batches <= 0:
+            return cfg.learning_rate
+        frac = min(1.0, batch_index / total_batches)
+        return max(cfg.min_learning_rate, cfg.learning_rate * (1.0 - frac))

@@ -1,0 +1,99 @@
+"""Negative sampling for SGNS.
+
+word2vec draws "negative" context nodes from the smoothed unigram
+distribution ``P(w) proportional to count(w)^0.75``.  We implement the
+draw with Walker's alias method — O(V) build, O(1) per sample — which is
+also a reusable substrate (the hardware models use it for synthetic
+address streams).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.rng import SeedLike, make_rng
+from repro.embedding.vocab import Vocabulary
+
+
+class AliasTable:
+    """Walker alias method for O(1) categorical sampling.
+
+    Build from any non-negative weight vector; ``sample(n, rng)`` draws
+    ``n`` iid indices with probability proportional to the weights.
+    """
+
+    def __init__(self, weights: np.ndarray) -> None:
+        weights = np.ascontiguousarray(weights, dtype=np.float64)
+        if weights.ndim != 1 or len(weights) == 0:
+            raise EmbeddingError("weights must be a non-empty 1-D array")
+        if weights.min() < 0:
+            raise EmbeddingError("weights must be non-negative")
+        total = weights.sum()
+        if total <= 0:
+            raise EmbeddingError("weights must not all be zero")
+        n = len(weights)
+        prob = weights * (n / total)
+        self.prob = np.ones(n, dtype=np.float64)
+        self.alias = np.arange(n, dtype=np.int64)
+
+        small = [i for i in range(n) if prob[i] < 1.0]
+        large = [i for i in range(n) if prob[i] >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self.prob[s] = prob[s]
+            self.alias[s] = l
+            prob[l] = prob[l] - (1.0 - prob[s])
+            if prob[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        # Leftovers are 1.0 within float error; keep their own index.
+        for i in small + large:
+            self.prob[i] = 1.0
+            self.alias[i] = i
+
+    def __len__(self) -> int:
+        return len(self.prob)
+
+    def sample(self, size: int, rng_or_seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` iid indices from the weighted distribution."""
+        rng = make_rng(rng_or_seed)
+        slots = rng.integers(0, len(self.prob), size=size)
+        accept = rng.random(size) < self.prob[slots]
+        return np.where(accept, slots, self.alias[slots])
+
+    def probabilities(self) -> np.ndarray:
+        """Reconstruct the exact distribution the table samples from.
+
+        Each slot contributes ``prob/n`` to itself and ``(1-prob)/n`` to
+        its alias; used by property tests to verify the construction.
+        """
+        n = len(self.prob)
+        out = np.zeros(n, dtype=np.float64)
+        np.add.at(out, np.arange(n), self.prob / n)
+        np.add.at(out, self.alias, (1.0 - self.prob) / n)
+        return out
+
+
+class NegativeSampler:
+    """Draws negative context nodes from the unigram^0.75 distribution."""
+
+    def __init__(self, vocab: Vocabulary, power: float = 0.75) -> None:
+        weights = vocab.unigram_weights(power)
+        if weights.sum() <= 0:
+            raise EmbeddingError(
+                "corpus is empty: no node has positive frequency to sample"
+            )
+        self.table = AliasTable(weights)
+
+    def sample(self, size: int, rng_or_seed: SeedLike = None) -> np.ndarray:
+        """Draw ``size`` negative node ids (iid, may repeat)."""
+        return self.table.sample(size, rng_or_seed)
+
+    def sample_matrix(
+        self, rows: int, cols: int, rng_or_seed: SeedLike = None
+    ) -> np.ndarray:
+        """Draw a ``(rows, cols)`` matrix of negatives (one row per pair)."""
+        return self.sample(rows * cols, rng_or_seed).reshape(rows, cols)

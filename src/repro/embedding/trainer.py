@@ -1,0 +1,158 @@
+"""Sentence-sequential SGNS trainer (the "CPU" / unbatched baseline).
+
+Processes one sentence at a time and applies every pair's update
+immediately, so each update sees all previous ones — the semantics of the
+open-source CPU word2vec the paper adopts (§V-B) and of the GPU baseline
+whose one-kernel-launch-per-sentence structure motivates batching.
+Per-sentence Python/numpy overhead here plays the role kernel-launch and
+transfer overhead play on the GPU, which is why the Fig. 5 batching sweep
+re-measures honestly on this axis.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import EmbeddingError
+from repro.rng import SeedLike, make_rng
+from repro.embedding.negative import NegativeSampler
+from repro.embedding.skipgram import SkipGramModel, generate_pairs
+from repro.embedding.vocab import Vocabulary
+from repro.walk.corpus import WalkCorpus
+
+
+@dataclass(frozen=True)
+class SgnsConfig:
+    """word2vec hyperparameters.
+
+    ``dim=8`` is the paper's recommended embedding dimension (Fig. 8d:
+    accuracy saturates at 8, far below the customary 128).
+    """
+
+    dim: int = 8
+    window: int = 5
+    negatives: int = 5
+    epochs: int = 2
+    learning_rate: float = 0.025
+    min_learning_rate: float = 1e-4
+    subsample_threshold: float | None = None
+    dynamic_window: bool = True
+    update_mode: str = "capped"
+    update_cap: int = 128
+    # Draw one set of K negatives per *batch* instead of per pair — the
+    # GPU word2vec trick of sharing negative gathers.  Caveat measured by
+    # the test suite: sharing across a whole multi-thousand-pair batch
+    # starves the objective of contrast (only K rows per batch ever
+    # receive negative gradient) and stalls convergence; real GPU kernels
+    # share within small thread groups.  Kept as an honest ablation knob.
+    shared_negatives: bool = False
+
+    def __post_init__(self) -> None:
+        if self.dim < 1:
+            raise EmbeddingError(f"dim must be >= 1, got {self.dim}")
+        if self.window < 1:
+            raise EmbeddingError(f"window must be >= 1, got {self.window}")
+        if self.negatives < 1:
+            raise EmbeddingError(f"negatives must be >= 1, got {self.negatives}")
+        if self.epochs < 1:
+            raise EmbeddingError(f"epochs must be >= 1, got {self.epochs}")
+        if not 0 < self.learning_rate:
+            raise EmbeddingError("learning_rate must be positive")
+
+
+@dataclass
+class TrainerStats:
+    """Work counters of one training run (feed the hardware models).
+
+    ``updates`` counts parameter-update events (one per sentence for the
+    sequential trainer, one per batch for the batched trainer) — the
+    analogue of GPU kernel launches.  fp-op counts follow the SGNS math:
+    each pair costs about ``(1 + K) * 4d`` multiply-adds.
+    """
+
+    pairs_trained: int = 0
+    sentences: int = 0
+    updates: int = 0
+    fp_ops: int = 0
+    mean_loss: float = 0.0
+    wall_seconds: float = 0.0
+    losses: list[float] = field(default_factory=list)
+
+
+class SequentialSgnsTrainer:
+    """One-sentence-at-a-time SGNS training."""
+
+    def __init__(self, config: SgnsConfig) -> None:
+        self.config = config
+        self.last_stats: TrainerStats | None = None
+
+    def train(
+        self,
+        corpus: WalkCorpus,
+        num_nodes: int,
+        seed: SeedLike = None,
+        model: SkipGramModel | None = None,
+    ) -> SkipGramModel:
+        """Train SGNS over the corpus; returns the (possibly new) model."""
+        cfg = self.config
+        rng = make_rng(seed)
+        vocab = Vocabulary.from_corpus(corpus, num_nodes)
+        sampler = NegativeSampler(vocab)
+        if model is None:
+            model = SkipGramModel(num_nodes, cfg.dim, seed=rng)
+        keep = (
+            vocab.keep_probabilities(cfg.subsample_threshold)
+            if cfg.subsample_threshold is not None
+            else None
+        )
+
+        stats = TrainerStats()
+        start = time.perf_counter()
+        total_sentences = cfg.epochs * sum(
+            1 for _ in corpus.sentences(min_length=2)
+        )
+        seen = 0
+        loss_accum = 0.0
+        for _epoch in range(cfg.epochs):
+            for sentence in corpus.sentences(min_length=2):
+                if keep is not None:
+                    sentence = vocab.subsample_sentence(sentence, keep, rng)
+                    if len(sentence) < 2:
+                        continue
+                lr = self._lr(seen, total_sentences)
+                centers, contexts = generate_pairs(
+                    sentence, cfg.window, rng, cfg.dynamic_window
+                )
+                seen += 1
+                if len(centers) == 0:
+                    continue
+                negatives = sampler.sample_matrix(len(centers), cfg.negatives, rng)
+                gc, go, gn, loss = model.batch_gradients(centers, contexts, negatives)
+                model.apply_batch(
+                    centers, contexts, negatives, gc, go, gn, lr,
+                    update=cfg.update_mode, cap=cfg.update_cap,
+                )
+                stats.pairs_trained += len(centers)
+                stats.sentences += 1
+                stats.updates += 1
+                stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
+                loss_accum += loss
+                stats.losses.append(loss)
+
+        stats.wall_seconds = time.perf_counter() - start
+        stats.mean_loss = loss_accum / max(1, stats.sentences)
+        self.last_stats = stats
+        return model
+
+    def _lr(self, seen: int, total: int) -> float:
+        """Linear learning-rate decay, floored (word2vec schedule)."""
+        cfg = self.config
+        if total <= 0:
+            return cfg.learning_rate
+        frac = min(1.0, seen / total)
+        return max(
+            cfg.min_learning_rate, cfg.learning_rate * (1.0 - frac)
+        )

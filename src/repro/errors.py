@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without catching unrelated bugs.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class GraphError(ReproError):
+    """Raised for malformed graph inputs (bad edges, bad CSR state)."""
+
+
+class GraphFormatError(GraphError):
+    """Raised when parsing an on-disk graph file fails."""
+
+
+class WalkError(ReproError):
+    """Raised for invalid random-walk configuration or execution state."""
+
+
+class EmbeddingError(ReproError):
+    """Raised for invalid embedding configuration or lookups."""
+
+
+class TrainingError(ReproError):
+    """Raised when classifier training is misconfigured or diverges."""
+
+
+class DataPreparationError(ReproError):
+    """Raised when train/valid/test preparation cannot be satisfied."""
+
+
+class ModelError(ReproError):
+    """Raised for hardware-model configuration errors."""

@@ -1,0 +1,33 @@
+"""Temporal graph substrate.
+
+This package provides the data structures the paper's pipeline runs on:
+
+- :class:`TemporalEdgeList` — a columnar (src, dst, timestamp) edge
+  container with sorting and timestamp normalization.
+- :class:`TemporalGraph` — the CSR structure used by the random-walk
+  kernel (the paper extends GAPBS ``WGraph``, repurposing the weight field
+  for timestamps and preserving multi-edges; see §V-A).
+- :mod:`repro.graph.generators` — synthetic generators, including
+  dataset-shaped stand-ins for every real dataset in Table II.
+- :mod:`repro.graph.io` — the ``.wel`` edge-list format from the artifact
+  appendix and a labeled-dataset bundle format for node classification.
+"""
+
+from repro.graph.edges import TemporalEdge, TemporalEdgeList
+from repro.graph.csr import TemporalGraph
+from repro.graph.dynamic import DynamicTemporalGraph
+from repro.graph.snapshots import snapshot_at
+from repro.graph.stats import GraphStats, compute_stats
+from repro.graph import generators, io
+
+__all__ = [
+    "TemporalEdge",
+    "TemporalEdgeList",
+    "TemporalGraph",
+    "DynamicTemporalGraph",
+    "snapshot_at",
+    "GraphStats",
+    "compute_stats",
+    "generators",
+    "io",
+]

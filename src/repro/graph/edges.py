@@ -1,0 +1,223 @@
+"""Temporal edge containers.
+
+A temporal graph is a stream of timestamped directed edges ``(u, v, t)``
+(Definition III.1).  :class:`TemporalEdgeList` stores the stream in columnar
+numpy arrays, which is both compact and the natural input format for CSR
+construction, temporal splitting (Fig. 7 step 1), and dataset generators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import GraphError
+
+
+@dataclass(frozen=True)
+class TemporalEdge:
+    """A single timestamped directed edge ``(src, dst, timestamp)``."""
+
+    src: int
+    dst: int
+    timestamp: float
+
+    def reversed(self) -> "TemporalEdge":
+        """Return the edge with endpoints swapped (same timestamp)."""
+        return TemporalEdge(self.dst, self.src, self.timestamp)
+
+
+class TemporalEdgeList:
+    """Columnar container of timestamped edges.
+
+    Multi-edges (repeated ``(u, v)`` pairs at distinct times) are
+    preserved — the paper explicitly keeps them to retain temporally
+    distant interactions between the same node pair (§V-A).
+
+    Parameters
+    ----------
+    src, dst:
+        Integer node-id arrays of equal length.
+    timestamps:
+        Float array of equal length.  Not required to be sorted.
+    num_nodes:
+        Optional explicit node count; defaults to ``max(id) + 1``.
+    """
+
+    def __init__(
+        self,
+        src: np.ndarray | Iterable[int],
+        dst: np.ndarray | Iterable[int],
+        timestamps: np.ndarray | Iterable[float],
+        num_nodes: int | None = None,
+    ) -> None:
+        self.src = np.ascontiguousarray(src, dtype=np.int64)
+        self.dst = np.ascontiguousarray(dst, dtype=np.int64)
+        self.timestamps = np.ascontiguousarray(timestamps, dtype=np.float64)
+        if not (len(self.src) == len(self.dst) == len(self.timestamps)):
+            raise GraphError(
+                "src, dst and timestamps must have equal length; got "
+                f"{len(self.src)}, {len(self.dst)}, {len(self.timestamps)}"
+            )
+        if len(self.src) and (self.src.min() < 0 or self.dst.min() < 0):
+            raise GraphError("node ids must be non-negative")
+        observed = 0
+        if len(self.src):
+            observed = int(max(self.src.max(), self.dst.max())) + 1
+        if num_nodes is None:
+            num_nodes = observed
+        elif num_nodes < observed:
+            raise GraphError(
+                f"num_nodes={num_nodes} is smaller than max node id + 1 ({observed})"
+            )
+        self.num_nodes = int(num_nodes)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[TemporalEdge | tuple[int, int, float]],
+        num_nodes: int | None = None,
+    ) -> "TemporalEdgeList":
+        """Build from an iterable of :class:`TemporalEdge` or 3-tuples."""
+        rows = [
+            (e.src, e.dst, e.timestamp) if isinstance(e, TemporalEdge) else e
+            for e in edges
+        ]
+        if not rows:
+            return cls([], [], [], num_nodes=num_nodes or 0)
+        src, dst, ts = zip(*rows)
+        return cls(src, dst, ts, num_nodes=num_nodes)
+
+    @classmethod
+    def concatenate(cls, parts: Iterable["TemporalEdgeList"]) -> "TemporalEdgeList":
+        """Concatenate several edge lists into one."""
+        parts = list(parts)
+        if not parts:
+            return cls([], [], [], num_nodes=0)
+        return cls(
+            np.concatenate([p.src for p in parts]),
+            np.concatenate([p.dst for p in parts]),
+            np.concatenate([p.timestamps for p in parts]),
+            num_nodes=max(p.num_nodes for p in parts),
+        )
+
+    # ------------------------------------------------------------------
+    # Basic protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.src)
+
+    def __iter__(self) -> Iterator[TemporalEdge]:
+        for u, v, t in zip(self.src, self.dst, self.timestamps):
+            yield TemporalEdge(int(u), int(v), float(t))
+
+    def __getitem__(self, index: int) -> TemporalEdge:
+        return TemporalEdge(
+            int(self.src[index]), int(self.dst[index]), float(self.timestamps[index])
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalEdgeList(num_nodes={self.num_nodes}, "
+            f"num_edges={len(self)})"
+        )
+
+    # ------------------------------------------------------------------
+    # Transformations (each returns a new list; originals are immutable
+    # by convention)
+    # ------------------------------------------------------------------
+    def sorted_by_time(self, stable: bool = True) -> "TemporalEdgeList":
+        """Return a copy sorted by ascending timestamp (Fig. 7 step 1)."""
+        kind = "stable" if stable else "quicksort"
+        order = np.argsort(self.timestamps, kind=kind)
+        return self.take(order)
+
+    def take(self, indices: np.ndarray) -> "TemporalEdgeList":
+        """Return the edges at ``indices`` (in that order)."""
+        return TemporalEdgeList(
+            self.src[indices],
+            self.dst[indices],
+            self.timestamps[indices],
+            num_nodes=self.num_nodes,
+        )
+
+    def with_normalized_timestamps(self) -> "TemporalEdgeList":
+        """Return a copy with timestamps rescaled into [0, 1].
+
+        The artifact appendix (A.5) prepares every dataset this way; a
+        constant timestamp column maps to all-zeros.
+        """
+        if len(self) == 0:
+            return self
+        lo = self.timestamps.min()
+        hi = self.timestamps.max()
+        span = hi - lo
+        if span == 0:
+            norm = np.zeros_like(self.timestamps)
+        else:
+            norm = (self.timestamps - lo) / span
+        return TemporalEdgeList(self.src, self.dst, norm, num_nodes=self.num_nodes)
+
+    def with_reverse_edges(self) -> "TemporalEdgeList":
+        """Return a copy with each edge duplicated in the reverse direction.
+
+        Used to treat an interaction network as undirected while keeping
+        the CSR directed representation.
+        """
+        return TemporalEdgeList(
+            np.concatenate([self.src, self.dst]),
+            np.concatenate([self.dst, self.src]),
+            np.concatenate([self.timestamps, self.timestamps]),
+            num_nodes=self.num_nodes,
+        )
+
+    def filter_time_range(self, t_min: float, t_max: float) -> "TemporalEdgeList":
+        """Return edges with ``t_min <= t <= t_max``."""
+        mask = (self.timestamps >= t_min) & (self.timestamps <= t_max)
+        return self.take(np.flatnonzero(mask))
+
+    def split_at_fraction(
+        self, fraction: float
+    ) -> tuple["TemporalEdgeList", "TemporalEdgeList"]:
+        """Split the *time-sorted* stream into an early and late part.
+
+        ``fraction`` is the share of edges in the early part.  This is the
+        primitive behind holding out the last 20% of edges for testing
+        (Fig. 7 step 1).
+        """
+        if not 0.0 <= fraction <= 1.0:
+            raise GraphError(f"fraction must be in [0, 1], got {fraction}")
+        ordered = self.sorted_by_time()
+        cut = int(round(fraction * len(ordered)))
+        early = ordered.take(np.arange(cut))
+        late = ordered.take(np.arange(cut, len(ordered)))
+        return early, late
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def edge_key_set(self) -> set[tuple[int, int]]:
+        """Return the set of distinct ``(src, dst)`` pairs.
+
+        Negative sampling (Fig. 7 step 3) uses this to guarantee sampled
+        negatives are absent from the input graph.
+        """
+        return set(zip(self.src.tolist(), self.dst.tolist()))
+
+    def time_span(self) -> float:
+        """Return ``max(t) - min(t)``; 0 for empty lists.
+
+        This is the normalization term ``r`` in Eq. 1.
+        """
+        if len(self) == 0:
+            return 0.0
+        return float(self.timestamps.max() - self.timestamps.min())
+
+    def is_time_sorted(self) -> bool:
+        """True when timestamps are non-decreasing."""
+        return bool(np.all(np.diff(self.timestamps) >= 0)) if len(self) > 1 else True

@@ -1,0 +1,98 @@
+"""Graph statistics.
+
+These drive Table II (dataset inventory) and feed the hardware models
+(degree distribution determines load imbalance; timestamp distribution
+determines walk termination behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import TemporalGraph
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Summary statistics of a temporal graph (one Table II row)."""
+
+    num_nodes: int
+    num_edges: int
+    max_degree: int
+    mean_degree: float
+    degree_std: float
+    degree_gini: float
+    time_span: float
+    num_isolated: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Dict form for table rendering."""
+        return {
+            "nodes": self.num_nodes,
+            "edges": self.num_edges,
+            "max_deg": self.max_degree,
+            "mean_deg": round(self.mean_degree, 2),
+            "deg_std": round(self.degree_std, 2),
+            "deg_gini": round(self.degree_gini, 3),
+            "isolated": self.num_isolated,
+        }
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a non-negative array (0 = uniform, →1 = skewed).
+
+    Used as a scalar measure of degree skew: power-law graphs (wiki-talk,
+    stackoverflow shapes) have high Gini; Erdős–Rényi graphs low.
+    """
+    v = np.sort(np.asarray(values, dtype=np.float64))
+    if len(v) == 0:
+        return 0.0
+    total = v.sum()
+    if total == 0:
+        return 0.0
+    n = len(v)
+    # Standard formulation: G = (2 * sum(i * v_i) / (n * sum(v))) - (n+1)/n
+    index = np.arange(1, n + 1)
+    return float((2.0 * np.dot(index, v)) / (n * total) - (n + 1.0) / n)
+
+
+def compute_stats(graph: TemporalGraph) -> GraphStats:
+    """Compute :class:`GraphStats` for ``graph``."""
+    degrees = graph.out_degrees()
+    return GraphStats(
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        max_degree=graph.max_degree(),
+        mean_degree=float(degrees.mean()) if graph.num_nodes else 0.0,
+        degree_std=float(degrees.std()) if graph.num_nodes else 0.0,
+        degree_gini=gini(degrees),
+        time_span=graph.time_span(),
+        num_isolated=int(np.sum(degrees == 0)),
+    )
+
+
+def degree_histogram(graph: TemporalGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(degree_values, counts)`` of the out-degree distribution."""
+    degrees = graph.out_degrees()
+    if len(degrees) == 0:
+        return np.array([], dtype=np.int64), np.array([], dtype=np.int64)
+    values, counts = np.unique(degrees, return_counts=True)
+    return values, counts
+
+
+def powerlaw_exponent_estimate(graph: TemporalGraph, d_min: int = 1) -> float:
+    """Maximum-likelihood estimate of the degree power-law exponent.
+
+    Uses the discrete Hill estimator
+    ``alpha = 1 + n / sum(ln(d_i / (d_min - 0.5)))`` over degrees
+    ``>= d_min``.  Real-world graphs in Table II have alpha roughly in
+    [1.5, 3]; Erdős–Rényi graphs produce much larger (meaningless) values,
+    which is itself a useful discriminator in tests.
+    """
+    degrees = graph.out_degrees()
+    degrees = degrees[degrees >= d_min]
+    if len(degrees) == 0:
+        return float("nan")
+    return float(1.0 + len(degrees) / np.sum(np.log(degrees / (d_min - 0.5))))

@@ -1,0 +1,230 @@
+"""Set-associative LRU cache simulator.
+
+Used for the L2-hit-rate comparison of Fig. 3 and for studying the
+word2vec cache-line-padding trade-off of §V-B: traces derived from the
+*actual* kernel access patterns (walk vertex sequences, embedding row
+touches, GEMM streaming) are replayed through a two-level hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    line_bytes: int = 64
+    ways: int = 8
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.ways <= 0:
+            raise ModelError("cache geometry values must be positive")
+        if self.size_bytes % (self.line_bytes * self.ways):
+            raise ModelError(
+                "size_bytes must be a multiple of line_bytes * ways"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets implied by the geometry."""
+        return self.size_bytes // (self.line_bytes * self.ways)
+
+
+class CacheSim:
+    """One set-associative LRU cache level.
+
+    Vectorized over address arrays: :meth:`access_many` replays a trace
+    and returns the hit mask.  LRU state is a per-set timestamp array.
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        sets, ways = config.num_sets, config.ways
+        self._tags = np.full((sets, ways), -1, dtype=np.int64)
+        self._stamp = np.zeros((sets, ways), dtype=np.int64)
+        self._clock = 0
+        self.hits = 0
+        self.misses = 0
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss counters (state is kept)."""
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def accesses(self) -> int:
+        """Total accesses since the last reset."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / accesses (0 when no accesses)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.hits / self.accesses
+
+    # ------------------------------------------------------------------
+    def access(self, address: int) -> bool:
+        """Access one byte address; returns True on hit."""
+        cfg = self.config
+        line = address // cfg.line_bytes
+        index = line % cfg.num_sets
+        tag = line // cfg.num_sets
+        self._clock += 1
+        row_tags = self._tags[index]
+        hit_ways = np.flatnonzero(row_tags == tag)
+        if len(hit_ways):
+            way = hit_ways[0]
+            self._stamp[index, way] = self._clock
+            self.hits += 1
+            return True
+        victim = int(np.argmin(self._stamp[index]))
+        self._tags[index, victim] = tag
+        self._stamp[index, victim] = self._clock
+        self.misses += 1
+        return False
+
+    def access_many(self, addresses: np.ndarray) -> np.ndarray:
+        """Replay a trace; returns a boolean hit mask per access."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        hits = np.empty(len(addresses), dtype=bool)
+        for i, addr in enumerate(addresses):
+            hits[i] = self.access(int(addr))
+        return hits
+
+
+class CacheHierarchy:
+    """Two-level inclusive-ish hierarchy: L1 miss probes L2.
+
+    ``access_many`` returns per-access level outcomes; aggregate hit
+    rates are on the member caches.
+    """
+
+    def __init__(self, l1: CacheConfig, l2: CacheConfig) -> None:
+        self.l1 = CacheSim(l1)
+        self.l2 = CacheSim(l2)
+
+    def access_many(self, addresses: np.ndarray) -> dict[str, float]:
+        """Replay a trace; returns L1/L2 hit rates and DRAM access count."""
+        addresses = np.asarray(addresses, dtype=np.int64)
+        dram = 0
+        for addr in addresses:
+            if not self.l1.access(int(addr)):
+                if not self.l2.access(int(addr)):
+                    dram += 1
+        return {
+            "l1_hit_rate": self.l1.hit_rate,
+            "l2_hit_rate": self.l2.hit_rate,
+            "dram_accesses": float(dram),
+        }
+
+
+# ---------------------------------------------------------------------------
+# Trace builders from real kernel behaviour
+# ---------------------------------------------------------------------------
+
+
+def walk_trace(corpus, graph, element_bytes: int = 16, limit: int = 200_000
+               ) -> np.ndarray:
+    """Address trace of the walk kernel's graph accesses.
+
+    For each walk step the kernel reads the current node's CSR offsets
+    and scans its adjacency slice; addresses are laid out as the real CSR
+    would be (AoS edge elements of ``element_bytes``).  Truncated to
+    ``limit`` accesses to keep simulation tractable.
+    """
+    addresses: list[int] = []
+    indptr_base = 0
+    edges_base = (graph.num_nodes + 1) * 8
+    for i in range(corpus.num_walks):
+        walk = corpus.walk(i)
+        for node in walk[:-1]:
+            addresses.append(indptr_base + int(node) * 8)
+            lo, hi = int(graph.indptr[node]), int(graph.indptr[node + 1])
+            for e in range(lo, min(hi, lo + 64)):
+                addresses.append(edges_base + e * element_bytes)
+            if len(addresses) >= limit:
+                return np.asarray(addresses[:limit], dtype=np.int64)
+    return np.asarray(addresses, dtype=np.int64)
+
+
+def embedding_trace(
+    corpus,
+    dim: int,
+    pad_to_line: bool,
+    line_bytes: int = 64,
+    element_bytes: int = 4,
+    limit: int = 200_000,
+) -> np.ndarray:
+    """Address trace of word2vec's embedding-row touches.
+
+    ``pad_to_line`` reproduces the prior GPU implementation's cache-line
+    padding (§V-B): each row starts on its own line, so a d=8 float row
+    wastes half the line — the utilization problem the paper's "No-pad"
+    optimization removes.
+    """
+    row_bytes = dim * element_bytes
+    stride = (
+        -(-row_bytes // line_bytes) * line_bytes if pad_to_line else row_bytes
+    )
+    addresses: list[int] = []
+    for i in range(corpus.num_walks):
+        walk = corpus.walk(i)
+        for node in walk:
+            base = int(node) * stride
+            for offset in range(0, row_bytes, line_bytes):
+                addresses.append(base + offset)
+            if len(addresses) >= limit:
+                return np.asarray(addresses[:limit], dtype=np.int64)
+    return np.asarray(addresses, dtype=np.int64)
+
+
+def streaming_trace(
+    total_bytes: int, element_bytes: int = 8, passes: int = 2,
+    limit: int = 200_000,
+) -> np.ndarray:
+    """Sequential multi-pass element trace (dense GEMM-style streaming).
+
+    Every element of the buffer is read in order, so consecutive
+    accesses share cache lines — the spatial-reuse pattern that makes
+    dense kernels cache-friendly even when the buffer exceeds capacity.
+    """
+    elements = max(1, total_bytes // element_bytes)
+    one_pass = np.arange(elements, dtype=np.int64) * element_bytes
+    trace = np.tile(one_pass, passes)
+    return trace[:limit]
+
+
+def bfs_trace(graph, bfs_result, limit: int = 200_000) -> np.ndarray:
+    """Address trace of a frontier BFS over the CSR graph.
+
+    Per visited node: its indptr entry, its adjacency slice (sequential
+    8-byte neighbor ids), and one visited-flag probe per scanned edge —
+    the classic mostly-streaming-with-random-probes traversal pattern.
+    ``bfs_result`` supplies the visit order via depths.
+    """
+    depths = bfs_result.depths
+    order = np.argsort(np.where(depths < 0, np.iinfo(np.int64).max, depths),
+                       kind="stable")
+    indptr_base = 0
+    edges_base = (graph.num_nodes + 1) * 8
+    flags_base = edges_base + graph.num_edges * 8
+    addresses: list[int] = []
+    for node in order:
+        if depths[node] < 0:
+            break
+        addresses.append(indptr_base + int(node) * 8)
+        lo, hi = int(graph.indptr[node]), int(graph.indptr[node + 1])
+        for e in range(lo, hi):
+            addresses.append(edges_base + e * 8)
+            addresses.append(flags_base + int(graph.dst[e]) * 4)
+            if len(addresses) >= limit:
+                return np.asarray(addresses[:limit], dtype=np.int64)
+    return np.asarray(addresses, dtype=np.int64)

@@ -1,0 +1,519 @@
+"""Analytic GPU execution and stall model.
+
+Stands in for Nsight Compute on real Ampere hardware.  A kernel is
+described by *measured workload parameters* (work items, fp ops and bytes
+per item, divergence, dependence-chain length, synchronization count,
+working-set size), and :meth:`GpuKernelModel.report` converts them into
+the metrics the paper reports:
+
+- Fig. 3: SM utilization, L2 hit rate, DRAM bandwidth utilization, load
+  imbalance, irregularity (replayed/issued instruction ratio);
+- Fig. 11: the stall-cycle breakdown (IMC miss, compute dependency,
+  instruction cache, memory scoreboard, pipe/MIO busy, barrier, TEX
+  queue, other);
+- Table III GPU columns: kernel time including launch and PCIe transfer.
+
+The derivation rules are explicit and monotone in the workload inputs
+(e.g. compute-dependency stalls grow with serialized fp ops per item;
+IMC-miss stalls grow as active warps shrink, because immediate loads get
+no reuse — §VII-B's explanation for the classifier kernels), so the
+Fig. 11 shape emerges from the measured kernel differences rather than
+hard-coded percentages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ModelError
+
+
+@dataclass(frozen=True)
+class GpuConfig:
+    """Ampere-class device parameters (defaults ~A100)."""
+
+    num_sms: int = 108
+    warp_size: int = 32
+    max_warps_per_sm: int = 64
+    clock_ghz: float = 1.41
+    fp_tflops: float = 19.5            # peak fp32 FMA throughput
+    dram_bw_gbs: float = 1555.0
+    l2_bytes: int = 40 * 1024 * 1024
+    pcie_gbs: float = 16.0
+    launch_overhead_s: float = 5e-6
+
+    @property
+    def max_warps(self) -> int:
+        """Device-wide resident-warp capacity."""
+        return self.num_sms * self.max_warps_per_sm
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """EPYC-class host parameters (defaults ~dual 7742)."""
+
+    cores: int = 128
+    clock_ghz: float = 2.25
+    ipc: float = 2.0
+    dram_bw_gbs: float = 380.0
+    parallel_efficiency: float = 0.7
+
+
+STALL_CATEGORIES = (
+    "imc_miss",
+    "compute_dependency",
+    "icache_miss",
+    "memory_scoreboard",
+    "pipe_mio_busy",
+    "barrier",
+    "tex_queue",
+    "other",
+)
+
+
+@dataclass
+class StallBreakdown:
+    """Per-category stall weight; :meth:`fractions` normalizes."""
+
+    imc_miss: float = 0.0
+    compute_dependency: float = 0.0
+    icache_miss: float = 0.0
+    memory_scoreboard: float = 0.0
+    pipe_mio_busy: float = 0.0
+    barrier: float = 0.0
+    tex_queue: float = 0.0
+    other: float = 0.0
+
+    def fractions(self) -> dict[str, float]:
+        """Normalized shares per category."""
+        values = {c: getattr(self, c) for c in STALL_CATEGORIES}
+        total = sum(values.values())
+        if total == 0:
+            return {c: 0.0 for c in STALL_CATEGORIES}
+        return {c: v / total for c, v in values.items()}
+
+    def dominant(self) -> str:
+        """Category holding the largest share."""
+        fracs = self.fractions()
+        return max(fracs, key=fracs.get)
+
+
+@dataclass
+class GpuKernelReport:
+    """All modeled metrics for one kernel."""
+
+    name: str
+    time_seconds: float
+    launch_seconds: float
+    transfer_seconds: float
+    sm_utilization: float
+    l2_hit_rate: float
+    dram_bw_utilization: float
+    load_imbalance: float
+    irregularity: float
+    stalls: StallBreakdown
+
+    def metric_row(self) -> dict[str, float]:
+        """Fig. 3's metric columns."""
+        return {
+            "sm_util": self.sm_utilization,
+            "l2_hit": self.l2_hit_rate,
+            "dram_bw": self.dram_bw_utilization,
+            "imbalance": self.load_imbalance,
+            "irregularity": self.irregularity,
+        }
+
+
+@dataclass
+class GpuKernelModel:
+    """Workload-side description of one kernel (measured quantities).
+
+    Parameters
+    ----------
+    items:
+        Independent parallel work items (walks, pairs, output tiles).
+    fp_per_item / loads_per_item / bytes_per_item:
+        Average compute and memory work per item.
+    serial_fp_chain:
+        Length of the *dependent* fp chain within an item (drives
+        compute-dependency stalls; Eq. 1's exp/div chain for the walk).
+    irregular_fraction:
+        Fraction of loads that are data-dependent/non-coalesced
+        (drives memory-scoreboard stalls and replay irregularity).
+    divergence_cv:
+        Coefficient of variation of per-item work (drives TEX-queue
+        stalls, load imbalance and replays).
+    syncs_per_item:
+        Barrier synchronizations per item (pre-optimization word2vec).
+    working_set_bytes:
+        Resident data footprint (drives the L2 hit-rate estimate).
+    kernel_launches:
+        Number of device kernel launches (1 for fused/batched kernels,
+        one per sentence for unbatched word2vec).
+    transfer_bytes:
+        Host-device traffic for the phase.
+    """
+
+    name: str
+    items: float
+    fp_per_item: float
+    loads_per_item: float
+    bytes_per_item: float
+    serial_fp_chain: float = 1.0
+    irregular_fraction: float = 0.0
+    divergence_cv: float = 0.0
+    syncs_per_item: float = 0.0
+    working_set_bytes: float = 0.0
+    kernel_launches: int = 1
+    transfer_bytes: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.items < 0:
+            raise ModelError("items must be non-negative")
+        if not 0.0 <= self.irregular_fraction <= 1.0:
+            raise ModelError("irregular_fraction must be in [0, 1]")
+
+    # ------------------------------------------------------------------
+    def report(self, config: GpuConfig = GpuConfig()) -> GpuKernelReport:
+        """Compute all modeled metrics for this kernel."""
+        total_fp = self.items * self.fp_per_item
+        total_bytes = self.items * self.bytes_per_item
+
+        # Occupancy: how many warps the grid can keep resident.
+        warps_needed = max(1.0, self.items / config.warp_size)
+        occupancy = min(1.0, warps_needed / config.max_warps)
+
+        # L2 behaviour: reuse succeeds when the working set fits; the
+        # irregular fraction degrades it further (pointer-chased lines
+        # evict before reuse).
+        if self.working_set_bytes <= 0:
+            capacity_hit = 1.0
+        else:
+            capacity_hit = min(1.0, config.l2_bytes / self.working_set_bytes)
+        l2_hit = capacity_hit * (1.0 - 0.6 * self.irregular_fraction)
+
+        # Effective memory efficiency: non-coalesced accesses waste line
+        # bandwidth; divergence splits warps.
+        coalesce_eff = 1.0 - 0.75 * self.irregular_fraction
+        divergence_eff = 1.0 / (1.0 + self.divergence_cv)
+
+        compute_seconds = total_fp / (
+            config.fp_tflops * 1e12 * occupancy * divergence_eff + 1e-30
+        )
+        dram_traffic = total_bytes * (1.0 - l2_hit * 0.8)
+        memory_seconds = dram_traffic / (
+            config.dram_bw_gbs * 1e9 * coalesce_eff + 1e-30
+        )
+        busy_seconds = max(compute_seconds, memory_seconds)
+        launch_seconds = self.kernel_launches * config.launch_overhead_s
+        transfer_seconds = self.transfer_bytes / (config.pcie_gbs * 1e9 + 1e-30)
+        sync_seconds = (
+            self.syncs_per_item * self.items / (config.clock_ghz * 1e9) * 20.0
+        )
+        total_seconds = busy_seconds + launch_seconds + transfer_seconds + sync_seconds
+
+        sm_util = occupancy * (compute_seconds / (total_seconds + 1e-30))
+        dram_util = dram_traffic / (
+            config.dram_bw_gbs * 1e9 * total_seconds + 1e-30
+        )
+        load_imbalance = 1.0 + self.divergence_cv
+        irregularity = (
+            self.irregular_fraction * 2.0 + 0.5 * self.divergence_cv
+        )
+
+        stalls = self._stalls(occupancy, l2_hit)
+        return GpuKernelReport(
+            name=self.name,
+            time_seconds=total_seconds,
+            launch_seconds=launch_seconds,
+            transfer_seconds=transfer_seconds,
+            sm_utilization=float(np.clip(sm_util, 0.0, 1.0)),
+            l2_hit_rate=float(np.clip(l2_hit, 0.0, 1.0)),
+            dram_bw_utilization=float(np.clip(dram_util, 0.0, 1.0)),
+            load_imbalance=load_imbalance,
+            irregularity=irregularity,
+            stalls=stalls,
+        )
+
+    def _stalls(self, occupancy: float, l2_hit: float) -> StallBreakdown:
+        """Derive stall weights from workload structure.
+
+        Each weight is (events per item) x (penalty per event), with
+        penalties chosen once for all kernels; the *relative* shape per
+        kernel is therefore workload-driven.
+        """
+        # Long dependent fp chains stall the issue stage when few other
+        # warps can cover the latency; a chain of 1 (independent FMAs)
+        # pipelines almost fully.
+        compute_dep = max(self.serial_fp_chain - 1.0, 0.1) * self.fp_per_item * 0.4
+        # Data-dependent loads wait on the scoreboard, worse on misses.
+        memory_dep = (
+            self.loads_per_item
+            * self.irregular_fraction
+            * (1.0 + 4.0 * (1.0 - l2_hit))
+            * 1.2
+        )
+        # Immediate-constant cache misses: immediates are re-fetched per
+        # warp; with few resident warps there is no reuse (§VII-B's
+        # explanation for the classifier kernels).
+        imc = np.sqrt(1.0 / max(occupancy, 1e-3)) * (
+            1.0 + self.fp_per_item * 0.02
+        )
+        # Divergence splits warps and queues TEX/I-cache requests.
+        tex = self.divergence_cv * self.loads_per_item * 0.5
+        icache = 0.02 * (1.0 + self.divergence_cv)
+        pipe_mio = 0.15 * self.loads_per_item * (1.0 - self.irregular_fraction)
+        barrier = self.syncs_per_item * 12.0
+        other = 0.05 * (self.fp_per_item + self.loads_per_item)
+        return StallBreakdown(
+            imc_miss=imc,
+            compute_dependency=compute_dep,
+            icache_miss=icache,
+            memory_scoreboard=memory_dep,
+            pipe_mio_busy=pipe_mio,
+            barrier=barrier,
+            tex_queue=tex,
+            other=other,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Kernel constructors from measured workload statistics
+# ---------------------------------------------------------------------------
+
+
+def walk_kernel(walk_stats, graph, transfer_bytes: float | None = None
+                ) -> GpuKernelModel:
+    """GPU model of the temporal-walk kernel from its measured stats."""
+    items = max(1, walk_stats.num_walks)
+    steps_per_walk = walk_stats.total_steps / items
+    cand_per_walk = walk_stats.candidates_scanned / items
+    degrees = np.diff(graph.indptr)
+    mean_deg = degrees.mean() if len(degrees) else 0.0
+    cv = float(degrees.std() / mean_deg) if mean_deg > 0 else 0.0
+    if transfer_bytes is None:
+        transfer_bytes = graph.num_edges * 16 + items * 8
+    return GpuKernelModel(
+        name="rwalk",
+        items=items,
+        # Eq. 1 per candidate: exp + div chain (serialized), RNG per step.
+        fp_per_item=cand_per_walk * 5.0 + steps_per_walk * 4.0,
+        loads_per_item=cand_per_walk * 2.0 + steps_per_walk * 6.0,
+        bytes_per_item=cand_per_walk * 16.0 + steps_per_walk * 32.0,
+        serial_fp_chain=6.0,     # exp polynomial + normalization divide
+        irregular_fraction=0.35,  # CSR slices are local; hops are not
+        divergence_cv=cv,
+        working_set_bytes=graph.num_edges * 16.0,
+        kernel_launches=1,
+        transfer_bytes=transfer_bytes,
+    )
+
+
+def word2vec_kernel(
+    trainer_stats,
+    sgns_config,
+    num_nodes: int,
+    batch_sentences: int = 1,
+) -> GpuKernelModel:
+    """GPU model of SGNS training from its measured pair counts."""
+    pairs = max(1, trainer_stats.pairs_trained)
+    d = sgns_config.dim
+    rows = 2 + sgns_config.negatives
+    return GpuKernelModel(
+        name="word2vec",
+        items=pairs,
+        fp_per_item=(1 + sgns_config.negatives) * 6.0 * d,
+        loads_per_item=rows * d,
+        bytes_per_item=rows * d * 8.0,
+        serial_fp_chain=1.2,          # dot-product reductions pipeline well
+        # Embedding-row gathers follow walk-produced node ids: irregular.
+        irregular_fraction=0.7,
+        divergence_cv=0.3,
+        working_set_bytes=2.0 * num_nodes * d * 4.0,
+        kernel_launches=max(1, trainer_stats.updates),
+        transfer_bytes=pairs * 8.0 / max(1, batch_sentences) * 64.0,
+    )
+
+
+def classifier_kernel(
+    name: str,
+    layer_dims: list[tuple[int, int]],
+    batch_size: int,
+    samples: int,
+    training: bool = True,
+) -> GpuKernelModel:
+    """GPU model of the FNN train/test phase (small GEMMs, §VII-B)."""
+    gemms = 3 if training else 1
+    fp_total = sum(2.0 * batch_size * i * o * gemms for i, o in layer_dims)
+    batches = max(1, samples // batch_size)
+    weight_bytes = sum(i * o for i, o in layer_dims) * 4.0
+    act_bytes = sum(batch_size * (i + o) for i, o in layer_dims) * 4.0
+    # One "item" = one output tile of the largest GEMM; small layers make
+    # few tiles, hence few warps, hence the low occupancy that drives the
+    # IMC-dominated stall profile.
+    largest = max(batch_size * o for _, o in layer_dims)
+    items = float(largest / 4.0)
+    return GpuKernelModel(
+        name=name,
+        items=items,
+        fp_per_item=fp_total / batches / items,
+        loads_per_item=(weight_bytes + act_bytes) / 4.0 / items,
+        bytes_per_item=(weight_bytes + act_bytes) / items,
+        serial_fp_chain=1.0,
+        irregular_fraction=0.05,
+        divergence_cv=0.05,
+        working_set_bytes=weight_bytes + act_bytes,
+        kernel_launches=batches * len(layer_dims) * gemms,
+        transfer_bytes=samples * (layer_dims[0][0] * 4.0),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Fig. 5 / Fig. 6 word2vec GPU optimization model
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Word2vecGpuModel:
+    """Models the §V-B GPU word2vec implementation and its optimizations.
+
+    ``batched_time(batch)`` reproduces the Fig. 5 sweep: per-batch cost is
+    one kernel launch + one host-device transfer + device work that
+    parallelizes across the sentences in the batch; sentence-at-a-time
+    execution is the degenerate ``batch=1``.
+
+    ``optimized_time(...)`` layers the Fig. 6 ablations on the batched
+    kernel: removing cache-line padding (line utilization d*4/128 -> 1),
+    coalescing embedding-dimension accesses across threads, parallel
+    reduction for the dot products, and replacing block barriers with
+    in-warp synchronization.
+    """
+
+    num_sentences: int
+    pairs_per_sentence: float
+    dim: int = 8
+    negatives: int = 5
+    config: GpuConfig = field(default_factory=GpuConfig)
+
+    # Serialized-accumulation and block-barrier penalties per pair
+    # (seconds at the modeled clock); removed by the Par-red stage.
+    _SERIAL_REDUCTION_S = 6e-10
+    _PARALLEL_REDUCTION_S = 5e-11
+    _BLOCK_SYNC_S = 8e-10
+
+    def _device_pair_seconds(
+        self,
+        line_utilization: float,
+        coalesced: bool,
+        parallel_reduction: bool,
+        block_sync: bool,
+    ) -> float:
+        """Device throughput cost per trained pair under the optimizations.
+
+        The three terms serialize inside the per-pair thread group:
+        memory traffic for the (2+K) embedding rows (padding inflates
+        bytes, non-coalesced access wastes transaction bandwidth), the
+        fp work (a serialized accumulation wastes the lanes parallel
+        reduction would use), and the block-wide barrier between the
+        gather and update phases (removed together with Par-red by
+        relying on in-warp synchronization).
+        """
+        cfg = self.config
+        rows = 2 + self.negatives
+        scores = 1 + self.negatives
+        bytes_touched = rows * self.dim * 4.0 / line_utilization
+        mem_eff = 0.9 if coalesced else 0.25
+        memory = bytes_touched / (cfg.dram_bw_gbs * 1e9 * mem_eff)
+        fp = scores * 6.0 * self.dim
+        scale = (self.dim / 8.0) * (scores / 6.0)
+        reduction = (
+            self._PARALLEL_REDUCTION_S if parallel_reduction
+            else self._SERIAL_REDUCTION_S
+        ) * scale
+        compute = fp / (cfg.fp_tflops * 1e12) + reduction
+        sync = self._BLOCK_SYNC_S if block_sync else 0.0
+        return memory + compute + sync
+
+    def batched_time(
+        self,
+        batch_sentences: int,
+        line_utilization: float | None = None,
+        coalesced: bool = False,
+        parallel_reduction: bool = False,
+        block_sync: bool = True,
+        sentence_bytes: float = 64.0,
+    ) -> float:
+        """Total seconds to train one epoch with the given batch size.
+
+        Per batch: one kernel launch, one host-device transfer of the
+        batch's walk ids (embeddings stay resident), and the device work
+        of all its pairs.  ``batch_sentences=1`` is the prior
+        implementations' sentence-at-a-time execution whose launch
+        overhead Fig. 5 shows batching amortizes.
+        """
+        if batch_sentences < 1:
+            raise ModelError("batch_sentences must be >= 1")
+        cfg = self.config
+        if line_utilization is None:
+            # Prior implementation pads each row to a 128-byte line.
+            line_utilization = min(1.0, self.dim * 4.0 / 128.0)
+        batch_sentences = min(batch_sentences, max(1, self.num_sentences))
+        batches = -(-self.num_sentences // batch_sentences)
+        pairs_per_batch = self.pairs_per_sentence * batch_sentences
+        pair_s = self._device_pair_seconds(
+            line_utilization, coalesced, parallel_reduction, block_sync
+        )
+        per_batch = (
+            cfg.launch_overhead_s
+            + (batch_sentences * sentence_bytes) / (cfg.pcie_gbs * 1e9)
+            + pairs_per_batch * pair_s
+        )
+        return batches * per_batch
+
+    def batching_speedups(self, batch_sizes: list[int]) -> dict[int, float]:
+        """Fig. 5: speedup of each batch size over no batching."""
+        base = self.batched_time(1)
+        return {b: base / self.batched_time(b) for b in batch_sizes}
+
+    def optimization_ladder(self, batch_sentences: int = 16384
+                            ) -> dict[str, float]:
+        """Fig. 6: cumulative speedups of Batch, No-pad, Coalesce, Par-red.
+
+        Values are speedups over the unbatched, padded, uncoalesced
+        baseline, adding one optimization at a time in the paper's order.
+        """
+        base = self.batched_time(1)
+        ladder = {}
+        ladder["batch"] = base / self.batched_time(batch_sentences)
+        ladder["no-pad"] = base / self.batched_time(
+            batch_sentences, line_utilization=1.0
+        )
+        ladder["coalesce"] = base / self.batched_time(
+            batch_sentences, line_utilization=1.0, coalesced=True
+        )
+        ladder["par-red"] = base / self.batched_time(
+            batch_sentences, line_utilization=1.0, coalesced=True,
+            parallel_reduction=True, block_sync=False,
+        )
+        return ladder
+
+
+# ---------------------------------------------------------------------------
+# CPU time model (Table III CPU columns)
+# ---------------------------------------------------------------------------
+
+
+def cpu_time_seconds(
+    instructions: float,
+    bytes_touched: float,
+    threads: int = 64,
+    config: CpuConfig = CpuConfig(),
+) -> float:
+    """Roofline-style CPU phase time from instruction and byte counts."""
+    cores = min(threads, config.cores)
+    eff = config.parallel_efficiency if cores > 1 else 1.0
+    instr_s = instructions / (config.ipc * config.clock_ghz * 1e9 * cores * eff)
+    mem_s = bytes_touched / (config.dram_bw_gbs * 1e9)
+    return max(instr_s, mem_s)

@@ -1,0 +1,131 @@
+"""One-call hardware characterization of a pipeline run.
+
+Ties the hardware models together: given the measured statistics a
+:class:`repro.tasks.PipelineResult` carries (walk work counters, trainer
+pair counts) plus the graph, produce everything the paper's §VII reports
+for the workload — per-kernel instruction mixes (Fig. 9), GPU kernel
+reports with stall breakdowns (Fig. 11), roofline placement, and the
+thread-scaling curve (Fig. 10) — as one structured object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embedding.trainer import SgnsConfig, TrainerStats
+from repro.graph.csr import TemporalGraph
+from repro.hwmodel.gpu import (
+    GpuConfig,
+    GpuKernelReport,
+    classifier_kernel,
+    walk_kernel,
+    word2vec_kernel,
+)
+from repro.hwmodel.profiler import (
+    KernelProfile,
+    profile_classifier,
+    profile_random_walk,
+    profile_word2vec,
+)
+from repro.hwmodel.roofline import (
+    Roofline,
+    RooflinePoint,
+    pipeline_roofline_points,
+)
+from repro.hwmodel.threads import scaling_curve
+from repro.walk.engine import WalkStats
+
+DEFAULT_THREADS = (1, 2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass
+class PipelineCharacterization:
+    """All §VII artifacts for one pipeline run."""
+
+    instruction_mixes: dict[str, KernelProfile]
+    gpu_reports: dict[str, GpuKernelReport]
+    roofline: Roofline
+    roofline_points: list[RooflinePoint]
+    walk_scaling: dict[int, float] = field(default_factory=dict)
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """One row per kernel: mix shares + dominant stall + SM util."""
+        rows = []
+        intensity = {p.name: p.operational_intensity
+                     for p in self.roofline_points}
+        for name, profile in self.instruction_mixes.items():
+            report = self.gpu_reports.get(name)
+            fractions = profile.fractions()
+            rows.append({
+                "kernel": name,
+                "compute": round(fractions["compute"], 3),
+                "memory": round(fractions["memory"], 3),
+                "dominant stall": (report.stalls.dominant()
+                                   if report else "-"),
+                "sm util": (round(report.sm_utilization, 4)
+                            if report else "-"),
+                "flops/byte": round(intensity.get(name, float("nan")), 3),
+            })
+        return rows
+
+
+def characterize_pipeline(
+    walk_stats: WalkStats,
+    trainer_stats: TrainerStats,
+    sgns_config: SgnsConfig,
+    graph: TemporalGraph,
+    num_train_samples: int,
+    num_test_samples: int,
+    classifier_dims: list[tuple[int, int]] | None = None,
+    batch_size: int = 128,
+    batch_sentences: int = 1024,
+    gpu_config: GpuConfig | None = None,
+    threads: tuple[int, ...] = DEFAULT_THREADS,
+) -> PipelineCharacterization:
+    """Build the full §VII characterization from measured statistics.
+
+    ``num_train_samples`` should be the total examples the classifier
+    processed (epochs x (positives + negatives)); ``classifier_dims``
+    defaults to the link-prediction FNN at the recommended operating
+    point (2d -> 32 -> 1).
+    """
+    gpu_config = gpu_config or GpuConfig()
+    if classifier_dims is None:
+        classifier_dims = [(2 * sgns_config.dim, 32), (32, 1)]
+
+    mixes = {
+        "rwalk": profile_random_walk(walk_stats),
+        "word2vec": profile_word2vec(trainer_stats, sgns_config),
+        "train": profile_classifier("train", classifier_dims,
+                                    num_train_samples, batch_size, True),
+        "test": profile_classifier("test", classifier_dims,
+                                   num_test_samples,
+                                   max(1, num_test_samples), False),
+    }
+    gpu_reports = {
+        "rwalk": walk_kernel(walk_stats, graph).report(gpu_config),
+        "word2vec": word2vec_kernel(
+            trainer_stats, sgns_config, graph.num_nodes, batch_sentences
+        ).report(gpu_config),
+        "train": classifier_kernel(
+            "train", classifier_dims, batch_size, num_train_samples, True
+        ).report(gpu_config),
+        "test": classifier_kernel(
+            "test", classifier_dims, max(1, num_test_samples),
+            num_test_samples, False
+        ).report(gpu_config),
+    }
+    points = pipeline_roofline_points(
+        walk_stats, trainer_stats, sgns_config, classifier_dims, batch_size
+    )
+    work = walk_stats.work_per_start_node.astype(np.float64) + 1.0
+    scaling = scaling_curve(work, list(threads)) if len(work) else {}
+    return PipelineCharacterization(
+        instruction_mixes=mixes,
+        gpu_reports=gpu_reports,
+        roofline=Roofline.from_gpu(gpu_config),
+        roofline_points=points,
+        walk_scaling=scaling,
+    )

@@ -1,0 +1,115 @@
+"""Roofline analysis: operational intensity vs attainable throughput.
+
+A standard companion to the paper's §VII characterization: each kernel's
+operational intensity (flops per byte of memory traffic) against the
+machine's roofline (min of peak compute and bandwidth x intensity)
+explains *why* the stall profiles of Fig. 11 look the way they do —
+the walk and word2vec kernels sit far left of the ridge point
+(bandwidth-bound), dense GEMM far right (compute-bound), and the tiny
+classifier GEMMs below the roof entirely (overhead-bound).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ModelError
+from repro.hwmodel.gpu import GpuConfig
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position against the roofline."""
+
+    name: str
+    flops: float
+    bytes_moved: float
+    achieved_flops_per_second: float | None = None
+
+    @property
+    def operational_intensity(self) -> float:
+        """Flops per byte of memory traffic."""
+        if self.bytes_moved <= 0:
+            raise ModelError(f"kernel {self.name!r} moves no bytes")
+        return self.flops / self.bytes_moved
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Machine roofline: peak compute and memory bandwidth ceilings."""
+
+    peak_flops_per_second: float
+    bandwidth_bytes_per_second: float
+
+    @classmethod
+    def from_gpu(cls, config: GpuConfig = GpuConfig()) -> "Roofline":
+        """Roofline ceilings from a GPU configuration."""
+        return cls(
+            peak_flops_per_second=config.fp_tflops * 1e12,
+            bandwidth_bytes_per_second=config.dram_bw_gbs * 1e9,
+        )
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the bandwidth roof meets the compute roof."""
+        return self.peak_flops_per_second / self.bandwidth_bytes_per_second
+
+    def attainable(self, intensity: float) -> float:
+        """Attainable flops/s at ``intensity`` (the roof itself)."""
+        if intensity <= 0:
+            raise ModelError(f"intensity must be positive, got {intensity}")
+        return min(
+            self.peak_flops_per_second,
+            self.bandwidth_bytes_per_second * intensity,
+        )
+
+    def classify(self, point: RooflinePoint) -> str:
+        """``memory-bound`` / ``compute-bound`` by ridge comparison."""
+        if point.operational_intensity < self.ridge_intensity:
+            return "memory-bound"
+        return "compute-bound"
+
+    def efficiency(self, point: RooflinePoint) -> float | None:
+        """Achieved / attainable, when achieved throughput is known."""
+        if point.achieved_flops_per_second is None:
+            return None
+        roof = self.attainable(point.operational_intensity)
+        return point.achieved_flops_per_second / roof
+
+
+def pipeline_roofline_points(
+    walk_stats, w2v_stats, sgns_config, classifier_dims, batch_size: int
+) -> list[RooflinePoint]:
+    """Roofline points for the four pipeline kernels from measured stats.
+
+    Flop and byte counts follow the same accounting as the instruction
+    profiler: Eq. 1 work per scanned candidate for the walk, SGNS math
+    per pair for word2vec, GEMM volume for the classifier.
+    """
+    d = sgns_config.dim
+    negatives = sgns_config.negatives
+    pairs = max(1, w2v_stats.pairs_trained)
+    points = [
+        RooflinePoint(
+            name="rwalk",
+            flops=walk_stats.candidates_scanned * 5.0
+            + walk_stats.total_steps * 4.0,
+            bytes_moved=walk_stats.candidates_scanned * 16.0
+            + walk_stats.total_steps * 32.0,
+        ),
+        RooflinePoint(
+            name="word2vec",
+            flops=pairs * (1 + negatives) * 6.0 * d,
+            bytes_moved=pairs * (2 + negatives) * d * 8.0,
+        ),
+    ]
+    for phase, gemms in (("train", 3), ("test", 1)):
+        flops = sum(2.0 * batch_size * i * o * gemms
+                    for i, o in classifier_dims)
+        bytes_moved = sum(
+            4.0 * (batch_size * i + i * o + batch_size * o) * gemms
+            for i, o in classifier_dims
+        )
+        points.append(RooflinePoint(name=phase, flops=flops,
+                                    bytes_moved=bytes_moved))
+    return points

@@ -1,0 +1,55 @@
+"""Minimal feed-forward neural-network substrate.
+
+The paper's classifier stage is a small PyTorch FNN: 2 layers + binary
+cross-entropy for link prediction, 3 layers + negative log likelihood for
+node classification, trained with SGD (§IV-B).  PyTorch is not available
+offline, so this package implements exactly the pieces those classifiers
+need, with explicit forward/backward passes verified by finite-difference
+gradient checks in the test suite:
+
+- :class:`Linear`, :class:`ReLU`, :class:`Sigmoid`, :class:`Residual`,
+  :class:`Sequential` — layers and composition;
+- :class:`BCEWithLogitsLoss`, :class:`CrossEntropyLoss` — the two loss
+  functions of §IV-B (cross-entropy = log-softmax + NLL);
+- :class:`SGD` — with momentum, weight decay and step decay;
+- :class:`DataLoader` — shuffled mini-batching;
+- :mod:`repro.nn.metrics` — accuracy and ROC-AUC.
+"""
+
+from repro.nn.module import Module, Parameter, Sequential
+from repro.nn.layers import Dropout, Linear, ReLU, Sigmoid, Tanh, Residual
+from repro.nn.losses import BCEWithLogitsLoss, CrossEntropyLoss
+from repro.nn.optim import SGD, Adam, StepDecay
+from repro.nn.data import DataLoader
+from repro.nn.metrics import accuracy, binary_accuracy, roc_auc
+from repro.nn.evaluation import (
+    ClassificationReport,
+    classification_report,
+    confusion_matrix,
+)
+from repro.nn.gradcheck import gradient_check
+
+__all__ = [
+    "Module",
+    "Parameter",
+    "Sequential",
+    "Linear",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Residual",
+    "Dropout",
+    "BCEWithLogitsLoss",
+    "CrossEntropyLoss",
+    "SGD",
+    "Adam",
+    "StepDecay",
+    "DataLoader",
+    "accuracy",
+    "binary_accuracy",
+    "roc_auc",
+    "ClassificationReport",
+    "classification_report",
+    "confusion_matrix",
+    "gradient_check",
+]

@@ -1,0 +1,96 @@
+"""Extended classification metrics.
+
+The paper reports plain accuracy; real deployments of the two tasks
+(recommendation, role identification) care about per-class behaviour,
+so the library also provides the standard multi-class diagnostics:
+confusion matrices and per-class / macro precision, recall, F1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def confusion_matrix(
+    predicted: np.ndarray, targets: np.ndarray, num_classes: int | None = None
+) -> np.ndarray:
+    """Return the ``(num_classes, num_classes)`` matrix ``C[t, p]``.
+
+    Rows are true classes, columns predictions.
+    """
+    p = np.asarray(predicted, dtype=np.int64).reshape(-1)
+    t = np.asarray(targets, dtype=np.int64).reshape(-1)
+    if len(p) != len(t):
+        raise TrainingError("prediction/target length mismatch")
+    if num_classes is None:
+        num_classes = int(max(p.max(initial=0), t.max(initial=0))) + 1
+    if len(p) and (p.min() < 0 or t.min() < 0):
+        raise TrainingError("class ids must be non-negative")
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (t, p), 1)
+    return matrix
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Per-class and macro-averaged precision / recall / F1."""
+
+    precision: np.ndarray
+    recall: np.ndarray
+    f1: np.ndarray
+    support: np.ndarray
+
+    @property
+    def macro_precision(self) -> float:
+        """Unweighted mean precision over classes."""
+        return float(self.precision.mean()) if len(self.precision) else 0.0
+
+    @property
+    def macro_recall(self) -> float:
+        """Unweighted mean recall over classes."""
+        return float(self.recall.mean()) if len(self.recall) else 0.0
+
+    @property
+    def macro_f1(self) -> float:
+        """Unweighted mean F1 over classes."""
+        return float(self.f1.mean()) if len(self.f1) else 0.0
+
+    def rows(self) -> list[dict[str, float | int]]:
+        """Per-class dict rows for table rendering."""
+        return [
+            {
+                "class": int(c),
+                "precision": float(self.precision[c]),
+                "recall": float(self.recall[c]),
+                "f1": float(self.f1[c]),
+                "support": int(self.support[c]),
+            }
+            for c in range(len(self.precision))
+        ]
+
+
+def classification_report(
+    predicted: np.ndarray, targets: np.ndarray, num_classes: int | None = None
+) -> ClassificationReport:
+    """Compute per-class precision/recall/F1 from predictions."""
+    matrix = confusion_matrix(predicted, targets, num_classes)
+    true_positive = np.diag(matrix).astype(np.float64)
+    predicted_count = matrix.sum(axis=0).astype(np.float64)
+    actual_count = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted_count > 0,
+                             true_positive / predicted_count, 0.0)
+        recall = np.where(actual_count > 0,
+                          true_positive / actual_count, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return ClassificationReport(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        support=matrix.sum(axis=1),
+    )

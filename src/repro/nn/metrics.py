@@ -1,0 +1,61 @@
+"""Evaluation metrics.
+
+The paper reports prediction accuracy for both tasks (Fig. 8); we add
+ROC-AUC for link prediction because it is threshold-free and standard in
+the CTDNE literature the paper follows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+def accuracy(predicted_classes: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of exact class matches."""
+    p = np.asarray(predicted_classes).reshape(-1)
+    t = np.asarray(targets).reshape(-1)
+    if len(p) != len(t):
+        raise TrainingError("prediction/target length mismatch")
+    if len(p) == 0:
+        return 0.0
+    return float(np.mean(p == t))
+
+
+def binary_accuracy(
+    probabilities: np.ndarray, targets: np.ndarray, threshold: float = 0.5
+) -> float:
+    """Accuracy of thresholded binary probabilities."""
+    probs = np.asarray(probabilities, dtype=np.float64).reshape(-1)
+    return accuracy((probs >= threshold).astype(np.int64), targets)
+
+
+def roc_auc(scores: np.ndarray, targets: np.ndarray) -> float:
+    """Area under the ROC curve via the rank-sum (Mann-Whitney) identity.
+
+    Ties in scores receive average ranks, making the estimator exact for
+    discrete scores too.  Returns 0.5 when either class is empty.
+    """
+    s = np.asarray(scores, dtype=np.float64).reshape(-1)
+    y = np.asarray(targets).reshape(-1).astype(bool)
+    if len(s) != len(y):
+        raise TrainingError("scores/targets length mismatch")
+    n_pos = int(y.sum())
+    n_neg = len(y) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        return 0.5
+    order = np.argsort(s, kind="stable")
+    ranks = np.empty(len(s), dtype=np.float64)
+    ranks[order] = np.arange(1, len(s) + 1)
+    # Average ranks over tied score groups.
+    sorted_scores = s[order]
+    group_start = np.flatnonzero(
+        np.concatenate(([True], sorted_scores[1:] != sorted_scores[:-1]))
+    )
+    group_end = np.concatenate((group_start[1:], [len(s)]))
+    for a, b in zip(group_start, group_end):
+        if b - a > 1:
+            ranks[order[a:b]] = 0.5 * (a + 1 + b)
+    rank_sum_pos = ranks[y].sum()
+    return float((rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))

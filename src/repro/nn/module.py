@@ -1,0 +1,104 @@
+"""Module and parameter primitives.
+
+A :class:`Module` owns parameters and implements ``forward`` (caching
+whatever the backward pass needs) and ``backward`` (consuming the
+upstream gradient, accumulating parameter gradients, and returning the
+input gradient).  No autograd tape — the network shapes in this project
+are small static stacks, and explicit backward passes are easy to verify
+with finite differences.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.errors import TrainingError
+
+
+class Parameter:
+    """A trainable array with its gradient accumulator."""
+
+    def __init__(self, data: np.ndarray, name: str = "") -> None:
+        self.data = np.ascontiguousarray(data, dtype=np.float64)
+        self.grad = np.zeros_like(self.data)
+        self.name = name
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        self.grad.fill(0.0)
+
+    @property
+    def size(self) -> int:
+        """Scalar element count."""
+        return self.data.size
+
+    def __repr__(self) -> str:
+        return f"Parameter(name={self.name!r}, shape={self.data.shape})"
+
+
+class Module:
+    """Base class for layers and models."""
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters (recursing into submodules)."""
+        params: list[Parameter] = []
+        for value in vars(self).values():
+            if isinstance(value, Parameter):
+                params.append(value)
+            elif isinstance(value, Module):
+                params.extend(value.parameters())
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, Module):
+                        params.extend(item.parameters())
+        return params
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        """Total scalar parameter count."""
+        return sum(p.size for p in self.parameters())
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward needs."""
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass; returns the input gradient."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+
+class Sequential(Module):
+    """Layer stack applying modules in order."""
+
+    def __init__(self, *layers: Module) -> None:
+        if not layers:
+            raise TrainingError("Sequential needs at least one layer")
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Forward pass; caches what backward needs."""
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backward pass; returns the input gradient."""
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def __iter__(self) -> Iterable[Module]:
+        return iter(self.layers)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(type(l).__name__ for l in self.layers)
+        return f"Sequential({inner})"

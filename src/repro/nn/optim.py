@@ -1,0 +1,129 @@
+"""Optimizers and learning-rate schedules.
+
+The paper trains both downstream tasks with stochastic gradient descent
+(§IV-B); the artifact exposes learning rate and rate decay as tunables,
+so we provide classical SGD with optional momentum/weight decay plus a
+step-decay schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import TrainingError
+from repro.nn.module import Parameter
+
+
+class SGD:
+    """Stochastic gradient descent with momentum and weight decay."""
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 0.1,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not parameters:
+            raise TrainingError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise TrainingError(f"lr must be positive, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise TrainingError(f"momentum must be in [0, 1), got {momentum}")
+        self.parameters = parameters
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in parameters]
+
+    def step(self) -> None:
+        """Apply one update from accumulated gradients."""
+        for p, v in zip(self.parameters, self._velocity):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) — an extension beyond the paper's SGD.
+
+    Useful when sweeping classifier architectures (§VIII-A) where SGD's
+    learning rate would need retuning per architecture.
+    """
+
+    def __init__(
+        self,
+        parameters: list[Parameter],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        if not parameters:
+            raise TrainingError("optimizer needs at least one parameter")
+        if lr <= 0:
+            raise TrainingError(f"lr must be positive, got {lr}")
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise TrainingError(f"betas must be in [0, 1), got {betas}")
+        self.parameters = parameters
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.data) for p in parameters]
+        self._v = [np.zeros_like(p.data) for p in parameters]
+        self._t = 0
+
+    def step(self) -> None:
+        """Apply one bias-corrected update from accumulated gradients."""
+        self._t += 1
+        correction1 = 1.0 - self.beta1 ** self._t
+        correction2 = 1.0 - self.beta2 ** self._t
+        for p, m, v in zip(self.parameters, self._m, self._v):
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / correction1
+            v_hat = v / correction2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self) -> None:
+        """Clear accumulated gradients."""
+        for p in self.parameters:
+            p.zero_grad()
+
+
+class StepDecay:
+    """Multiply the optimizer's lr by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: SGD, step_size: int, gamma: float = 0.5) -> None:
+        if step_size < 1:
+            raise TrainingError(f"step_size must be >= 1, got {step_size}")
+        if not 0.0 < gamma <= 1.0:
+            raise TrainingError(f"gamma must be in (0, 1], got {gamma}")
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._epoch = 0
+
+    def step(self) -> None:
+        """Advance one epoch, decaying when the boundary is crossed."""
+        self._epoch += 1
+        if self._epoch % self.step_size == 0:
+            self.optimizer.lr *= self.gamma

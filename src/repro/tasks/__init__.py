@@ -1,0 +1,64 @@
+"""Downstream tasks and the end-to-end pipeline.
+
+Implements §IV-B / §V-C / §V-D: Fig. 7 data preparation (temporal split,
+negative edge sampling, concatenated edge features), the 2-layer-FNN link
+prediction task, the 3-layer-FNN node classification task, the §VIII-B
+link-property-prediction extension, and the four-phase pipeline with
+per-phase timing (Table III's row structure).
+"""
+
+from repro.tasks.splits import EdgeSplits, temporal_edge_split, stratified_node_split
+from repro.tasks.negative_sampling import sample_negative_edges
+from repro.tasks.features import (
+    build_link_prediction_features,
+    build_node_classification_features,
+)
+from repro.tasks.link_prediction import (
+    LinkPredictionConfig,
+    LinkPredictionTask,
+    TaskResult,
+)
+from repro.tasks.node_classification import (
+    NodeClassificationConfig,
+    NodeClassificationTask,
+)
+from repro.tasks.link_property import (
+    LinkPropertyConfig,
+    LinkPropertyPredictionTask,
+)
+from repro.tasks.pipeline import (
+    Pipeline,
+    PipelineConfig,
+    PipelineResult,
+    PhaseTimings,
+)
+from repro.tasks.incremental import IncrementalEmbedder, UpdateReport
+from repro.tasks.ranking import RankingMetrics, rank_link_predictions
+from repro.tasks.sweeps import SweepResult, sweep_dataset, sweep_hyperparameter
+
+__all__ = [
+    "EdgeSplits",
+    "temporal_edge_split",
+    "stratified_node_split",
+    "sample_negative_edges",
+    "build_link_prediction_features",
+    "build_node_classification_features",
+    "LinkPredictionConfig",
+    "LinkPredictionTask",
+    "TaskResult",
+    "NodeClassificationConfig",
+    "NodeClassificationTask",
+    "LinkPropertyConfig",
+    "LinkPropertyPredictionTask",
+    "Pipeline",
+    "PipelineConfig",
+    "PipelineResult",
+    "PhaseTimings",
+    "IncrementalEmbedder",
+    "UpdateReport",
+    "RankingMetrics",
+    "rank_link_predictions",
+    "SweepResult",
+    "sweep_dataset",
+    "sweep_hyperparameter",
+]

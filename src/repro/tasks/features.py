@@ -1,0 +1,74 @@
+"""Feature construction (Fig. 7 step 4).
+
+Link prediction: an edge's feature is the concatenation of its endpoint
+embeddings ``[f(u), f(v)]``; positives get label 1, negatives label 0.
+Node classification: a node's feature is its embedding; the label comes
+from the dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.embeddings import NodeEmbeddings
+from repro.errors import DataPreparationError
+from repro.graph.edges import TemporalEdgeList
+
+
+class Standardizer:
+    """Per-feature standardization fit on the training partition.
+
+    Embedding scales vary with corpus size and training length; without
+    normalization the small FNN classifiers are prone to collapsing onto
+    the majority class.  Constant features standardize to zero.
+    """
+
+    def __init__(self) -> None:
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, features: np.ndarray) -> "Standardizer":
+        """Fit statistics on the training features; returns self."""
+        self.mean = features.mean(axis=0)
+        std = features.std(axis=0)
+        self.std = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, features: np.ndarray) -> np.ndarray:
+        """Apply the fitted standardization."""
+        if self.mean is None or self.std is None:
+            raise DataPreparationError("Standardizer used before fit")
+        return (features - self.mean) / self.std
+
+    def fit_transform(self, features: np.ndarray) -> np.ndarray:
+        """Fit on ``features`` and return them standardized."""
+        return self.fit(features).transform(features)
+
+
+def build_link_prediction_features(
+    embeddings: NodeEmbeddings,
+    positives: TemporalEdgeList,
+    negatives: TemporalEdgeList,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(features, labels)`` for one link-prediction partition.
+
+    Features have shape ``(n_pos + n_neg, 2 * dim)``; labels are float
+    0/1 (binary cross-entropy targets).
+    """
+    pos_x = embeddings.edge_features(positives.src, positives.dst)
+    neg_x = embeddings.edge_features(negatives.src, negatives.dst)
+    features = np.concatenate([pos_x, neg_x], axis=0)
+    labels = np.concatenate(
+        [np.ones(len(positives)), np.zeros(len(negatives))]
+    )
+    return features, labels
+
+
+def build_node_classification_features(
+    embeddings: NodeEmbeddings,
+    nodes: np.ndarray,
+    labels: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Return ``(features, labels)`` for one node-classification partition."""
+    nodes = np.asarray(nodes, dtype=np.int64)
+    return embeddings.vectors(nodes), np.asarray(labels, dtype=np.int64)[nodes]

@@ -1,0 +1,79 @@
+"""Negative edge construction (Fig. 7 step 3).
+
+The paper constructs label-0 edges "by altering one/both vertex IDs of
+positive edges so that the resulting edge is absent in the input graph",
+with as many negatives as positives in each partition.  We implement that
+corruption sampler with rejection against the full graph's edge-key set
+(absence must hold against the *input graph*, not just the partition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import DataPreparationError
+from repro.graph.edges import TemporalEdgeList
+from repro.rng import SeedLike, make_rng
+
+_MAX_ROUNDS = 200
+
+
+def sample_negative_edges(
+    positives: TemporalEdgeList,
+    forbidden: set[tuple[int, int]],
+    num_nodes: int,
+    count: int | None = None,
+    corrupt_both_probability: float = 0.5,
+    seed: SeedLike = None,
+) -> TemporalEdgeList:
+    """Sample ``count`` corrupted edges absent from ``forbidden``.
+
+    Each negative starts from a (cyclically reused) positive edge and
+    replaces the destination — or, with ``corrupt_both_probability``,
+    both endpoints — with uniform random nodes.  Timestamps are inherited
+    from the source positive (negatives need a timestamp slot but it is
+    unused by the classifier).  Sampling rejects self-loops, edges present
+    in ``forbidden``, and duplicates among the negatives themselves.
+    """
+    if count is None:
+        count = len(positives)
+    if count == 0:
+        return TemporalEdgeList([], [], [], num_nodes=num_nodes)
+    if len(positives) == 0:
+        raise DataPreparationError("cannot corrupt an empty positive set")
+    if num_nodes < 2:
+        raise DataPreparationError("need at least 2 nodes to sample negatives")
+    density = len(forbidden) / (num_nodes * (num_nodes - 1))
+    if density > 0.5:
+        raise DataPreparationError(
+            f"graph too dense for rejection sampling (density {density:.2f})"
+        )
+
+    rng = make_rng(seed)
+    base_idx = np.arange(count) % len(positives)
+    src = positives.src[base_idx].copy()
+    ts = positives.timestamps[base_idx].copy()
+    dst = np.empty(count, dtype=np.int64)
+
+    chosen: set[tuple[int, int]] = set()
+    pending = np.arange(count)
+    for _round in range(_MAX_ROUNDS):
+        if len(pending) == 0:
+            break
+        dst[pending] = rng.integers(0, num_nodes, size=len(pending))
+        both = rng.random(len(pending)) < corrupt_both_probability
+        src[pending[both]] = rng.integers(0, num_nodes, size=int(both.sum()))
+        still: list[int] = []
+        for i in pending:
+            key = (int(src[i]), int(dst[i]))
+            if key[0] == key[1] or key in forbidden or key in chosen:
+                still.append(i)
+            else:
+                chosen.add(key)
+        pending = np.asarray(still, dtype=np.int64)
+    if len(pending):
+        raise DataPreparationError(
+            f"failed to sample {len(pending)} of {count} negative edges after "
+            f"{_MAX_ROUNDS} rounds; the graph may be too dense or too small"
+        )
+    return TemporalEdgeList(src, dst, ts, num_nodes=num_nodes)

@@ -1,0 +1,232 @@
+"""End-to-end pipeline (Fig. 1): walks -> word2vec -> data prep -> FNN.
+
+:class:`Pipeline` is the front door of the library.  It wires the four
+phases together, times each one (the structure of Table III: rwalk,
+word2vec, training/epoch, testing), and returns everything the
+experiments need: task metrics, phase timings, and the work statistics
+the hardware models consume.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.embedding.embeddings import NodeEmbeddings, train_embeddings
+from repro.embedding.trainer import SgnsConfig, TrainerStats
+from repro.graph.csr import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.graph.io import LabeledTemporalDataset
+from repro.rng import SeedLike, make_rng
+from repro.tasks.link_prediction import (
+    LinkPredictionConfig,
+    LinkPredictionTask,
+    TaskResult,
+)
+from repro.tasks.link_property import LinkPropertyConfig, LinkPropertyPredictionTask
+from repro.tasks.node_classification import (
+    NodeClassificationConfig,
+    NodeClassificationTask,
+)
+from repro.walk.config import WalkConfig
+from repro.walk.corpus import WalkCorpus
+from repro.walk.engine import TemporalWalkEngine, WalkStats
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Configuration of all four pipeline phases.
+
+    Defaults are the paper's recommended operating point: ``K=10``,
+    ``L=6``, ``d=8`` with softmax temporal bias (§VII-A).
+    ``treat_undirected`` mirrors each interaction edge so walks can
+    traverse both directions (useful on interaction networks whose
+    directed out-degree is heavily skewed); the raw directed stream is
+    what the paper's CSR stores, so the default is False.
+    """
+
+    walk: WalkConfig = field(default_factory=WalkConfig)
+    sgns: SgnsConfig = field(default_factory=SgnsConfig)
+    batch_sentences: int | None = 1024
+    sampler: str = "cdf"
+    treat_undirected: bool = False
+    link_prediction: LinkPredictionConfig = field(
+        default_factory=LinkPredictionConfig
+    )
+    node_classification: NodeClassificationConfig = field(
+        default_factory=NodeClassificationConfig
+    )
+    link_property: LinkPropertyConfig = field(default_factory=LinkPropertyConfig)
+
+
+@dataclass
+class PhaseTimings:
+    """Wall seconds per pipeline phase (Table III's columns)."""
+
+    rwalk: float = 0.0
+    word2vec: float = 0.0
+    data_prep: float = 0.0
+    train: float = 0.0
+    test: float = 0.0
+    train_epochs: int = 0
+
+    @property
+    def train_per_epoch(self) -> float:
+        """Mean training seconds per epoch."""
+        if self.train_epochs == 0:
+            return 0.0
+        return self.train / self.train_epochs
+
+    @property
+    def total(self) -> float:
+        """Sum over all categories."""
+        return self.rwalk + self.word2vec + self.data_prep + self.train + self.test
+
+    def breakdown(self) -> dict[str, float]:
+        """Phase -> seconds, for table rendering."""
+        return {
+            "rwalk": self.rwalk,
+            "word2vec": self.word2vec,
+            "data_prep": self.data_prep,
+            "train": self.train,
+            "test": self.test,
+        }
+
+
+@dataclass
+class PipelineResult:
+    """Everything one end-to-end run produces."""
+
+    task_result: TaskResult
+    timings: PhaseTimings
+    embeddings: NodeEmbeddings
+    walk_stats: WalkStats
+    trainer_stats: TrainerStats
+    corpus_num_walks: int
+    corpus_mean_length: float
+
+    @property
+    def accuracy(self) -> float:
+        """Test accuracy of the downstream task."""
+        return self.task_result.accuracy
+
+    def summary(self) -> str:
+        """One-line human-readable result summary."""
+        t = self.timings
+        return (
+            f"{self.task_result.summary()} | phases: rwalk {t.rwalk:.2f}s, "
+            f"word2vec {t.word2vec:.2f}s, prep {t.data_prep:.2f}s, "
+            f"train {t.train:.2f}s ({t.train_per_epoch:.3f}s/epoch), "
+            f"test {t.test:.3f}s"
+        )
+
+
+class Pipeline:
+    """Runs the Fig. 1 pipeline for any of the three downstream tasks."""
+
+    def __init__(self, config: PipelineConfig | None = None) -> None:
+        self.config = config or PipelineConfig()
+
+    # ------------------------------------------------------------------
+    def embed(
+        self, edges: TemporalEdgeList, seed: SeedLike = None
+    ) -> tuple[NodeEmbeddings, PhaseTimings, WalkStats, TrainerStats, WalkCorpus]:
+        """Phases 1-2: walks and word2vec.
+
+        Exposed separately so sweeps (Fig. 8) can reuse embeddings across
+        classifier configurations.
+        """
+        cfg = self.config
+        rng = make_rng(seed)
+        walk_edges = edges.with_reverse_edges() if cfg.treat_undirected else edges
+        graph = TemporalGraph.from_edge_list(walk_edges)
+
+        timings = PhaseTimings()
+        start = time.perf_counter()
+        engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
+        corpus = engine.run(cfg.walk, seed=rng)
+        timings.rwalk = time.perf_counter() - start
+        assert engine.last_stats is not None
+
+        start = time.perf_counter()
+        embeddings, trainer_stats = train_embeddings(
+            corpus,
+            graph.num_nodes,
+            config=cfg.sgns,
+            batch_sentences=cfg.batch_sentences,
+            seed=rng,
+        )
+        timings.word2vec = time.perf_counter() - start
+        return embeddings, timings, engine.last_stats, trainer_stats, corpus
+
+    # ------------------------------------------------------------------
+    def run_link_prediction(
+        self, edges: TemporalEdgeList, seed: SeedLike = None
+    ) -> PipelineResult:
+        """End-to-end link prediction on a temporal edge stream."""
+        rng = make_rng(seed)
+        embeddings, timings, walk_stats, trainer_stats, corpus = self.embed(
+            edges, seed=rng
+        )
+        task = LinkPredictionTask(self.config.link_prediction)
+        result = task.run(embeddings, edges, seed=rng)
+        return self._finish(
+            result, timings, embeddings, walk_stats, trainer_stats, corpus
+        )
+
+    def run_node_classification(
+        self, dataset: LabeledTemporalDataset, seed: SeedLike = None
+    ) -> PipelineResult:
+        """End-to-end node classification on a labeled temporal dataset."""
+        rng = make_rng(seed)
+        embeddings, timings, walk_stats, trainer_stats, corpus = self.embed(
+            dataset.edges, seed=rng
+        )
+        task = NodeClassificationTask(self.config.node_classification)
+        result = task.run(embeddings, dataset.labels, seed=rng)
+        return self._finish(
+            result, timings, embeddings, walk_stats, trainer_stats, corpus
+        )
+
+    def run_link_property_prediction(
+        self,
+        edges: TemporalEdgeList,
+        edge_labels: np.ndarray,
+        seed: SeedLike = None,
+    ) -> PipelineResult:
+        """End-to-end §VIII-B extension: predict per-edge labels."""
+        rng = make_rng(seed)
+        embeddings, timings, walk_stats, trainer_stats, corpus = self.embed(
+            edges, seed=rng
+        )
+        task = LinkPropertyPredictionTask(self.config.link_property)
+        result = task.run(embeddings, edges, edge_labels, seed=rng)
+        return self._finish(
+            result, timings, embeddings, walk_stats, trainer_stats, corpus
+        )
+
+    # ------------------------------------------------------------------
+    def _finish(
+        self,
+        result: TaskResult,
+        timings: PhaseTimings,
+        embeddings: NodeEmbeddings,
+        walk_stats: WalkStats,
+        trainer_stats: TrainerStats,
+        corpus: WalkCorpus,
+    ) -> PipelineResult:
+        timings.data_prep = result.data_prep_seconds
+        timings.train = result.train_seconds
+        timings.test = result.test_seconds
+        timings.train_epochs = result.history.epochs_run
+        return PipelineResult(
+            task_result=result,
+            timings=timings,
+            embeddings=embeddings,
+            walk_stats=walk_stats,
+            trainer_stats=trainer_stats,
+            corpus_num_walks=corpus.num_walks,
+            corpus_mean_length=float(corpus.lengths.mean()),
+        )

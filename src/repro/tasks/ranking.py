@@ -1,0 +1,116 @@
+"""Ranking evaluation for link prediction: MRR and Hits@k.
+
+The paper evaluates link prediction as balanced binary classification
+(accuracy over positives + sampled negatives).  The CTDNE/node2vec
+literature also reports *ranking* metrics, which are what a deployed
+recommender cares about: for each held-out future edge ``(u, v)``, rank
+the true destination ``v`` against ``k`` sampled distractor
+destinations by classifier score, and report the mean reciprocal rank
+and Hits@k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.embedding.embeddings import NodeEmbeddings
+from repro.errors import DataPreparationError
+from repro.graph.edges import TemporalEdgeList
+from repro.rng import SeedLike, make_rng
+from repro.tasks.link_prediction import TaskResult
+
+
+@dataclass(frozen=True)
+class RankingMetrics:
+    """Ranking evaluation summary."""
+
+    mrr: float
+    hits_at: dict[int, float]
+    num_queries: int
+    num_candidates: int
+
+    def as_row(self) -> dict[str, float | int]:
+        """Dict form for table rendering."""
+        row: dict[str, float | int] = {
+            "mrr": round(self.mrr, 4),
+            "queries": self.num_queries,
+        }
+        for k, v in sorted(self.hits_at.items()):
+            row[f"hits@{k}"] = round(v, 4)
+        return row
+
+
+def rank_link_predictions(
+    result: TaskResult,
+    embeddings: NodeEmbeddings,
+    test_edges: TemporalEdgeList,
+    num_negatives: int = 50,
+    hits_ks: tuple[int, ...] = (1, 5, 10),
+    forbidden: set[tuple[int, int]] | None = None,
+    max_queries: int = 500,
+    seed: SeedLike = None,
+) -> RankingMetrics:
+    """Rank each test edge's true destination among sampled distractors.
+
+    ``result`` must be a link-prediction :class:`TaskResult` carrying its
+    trained model and scaler (``result.score_link``).  Distractor
+    destinations are uniform random nodes, rejected against
+    ``forbidden`` (pass the input graph's edge-key set to exclude true
+    edges) and the true destination.  Ties in score count pessimistically
+    (true edge ranked after equal-scored distractors).
+    """
+    if result.model is None:
+        raise DataPreparationError(
+            "result does not carry a trained model; run LinkPredictionTask "
+            "first"
+        )
+    if len(test_edges) == 0:
+        raise DataPreparationError("no test edges to rank")
+    if num_negatives < 1:
+        raise DataPreparationError(
+            f"num_negatives must be >= 1, got {num_negatives}"
+        )
+    rng = make_rng(seed)
+    forbidden = forbidden or set()
+    num_nodes = embeddings.num_nodes
+
+    query_count = min(max_queries, len(test_edges))
+    chosen = rng.choice(len(test_edges), size=query_count, replace=False)
+
+    reciprocal_ranks = []
+    hits = {k: 0 for k in hits_ks}
+    for index in chosen:
+        u = int(test_edges.src[index])
+        v = int(test_edges.dst[index])
+        distractors: list[int] = []
+        attempts = 0
+        while len(distractors) < num_negatives and attempts < 50 * num_negatives:
+            attempts += 1
+            candidate = int(rng.integers(0, num_nodes))
+            if candidate == v or candidate == u:
+                continue
+            if (u, candidate) in forbidden:
+                continue
+            distractors.append(candidate)
+        if len(distractors) < num_negatives:
+            raise DataPreparationError(
+                "could not sample enough distractors; graph too dense"
+            )
+        destinations = np.array([v] + distractors, dtype=np.int64)
+        sources = np.full(len(destinations), u, dtype=np.int64)
+        scores = result.score_link(embeddings, sources, destinations)
+        # Pessimistic rank of the true edge (index 0).
+        rank = 1 + int(np.sum(scores[1:] >= scores[0]))
+        reciprocal_ranks.append(1.0 / rank)
+        for k in hits_ks:
+            if rank <= k:
+                hits[k] += 1
+
+    return RankingMetrics(
+        mrr=float(np.mean(reciprocal_ranks)),
+        hits_at={k: hits[k] / query_count for k in hits_ks},
+        num_queries=query_count,
+        num_candidates=num_negatives + 1,
+    )

@@ -1,0 +1,133 @@
+"""Train/validation/test splitting (Fig. 7 steps 1-2).
+
+Link prediction: sort edges by timestamp, hold out the last 20% for
+testing ("train the classifier on the past edges and test it on the
+future edges"), then randomly sample 60% and 20% of the *total* edges
+from the remaining early portion for training and validation.
+
+Node classification: the artifact ships random train/valid/test label
+files; we reproduce that with a stratified random node split so every
+class appears in every partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DataPreparationError
+from repro.graph.edges import TemporalEdgeList
+from repro.rng import SeedLike, make_rng
+
+
+@dataclass
+class EdgeSplits:
+    """Positive-edge partitions of a temporal graph."""
+
+    train: TemporalEdgeList
+    valid: TemporalEdgeList
+    test: TemporalEdgeList
+
+    @property
+    def total(self) -> int:
+        """Sum over all categories."""
+        return len(self.train) + len(self.valid) + len(self.test)
+
+
+def temporal_edge_split(
+    edges: TemporalEdgeList,
+    train_fraction: float = 0.6,
+    valid_fraction: float = 0.2,
+    test_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> EdgeSplits:
+    """Fig. 7 split: chronological test tail, random train/valid on the rest.
+
+    Fractions are of the *total* edge count and must sum to <= 1 (the
+    default 60/20/20 uses everything).  The test partition is always the
+    chronologically latest ``test_fraction`` of edges.
+    """
+    for name, frac in (
+        ("train_fraction", train_fraction),
+        ("valid_fraction", valid_fraction),
+        ("test_fraction", test_fraction),
+    ):
+        if not 0.0 <= frac <= 1.0:
+            raise DataPreparationError(f"{name} must be in [0, 1], got {frac}")
+    if train_fraction + valid_fraction + test_fraction > 1.0 + 1e-9:
+        raise DataPreparationError("split fractions must sum to <= 1")
+    if len(edges) < 3:
+        raise DataPreparationError(
+            f"need at least 3 edges to split, got {len(edges)}"
+        )
+
+    rng = make_rng(seed)
+    early, test = edges.split_at_fraction(1.0 - test_fraction)
+
+    n_total = len(edges)
+    n_train = int(round(train_fraction * n_total))
+    n_valid = int(round(valid_fraction * n_total))
+    if train_fraction + valid_fraction + test_fraction > 1.0 - 1e-9:
+        # Fractions cover everything: absorb rounding so the partitions
+        # are exact and exhaustive.
+        n_train = min(n_train, len(early))
+        n_valid = len(early) - n_train
+    elif n_train + n_valid > len(early):
+        raise DataPreparationError(
+            f"cannot draw {n_train}+{n_valid} train/valid edges from "
+            f"{len(early)} early edges"
+        )
+    order = rng.permutation(len(early))
+    train = early.take(order[:n_train])
+    valid = early.take(order[n_train: n_train + n_valid])
+    return EdgeSplits(train=train, valid=valid, test=test)
+
+
+@dataclass
+class NodeSplits:
+    """Node-index partitions for node classification."""
+
+    train: np.ndarray
+    valid: np.ndarray
+    test: np.ndarray
+
+
+def stratified_node_split(
+    labels: np.ndarray,
+    train_fraction: float = 0.6,
+    valid_fraction: float = 0.2,
+    seed: SeedLike = None,
+) -> NodeSplits:
+    """Random per-class split of labeled nodes into train/valid/test.
+
+    Within every class, ``train_fraction`` of its nodes go to train,
+    ``valid_fraction`` to valid, and the remainder to test, so class
+    balance is preserved across partitions (what the artifact's
+    ``process_dataset.py`` produces).
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    if not 0 < train_fraction < 1 or not 0 <= valid_fraction < 1:
+        raise DataPreparationError("fractions must be in (0, 1)")
+    if train_fraction + valid_fraction >= 1.0:
+        raise DataPreparationError("train + valid fractions must leave a test share")
+    rng = make_rng(seed)
+    train_parts: list[np.ndarray] = []
+    valid_parts: list[np.ndarray] = []
+    test_parts: list[np.ndarray] = []
+    for cls in np.unique(labels):
+        members = np.flatnonzero(labels == cls)
+        rng.shuffle(members)
+        n_train = max(1, int(round(train_fraction * len(members))))
+        n_valid = int(round(valid_fraction * len(members)))
+        # Guarantee a non-empty test share for classes with >= 3 members.
+        n_train = min(n_train, len(members) - 1)
+        n_valid = min(n_valid, len(members) - n_train - 1) if len(members) - n_train > 1 else 0
+        train_parts.append(members[:n_train])
+        valid_parts.append(members[n_train: n_train + n_valid])
+        test_parts.append(members[n_train + n_valid:])
+    return NodeSplits(
+        train=np.concatenate(train_parts),
+        valid=np.concatenate(valid_parts),
+        test=np.concatenate(test_parts),
+    )

@@ -1,0 +1,132 @@
+"""Library-level hyperparameter sweeps (the Fig. 8 methodology).
+
+Turns the accuracy-vs-complexity study into a reusable API: sweep one of
+the three hyperparameters (walks/node ``K``, walk length ``L``,
+embedding dimension ``d``) over a dataset, averaging over seeds, and
+optionally detect the saturation point — the value past which further
+increases buy less than a tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from repro.embedding.embeddings import train_embeddings
+from repro.embedding.trainer import SgnsConfig
+from repro.errors import ReproError
+from repro.graph.csr import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.graph.io import LabeledTemporalDataset
+from repro.tasks.link_prediction import LinkPredictionConfig, LinkPredictionTask
+from repro.tasks.node_classification import (
+    NodeClassificationConfig,
+    NodeClassificationTask,
+)
+from repro.walk.config import WalkConfig
+from repro.walk.engine import TemporalWalkEngine
+
+PARAMETERS = ("num_walks", "walk_length", "dimension")
+
+
+@dataclass
+class SweepResult:
+    """Accuracy series over one hyperparameter."""
+
+    parameter: str
+    values: list[int]
+    accuracies: dict[int, float] = field(default_factory=dict)
+
+    def saturation_point(self, tolerance: float = 0.01) -> int:
+        """Smallest value within ``tolerance`` of the best accuracy.
+
+        This is how the paper reads Fig. 8: the knee where extra
+        complexity stops buying accuracy.
+        """
+        best = max(self.accuracies.values())
+        for value in sorted(self.accuracies):
+            if self.accuracies[value] >= best - tolerance:
+                return value
+        return max(self.accuracies)
+
+    def rows(self) -> list[dict[str, float | int]]:
+        """Dict rows for table rendering."""
+        return [
+            {self.parameter: v, "accuracy": self.accuracies[v]}
+            for v in sorted(self.accuracies)
+        ]
+
+
+def sweep_hyperparameter(
+    parameter: str,
+    values: Sequence[int],
+    edges: TemporalEdgeList,
+    labels: np.ndarray | None = None,
+    seeds: Sequence[int] = (11, 31, 51),
+    base_walk: WalkConfig | None = None,
+    base_sgns: SgnsConfig | None = None,
+    lp_config: LinkPredictionConfig | None = None,
+    nc_config: NodeClassificationConfig | None = None,
+    treat_undirected: bool = True,
+) -> SweepResult:
+    """Sweep ``parameter`` and return the mean-accuracy series.
+
+    With ``labels`` the task is node classification, otherwise link
+    prediction.  The other two hyperparameters stay at their ``base_*``
+    values (paper defaults K=10, L=6, d=8).
+    """
+    if parameter not in PARAMETERS:
+        raise ReproError(
+            f"unknown parameter {parameter!r}; options: {PARAMETERS}"
+        )
+    base_walk = base_walk or WalkConfig()
+    base_sgns = base_sgns or SgnsConfig()
+    walk_edges = edges.with_reverse_edges() if treat_undirected else edges
+    graph = TemporalGraph.from_edge_list(walk_edges)
+
+    def accuracy_for(value: int, seed: int) -> float:
+        walk = WalkConfig(
+            num_walks_per_node=(value if parameter == "num_walks"
+                                else base_walk.num_walks_per_node),
+            max_walk_length=(value if parameter == "walk_length"
+                             else base_walk.max_walk_length),
+            bias=base_walk.bias,
+        )
+        sgns = SgnsConfig(
+            dim=value if parameter == "dimension" else base_sgns.dim,
+            epochs=base_sgns.epochs,
+            learning_rate=base_sgns.learning_rate,
+        )
+        corpus = TemporalWalkEngine(graph).run(walk, seed=seed)
+        embeddings, _ = train_embeddings(corpus, graph.num_nodes, sgns,
+                                         seed=seed + 1)
+        if labels is None:
+            task = LinkPredictionTask(lp_config or LinkPredictionConfig())
+            return task.run(embeddings, edges, seed=seed + 2).accuracy
+        task_nc = NodeClassificationTask(
+            nc_config or NodeClassificationConfig()
+        )
+        return task_nc.run(embeddings, labels, seed=seed + 2).accuracy
+
+    result = SweepResult(parameter=parameter, values=list(values))
+    for value in values:
+        result.accuracies[value] = float(
+            np.mean([accuracy_for(value, s) for s in seeds])
+        )
+    return result
+
+
+def sweep_dataset(
+    dataset: LabeledTemporalDataset | TemporalEdgeList,
+    parameter: str,
+    values: Sequence[int],
+    **kwargs,
+) -> SweepResult:
+    """Convenience wrapper dispatching on the dataset type."""
+    if isinstance(dataset, LabeledTemporalDataset):
+        return sweep_hyperparameter(
+            parameter, values, dataset.edges, labels=dataset.labels, **kwargs
+        )
+    return sweep_hyperparameter(parameter, values, dataset, **kwargs)

@@ -1,0 +1,91 @@
+"""Walk-corpus diagnostics.
+
+Quantifies how well a corpus samples the graph — the quantities behind
+the paper's Fig. 8 explanations: more walks per node widen neighborhood
+coverage until the (power-law) neighborhoods are exhausted; longer
+walks deepen it until temporal termination caps the depth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.csr import TemporalGraph
+from repro.walk.corpus import WalkCorpus
+
+
+@dataclass(frozen=True)
+class CorpusCoverage:
+    """Corpus sampling summary."""
+
+    node_coverage: float
+    trainable_node_coverage: float
+    mean_distinct_neighbors: float
+    neighbor_coverage: float
+    context_entropy: float
+
+    def as_row(self) -> dict[str, float]:
+        """Dict form for table rendering."""
+        return {
+            "node_cov": round(self.node_coverage, 3),
+            "trainable_cov": round(self.trainable_node_coverage, 3),
+            "distinct_nbrs": round(self.mean_distinct_neighbors, 2),
+            "nbr_cov": round(self.neighbor_coverage, 3),
+            "ctx_entropy": round(self.context_entropy, 3),
+        }
+
+
+def corpus_coverage(corpus: WalkCorpus, graph: TemporalGraph
+                    ) -> CorpusCoverage:
+    """Compute coverage statistics of ``corpus`` over ``graph``.
+
+    - ``node_coverage``: fraction of nodes appearing anywhere;
+    - ``trainable_node_coverage``: fraction appearing in a sentence of
+      length >= 2 (a node absent from all such sentences gets no
+      skip-gram updates);
+    - ``mean_distinct_neighbors``: distinct first-hop successors sampled
+      per start node (what more walks per node buys — Fig. 8b);
+    - ``neighbor_coverage``: that count relative to each node's temporal
+      out-neighborhood size (saturation = the Fig. 8b plateau);
+    - ``context_entropy``: Shannon entropy (bits) of the corpus's node
+      occurrence distribution — low entropy means hub-dominated
+      contexts.
+    """
+    n = graph.num_nodes
+    frequencies = corpus.node_frequencies(n)
+    node_coverage = float(np.mean(frequencies > 0)) if n else 0.0
+
+    trainable = np.zeros(n, dtype=bool)
+    first_hops: dict[int, set[int]] = {}
+    for i in range(corpus.num_walks):
+        walk = corpus.walk(i)
+        if len(walk) >= 2:
+            trainable[walk] = True
+            first_hops.setdefault(int(walk[0]), set()).add(int(walk[1]))
+
+    distinct = np.array([len(s) for s in first_hops.values()], dtype=float)
+    mean_distinct = float(distinct.mean()) if len(distinct) else 0.0
+
+    ratios = []
+    for node, successors in first_hops.items():
+        out_degree = len(np.unique(graph.neighbors(node)[0]))
+        if out_degree:
+            ratios.append(len(successors) / out_degree)
+    neighbor_coverage = float(np.mean(ratios)) if ratios else 0.0
+
+    total = frequencies.sum()
+    if total > 0:
+        probabilities = frequencies[frequencies > 0] / total
+        entropy = float(-(probabilities * np.log2(probabilities)).sum())
+    else:
+        entropy = 0.0
+
+    return CorpusCoverage(
+        node_coverage=node_coverage,
+        trainable_node_coverage=float(trainable.mean()) if n else 0.0,
+        mean_distinct_neighbors=mean_distinct,
+        neighbor_coverage=neighbor_coverage,
+        context_entropy=entropy,
+    )

@@ -1,0 +1,176 @@
+"""Walk corpus: the output of Algorithm 1 and the input of word2vec.
+
+Algorithm 1 materializes a ``|V| * K`` by ``L`` matrix of node ids (the
+paper's output matrix ``W``).  We store exactly that, padded with ``-1``
+past each walk's termination point, together with per-walk lengths.  The
+length histogram is Fig. 4; the sentence view is what the skip-gram
+trainer consumes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import WalkError
+
+PAD = -1
+
+
+class WalkCorpus:
+    """A fixed-shape matrix of temporal walks.
+
+    Parameters
+    ----------
+    matrix:
+        ``(num_walks, max_walk_length)`` int64 array; row ``i`` holds walk
+        ``i``'s node ids, padded with :data:`PAD` after termination.
+    lengths:
+        Number of valid nodes per row (>= 1: every walk contains at least
+        its start node).
+    start_nodes:
+        The start node of each walk (equals ``matrix[:, 0]``); kept
+        explicitly for cheap per-node grouping.
+    """
+
+    def __init__(
+        self,
+        matrix: np.ndarray,
+        lengths: np.ndarray,
+        start_nodes: np.ndarray | None = None,
+    ) -> None:
+        self.matrix = np.ascontiguousarray(matrix, dtype=np.int64)
+        self.lengths = np.ascontiguousarray(lengths, dtype=np.int64)
+        if self.matrix.ndim != 2:
+            raise WalkError("matrix must be 2-D (num_walks x max_walk_length)")
+        if len(self.lengths) != len(self.matrix):
+            raise WalkError("lengths must have one entry per walk")
+        if len(self.lengths) and (
+            self.lengths.min() < 1 or self.lengths.max() > self.matrix.shape[1]
+        ):
+            raise WalkError("walk lengths must be in [1, max_walk_length]")
+        if start_nodes is None:
+            start_nodes = self.matrix[:, 0].copy()
+        self.start_nodes = np.ascontiguousarray(start_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_walks(self) -> int:
+        """Number of walks in the corpus."""
+        return len(self.matrix)
+
+    @property
+    def max_walk_length(self) -> int:
+        """Padded row width (maximum nodes per walk)."""
+        return self.matrix.shape[1]
+
+    def __len__(self) -> int:
+        return self.num_walks
+
+    def __repr__(self) -> str:
+        return (
+            f"WalkCorpus(num_walks={self.num_walks}, "
+            f"max_walk_length={self.max_walk_length}, "
+            f"mean_length={self.lengths.mean() if self.num_walks else 0:.2f})"
+        )
+
+    # ------------------------------------------------------------------
+    def walk(self, index: int) -> np.ndarray:
+        """Return walk ``index`` trimmed to its true length."""
+        return self.matrix[index, : self.lengths[index]]
+
+    def sentences(self, min_length: int = 1) -> Iterator[np.ndarray]:
+        """Yield each walk (trimmed) with at least ``min_length`` nodes.
+
+        word2vec training uses ``min_length=2`` — a single-node walk has
+        no context pairs.
+        """
+        for i in range(self.num_walks):
+            if self.lengths[i] >= min_length:
+                yield self.matrix[i, : self.lengths[i]]
+
+    def total_nodes(self) -> int:
+        """Total node occurrences across all walks (corpus token count)."""
+        return int(self.lengths.sum())
+
+    def node_frequencies(self, num_nodes: int) -> np.ndarray:
+        """Occurrence count of every node id across the corpus.
+
+        Drives the unigram^0.75 negative-sampling table in word2vec.
+        """
+        flat = self.matrix[self.matrix != PAD]
+        return np.bincount(flat, minlength=num_nodes)
+
+    # ------------------------------------------------------------------
+    # Fig. 4: the walk-length power law
+    # ------------------------------------------------------------------
+    def length_histogram(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(length_values, counts)`` over walks.
+
+        On heavy-tailed temporal graphs this distribution is the Fig. 4
+        power law: most walks terminate after 1-5 nodes because a
+        randomly reached node rarely has a later-timestamped out-edge.
+        """
+        values, counts = np.unique(self.lengths, return_counts=True)
+        return values, counts
+
+    def length_fractions(self) -> dict[int, float]:
+        """Length histogram normalized to fractions, keyed by length."""
+        values, counts = self.length_histogram()
+        total = counts.sum()
+        return {int(v): float(c) / total for v, c in zip(values, counts)}
+
+    # ------------------------------------------------------------------
+    # Persistence (the artifact materializes walk output between stages)
+    # ------------------------------------------------------------------
+    def save(self, path) -> None:
+        """Save the corpus as a compressed ``.npz`` bundle."""
+        np.savez_compressed(
+            path, matrix=self.matrix, lengths=self.lengths,
+            start_nodes=self.start_nodes,
+        )
+
+    @classmethod
+    def load(cls, path) -> "WalkCorpus":
+        """Load a corpus saved by :meth:`save`."""
+        with np.load(path) as data:
+            missing = {"matrix", "lengths"} - set(data.files)
+            if missing:
+                raise WalkError(f"{path}: missing arrays {sorted(missing)}")
+            start_nodes = (
+                data["start_nodes"] if "start_nodes" in data.files else None
+            )
+            return cls(data["matrix"], data["lengths"],
+                       start_nodes=start_nodes)
+
+    # ------------------------------------------------------------------
+    def validate_temporal_order(self, graph, direction: str = "forward"
+                                ) -> bool:
+        """Check every consecutive hop is a temporally-valid edge of ``graph``.
+
+        Used by tests and as a debugging aid: for each walk, each step
+        ``(w[i], w[i+1])`` must correspond to an edge whose timestamp is
+        strictly greater (forward; Definition III.2) or strictly smaller
+        (backward) than the previous step's.  This re-derives feasibility
+        from the graph rather than trusting recorded timestamps.
+        """
+        forward = direction == "forward"
+        for i in range(self.num_walks):
+            walk = self.walk(i)
+            current_time = -np.inf if forward else np.inf
+            for a, b in zip(walk[:-1], walk[1:]):
+                dsts, times = graph.neighbors(int(a))
+                if forward:
+                    feasible = times[(dsts == b) & (times > current_time)]
+                else:
+                    feasible = times[(dsts == b) & (times < current_time)]
+                if len(feasible) == 0:
+                    return False
+                # The walk could have used any feasible timestamp; taking
+                # the least-constraining one keeps the check sound (if no
+                # consistent assignment exists greedily, none exists).
+                current_time = (
+                    float(feasible.min()) if forward else float(feasible.max())
+                )
+        return True

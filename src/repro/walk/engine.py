@@ -1,0 +1,440 @@
+"""Vectorized temporal random walk engine (Algorithm 1).
+
+The paper's kernel runs three nested loops — walks-per-node ``K``, all
+vertices ``|V|``, and steps within a walk — parallelizing the vertex loop
+with work-stealing OpenMP threads.  The numpy analogue advances *all
+active walks one step per iteration*:
+
+1. a **vectorized binary search** over each walk's time-sorted adjacency
+   slice finds the temporally valid edge range (the ``G.sampleLatent``
+   neighbor scan that contributes the ``M`` factor to the
+   O(K·N·|V|·M) complexity);
+2. one next edge per walk is drawn from the Eq. 1 softmax, by either of
+   two exact samplers:
+
+   - ``cdf`` (default): per-edge softmax weights are precomputed once as
+     a global prefix-sum array, so each step is an inverse-CDF binary
+     search — O(log M) per walk instead of the paper's O(M) scan;
+   - ``gumbel``: materializes every valid candidate and takes a segmented
+     Gumbel-argmax — the paper-faithful O(M) work shape, useful for
+     validation and for measuring what the scan costs;
+
+3. walks whose valid range is empty terminate (this produces the Fig. 4
+   power-law length distribution).
+
+Either way the engine records the *scan-model* work counters
+(``candidates_scanned`` is the number of edges the paper's kernel would
+have touched) that the hardware models in :mod:`repro.hwmodel` consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.graph.csr import TemporalGraph
+from repro.rng import SeedLike, make_rng
+from repro.walk.config import WalkConfig
+from repro.walk.corpus import PAD, WalkCorpus
+from repro.walk.sampling import (
+    segmented_gumbel_argmax,
+    segmented_transition_logits,
+)
+
+SAMPLER_CHOICES = frozenset({"cdf", "gumbel"})
+
+
+@dataclass
+class WalkStats:
+    """Work counters of one engine run.
+
+    These are the raw quantities behind the paper's hardware analysis:
+    ``candidates_scanned`` counts the temporal-neighbor edges the paper's
+    scan-based kernel touches per step (it drives the memory-instruction
+    and softmax fp-op counts of Fig. 9 regardless of which sampler
+    executed), ``search_iterations`` the binary-search branch work, and
+    ``work_per_start_node`` the load-imbalance input of the
+    thread-scaling study (Fig. 10).
+    """
+
+    num_walks: int = 0
+    total_steps: int = 0
+    candidates_scanned: int = 0
+    search_iterations: int = 0
+    terminated_early: int = 0
+    work_per_start_node: np.ndarray = field(
+        default_factory=lambda: np.zeros(0, dtype=np.int64)
+    )
+
+    @property
+    def mean_candidates_per_step(self) -> float:
+        """Average temporal neighbors scanned per step."""
+        if self.total_steps == 0:
+            return 0.0
+        return self.candidates_scanned / self.total_steps
+
+
+class TemporalWalkEngine:
+    """Runs Algorithm 1 over a :class:`TemporalGraph`.
+
+    ``sampler`` selects the step sampler (see module docstring).  The
+    engine caches one weight prefix-sum array per (bias, temperature)
+    pair, so repeated runs on the same graph reuse it.  ``last_stats``
+    holds the work counters of the most recent :meth:`run`.
+    """
+
+    def __init__(self, graph: TemporalGraph, sampler: str = "cdf") -> None:
+        if sampler not in SAMPLER_CHOICES:
+            raise WalkError(
+                f"unknown sampler {sampler!r}; options: {sorted(SAMPLER_CHOICES)}"
+            )
+        self.graph = graph
+        self.sampler = sampler
+        self.last_stats: WalkStats | None = None
+        self._cdf_cache: dict[tuple[str, float], np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        config: WalkConfig,
+        seed: SeedLike = None,
+        start_nodes: np.ndarray | None = None,
+        start_time: float | None = None,
+    ) -> WalkCorpus:
+        """Generate ``K`` walks from every start node.
+
+        ``start_nodes`` defaults to all graph nodes (Algorithm 1's middle
+        loop).  ``start_time`` is the initial walk clock; the default
+        (``-inf`` forward, ``+inf`` backward) makes every edge of the
+        start node valid for the first hop (Algorithm 1 initializes
+        ``currTime = 0`` on raw timestamps; with normalized timestamps
+        ``-inf`` preserves that semantics for edges at t=0 under the
+        strict ``>`` rule).
+
+        Returns the padded walk matrix; work counters land in
+        ``self.last_stats``.
+        """
+        graph = self.graph
+        rng = make_rng(seed)
+        if start_time is None:
+            start_time = -np.inf if config.direction == "forward" else np.inf
+        if start_nodes is None:
+            start_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+        else:
+            start_nodes = np.ascontiguousarray(start_nodes, dtype=np.int64)
+            if len(start_nodes) and (
+                start_nodes.min() < 0 or start_nodes.max() >= graph.num_nodes
+            ):
+                raise WalkError("start_nodes contains out-of-range node ids")
+
+        temperature = config.temperature
+        if temperature is None:
+            temperature = graph.time_span() or 1.0
+
+        k = config.num_walks_per_node
+        starts = np.tile(start_nodes, k)  # row w*|starts| + v, as in Alg. 1
+        num_walks = len(starts)
+        matrix = np.full((num_walks, config.max_walk_length), PAD, dtype=np.int64)
+        matrix[:, 0] = starts
+        lengths = np.ones(num_walks, dtype=np.int64)
+
+        stats = WalkStats(
+            num_walks=num_walks,
+            work_per_start_node=np.zeros(graph.num_nodes, dtype=np.int64),
+        )
+        cur = starts.copy()
+        cur_time = np.full(num_walks, start_time, dtype=np.float64)
+        self._advance(
+            matrix, lengths, starts, cur, cur_time, config, temperature,
+            rng, stats, first_step=1,
+        )
+        self.last_stats = stats
+        return WalkCorpus(matrix, lengths, start_nodes=starts)
+
+    # ------------------------------------------------------------------
+    def run_from_edges(
+        self,
+        config: WalkConfig,
+        num_walks: int,
+        seed: SeedLike = None,
+    ) -> WalkCorpus:
+        """CTDNE-style walks: sample initial temporal *edges*, then walk.
+
+        The original CTDNE formulation draws each walk's first edge from
+        a distribution over all temporal edges (here: the same bias as
+        the step distribution, applied to edge timestamps), then
+        continues temporally from its destination.  The paper's
+        Algorithm 1 starts from every node instead; this method provides
+        the edge-start variant for comparison.  ``num_walks`` initial
+        edges are drawn with replacement.
+        """
+        graph = self.graph
+        if graph.num_edges == 0:
+            raise WalkError("cannot sample initial edges from an empty graph")
+        if num_walks < 1:
+            raise WalkError(f"num_walks must be >= 1, got {num_walks}")
+        if config.direction != "forward":
+            raise WalkError("edge-sampled starts support forward walks only")
+        rng = make_rng(seed)
+        temperature = config.temperature
+        if temperature is None:
+            temperature = graph.time_span() or 1.0
+
+        # Sample initial edges from the bias distribution over all edges.
+        if config.bias == "uniform":
+            edge_ids = rng.integers(0, graph.num_edges, size=num_walks)
+        elif config.bias in ("softmax-late", "softmax-recency"):
+            cdf = self._weight_cdf(config.bias, temperature)
+            target = rng.random(num_walks) * cdf[-1]
+            edge_ids = np.clip(
+                np.searchsorted(cdf, target, side="right") - 1,
+                0, graph.num_edges - 1,
+            )
+        else:  # linear has no global edge ranking; fall back to uniform
+            edge_ids = rng.integers(0, graph.num_edges, size=num_walks)
+
+        src = np.repeat(
+            np.arange(graph.num_nodes, dtype=np.int64),
+            np.diff(graph.indptr),
+        )
+        starts = src[edge_ids]
+        matrix = np.full((num_walks, config.max_walk_length), PAD,
+                         dtype=np.int64)
+        matrix[:, 0] = starts
+        lengths = np.ones(num_walks, dtype=np.int64)
+        cur = starts.copy()
+        cur_time = np.full(num_walks, -np.inf)
+        if config.max_walk_length >= 2:
+            matrix[:, 1] = graph.dst[edge_ids]
+            lengths[:] = 2
+            cur = graph.dst[edge_ids].copy()
+            cur_time = graph.ts[edge_ids].copy()
+
+        stats = WalkStats(
+            num_walks=num_walks,
+            work_per_start_node=np.zeros(graph.num_nodes, dtype=np.int64),
+        )
+        stats.total_steps += num_walks if config.max_walk_length >= 2 else 0
+        self._advance(
+            matrix, lengths, starts, cur, cur_time, config, temperature,
+            rng, stats, first_step=2,
+        )
+        self.last_stats = stats
+        return WalkCorpus(matrix, lengths, start_nodes=starts)
+
+    # ------------------------------------------------------------------
+    def _advance(
+        self,
+        matrix: np.ndarray,
+        lengths: np.ndarray,
+        starts: np.ndarray,
+        cur: np.ndarray,
+        cur_time: np.ndarray,
+        config: WalkConfig,
+        temperature: float,
+        rng: np.random.Generator,
+        stats: WalkStats,
+        first_step: int,
+    ) -> None:
+        """Advance all walks from ``first_step`` until termination."""
+        graph = self.graph
+        active = np.arange(len(cur), dtype=np.int64)
+        for step in range(first_step, config.max_walk_length):
+            if len(active) == 0:
+                break
+            lo, hi, iters = self._valid_range(
+                cur[active], cur_time[active], config.allow_equal,
+                config.time_window, config.direction,
+            )
+            stats.search_iterations += iters
+            counts = hi - lo
+            stats.candidates_scanned += int(counts.sum())
+            np.add.at(stats.work_per_start_node, starts[active], counts)
+
+            alive = counts > 0
+            stats.terminated_early += int(np.sum(~alive))
+            active = active[alive]
+            if len(active) == 0:
+                break
+            lo = lo[alive]
+            counts = counts[alive]
+
+            if self.sampler == "cdf":
+                chosen_edges = self._sample_step_cdf(
+                    lo, counts, config.bias, temperature, rng
+                )
+            else:
+                chosen_edges = self._sample_step_gumbel(
+                    lo, counts, config.bias, temperature, rng
+                )
+            next_nodes = graph.dst[chosen_edges]
+            next_times = graph.ts[chosen_edges]
+
+            matrix[active, step] = next_nodes
+            lengths[active] = step + 1
+            cur[active] = next_nodes
+            cur_time[active] = next_times
+            stats.total_steps += len(active)
+
+    # ------------------------------------------------------------------
+    def _lower_bound(
+        self, lo: np.ndarray, hi: np.ndarray, thresholds: np.ndarray,
+        strict: bool,
+    ) -> tuple[np.ndarray, int]:
+        """First index per slice whose timestamp exceeds its threshold.
+
+        ``strict`` seeks ``ts > threshold``; otherwise ``ts >= threshold``.
+        Vectorized binary search; returns the bound and iteration count.
+        """
+        ts = self.graph.ts
+        lo = lo.copy()
+        hi = hi.copy()
+        iters = 0
+        searching = lo < hi
+        while searching.any():
+            iters += 1
+            mid = (lo + hi) >> 1
+            go_right = np.zeros(len(lo), dtype=bool)
+            if strict:
+                go_right[searching] = ts[mid[searching]] <= thresholds[searching]
+            else:
+                go_right[searching] = ts[mid[searching]] < thresholds[searching]
+            lo = np.where(searching & go_right, mid + 1, lo)
+            hi = np.where(searching & ~go_right, mid, hi)
+            searching = lo < hi
+        return lo, iters
+
+    def _valid_range(
+        self,
+        nodes: np.ndarray,
+        times: np.ndarray,
+        allow_equal: bool,
+        time_window: float | None = None,
+        direction: str = "forward",
+    ) -> tuple[np.ndarray, np.ndarray, int]:
+        """Temporally valid edge range per walk.
+
+        Returns ``(lo, hi, iterations)`` where ``[lo, hi)`` indexes the
+        valid edges of each walk's current node.  Forward: timestamps
+        after the walk clock (strict ``>`` by Definition III.2, or
+        ``>=`` with ``allow_equal``).  Backward: timestamps before it.
+        ``time_window`` additionally bounds the gap from the clock.
+        """
+        graph = self.graph
+        slice_lo = graph.indptr[nodes]
+        slice_hi = graph.indptr[nodes + 1]
+        if direction == "forward":
+            lo, iters = self._lower_bound(
+                slice_lo, slice_hi, times, strict=not allow_equal
+            )
+            if time_window is None:
+                return lo, slice_hi, iters
+            # A walk that has not taken its first hop (clock = -inf) has
+            # no window yet: the bound needs a real timestamp.
+            upper = np.where(
+                np.isfinite(times), times + time_window, np.inf
+            )
+            hi, more = self._lower_bound(slice_lo, slice_hi, upper,
+                                         strict=True)
+            return lo, np.maximum(lo, hi), iters + more
+        # Backward: valid edges are [first ts >= t-window, first ts >= t)
+        # (strict ts < t; allow_equal uses ts <= t, i.e. first ts > t).
+        hi, iters = self._lower_bound(
+            slice_lo, slice_hi, times, strict=allow_equal
+        )
+        if time_window is None:
+            return slice_lo, hi, iters
+        lower = np.where(
+            np.isfinite(times), times - time_window, -np.inf
+        )
+        lo, more = self._lower_bound(slice_lo, slice_hi, lower, strict=False)
+        return np.minimum(lo, hi), hi, iters + more
+
+    # ------------------------------------------------------------------
+    # Fast exact sampler: inverse CDF over precomputed weight prefix sums
+    # ------------------------------------------------------------------
+    def _weight_cdf(self, bias: str, temperature: float) -> np.ndarray:
+        """Global prefix sums of per-edge softmax weights.
+
+        For the timestamp biases, the unnormalized weight of edge ``e``
+        is ``exp(±(ts_e - ts_min) / temperature)`` — shifting by the
+        global minimum keeps magnitudes in a safe range and cancels in
+        the per-segment normalization.  ``cdf`` has length ``E + 1`` with
+        ``cdf[0] = 0``; the weight mass of edge range ``[lo, hi)`` is
+        ``cdf[hi] - cdf[lo]``.
+        """
+        key = (bias, float(temperature))
+        cached = self._cdf_cache.get(key)
+        if cached is not None:
+            return cached
+        ts = self.graph.ts
+        if bias == "softmax-late":
+            weights = np.exp((ts - (ts.min() if len(ts) else 0.0)) / temperature)
+        elif bias == "softmax-recency":
+            weights = np.exp(-(ts - (ts.min() if len(ts) else 0.0)) / temperature)
+        else:
+            raise WalkError(f"no CDF weights for bias {bias!r}")
+        cdf = np.zeros(len(ts) + 1, dtype=np.float64)
+        np.cumsum(weights, out=cdf[1:])
+        self._cdf_cache[key] = cdf
+        return cdf
+
+    def _sample_step_cdf(
+        self,
+        lo: np.ndarray,
+        counts: np.ndarray,
+        bias: str,
+        temperature: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw one edge per walk in O(log M) without touching candidates."""
+        hi = lo + counts
+        if bias == "uniform":
+            return lo + rng.integers(0, counts)
+        if bias == "linear":
+            # Rank weights n, n-1, ..., 1 (rank 0 = soonest).  Cumulative
+            # mass through rank j-1 is j*n - j(j-1)/2; invert the quadratic
+            # for a uniform target to get the sampled rank in closed form.
+            n = counts.astype(np.float64)
+            total = n * (n + 1.0) / 2.0
+            target = rng.random(len(counts)) * total
+            disc = (2.0 * n + 1.0) ** 2 - 8.0 * target
+            j = np.floor((2.0 * n + 1.0 - np.sqrt(disc)) / 2.0).astype(np.int64)
+            j = np.clip(j, 0, counts - 1)
+            return lo + j
+        cdf = self._weight_cdf(bias, temperature)
+        mass_lo = cdf[lo]
+        target = mass_lo + rng.random(len(lo)) * (cdf[hi] - mass_lo)
+        edges = np.searchsorted(cdf, target, side="right") - 1
+        return np.clip(edges, lo, hi - 1)
+
+    # ------------------------------------------------------------------
+    # Paper-faithful sampler: materialize candidates, segmented Gumbel-max
+    # ------------------------------------------------------------------
+    def _sample_step_gumbel(
+        self,
+        lo: np.ndarray,
+        counts: np.ndarray,
+        bias: str,
+        temperature: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Draw one edge per walk by scanning all valid candidates (O(M))."""
+        total = int(counts.sum())
+        seg_starts = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=seg_starts[1:])
+        within_rank = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)
+        cand_edges = np.repeat(lo, counts) + within_rank
+        seg_ids = np.repeat(np.arange(len(counts), dtype=np.int64), counts)
+
+        logits = segmented_transition_logits(
+            self.graph.ts[cand_edges],
+            within_segment_rank=within_rank,
+            segment_sizes_per_candidate=counts[seg_ids],
+            bias=bias,
+            temperature=temperature,
+        )
+        chosen_pos = segmented_gumbel_argmax(logits, seg_starts, seg_ids, rng)
+        return cand_edges[chosen_pos]

@@ -1,0 +1,148 @@
+"""Transition-probability models for temporal walks.
+
+The paper's Eq. 1 models the probability of stepping along a temporally
+valid edge with a softmax over edge timestamps,
+
+    Pr[v | u] = exp(tau(u, v) / r) / sum_i exp(tau(u, i) / r),
+
+where ``r`` is the total timestamp span.  As printed, this favors *later*
+timestamps; the surrounding narrative (Fig. 2: the edge "immediately
+after" the current one is the most correlated) describes a *recency* bias.
+We implement both readings plus the uniform and rank-linear models from
+the CTDNE line of work, selected by name:
+
+- ``uniform``          — Pr = 1 / |N_u| (the "typical" model of §IV-A.1)
+- ``softmax-late``     — Eq. 1 verbatim
+- ``softmax-recency``  — softmax of ``-(tau - t_now) / r``
+- ``linear``           — weight ``|N_u| - rank`` where rank 0 is the edge
+                          soonest after ``t_now`` (linear decay)
+
+All functions operate on the time-sorted candidate timestamp array of one
+node's valid out-edges, so ``rank`` equals the array position.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WalkError
+
+BIAS_CHOICES = frozenset({"uniform", "softmax-late", "softmax-recency", "linear"})
+
+
+def segmented_transition_logits(
+    candidate_ts: np.ndarray,
+    within_segment_rank: np.ndarray,
+    segment_sizes_per_candidate: np.ndarray,
+    bias: str,
+    temperature: float,
+) -> np.ndarray:
+    """Vectorized logits for candidates drawn from many walks at once.
+
+    Each candidate belongs to one walk's temporal neighborhood segment;
+    its rank within the segment (rank 0 is the soonest valid edge because
+    adjacency is time-sorted) and the segment's size are enough to
+    evaluate every bias without a Python loop.
+
+    Note the walk's current time does not appear: inside one segment it is
+    a constant, and softmax is shift-invariant, so
+    ``softmax(-(tau - t_now)/r) == softmax(-tau/r)`` — the recency bias
+    reduces to an absolute-timestamp bias over the *valid* candidates.
+    This is the single source of truth for logit semantics; the scalar
+    :func:`transition_logits` wraps it.
+    """
+    ts = np.asarray(candidate_ts, dtype=np.float64)
+    if bias == "uniform":
+        return np.zeros_like(ts)
+    if bias == "softmax-late":
+        return ts / temperature
+    if bias == "softmax-recency":
+        return -ts / temperature
+    if bias == "linear":
+        # Weight decays linearly from |segment| (soonest) to 1 (latest).
+        weights = (segment_sizes_per_candidate - within_segment_rank).astype(
+            np.float64
+        )
+        return np.log(weights)
+    raise WalkError(f"unknown bias {bias!r}; options: {sorted(BIAS_CHOICES)}")
+
+
+def transition_logits(
+    candidate_ts: np.ndarray,
+    bias: str,
+    temperature: float,
+) -> np.ndarray:
+    """Return unnormalized log-probabilities for each candidate edge.
+
+    ``candidate_ts`` must be ascending (CSR adjacency order).  Single-node
+    view of :func:`segmented_transition_logits`.
+    """
+    ts = np.asarray(candidate_ts, dtype=np.float64)
+    n = len(ts)
+    return segmented_transition_logits(
+        ts,
+        within_segment_rank=np.arange(n),
+        segment_sizes_per_candidate=np.full(n, n),
+        bias=bias,
+        temperature=temperature,
+    )
+
+
+def transition_probabilities(
+    candidate_ts: np.ndarray,
+    bias: str,
+    temperature: float,
+) -> np.ndarray:
+    """Return the normalized transition distribution over candidates.
+
+    A numerically stable softmax of :func:`transition_logits`; empty
+    candidate arrays return an empty distribution.
+    """
+    logits = transition_logits(candidate_ts, bias, temperature)
+    if len(logits) == 0:
+        return logits
+    shifted = logits - logits.max()
+    weights = np.exp(shifted)
+    return weights / weights.sum()
+
+
+def gumbel_argmax(
+    logits: np.ndarray, rng: np.random.Generator
+) -> int:
+    """Sample an index from ``softmax(logits)`` via the Gumbel-max trick.
+
+    Provided for single-node use and as the documented contract the
+    vectorized engine's segmented version must match: adding independent
+    Gumbel(0,1) noise to logits and taking the argmax samples exactly from
+    the softmax distribution.
+    """
+    if len(logits) == 0:
+        raise WalkError("cannot sample from an empty candidate set")
+    noise = rng.gumbel(size=len(logits))
+    return int(np.argmax(logits + noise))
+
+
+def segmented_gumbel_argmax(
+    logits: np.ndarray,
+    segment_starts: np.ndarray,
+    segment_ids: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Sample one index per segment from per-segment softmax distributions.
+
+    ``logits`` is the concatenation of every segment's logits,
+    ``segment_starts`` the start offset of each segment (ascending), and
+    ``segment_ids`` maps each logit position to its segment.  Returns the
+    *global* chosen index for each segment.  This is the vectorized heart
+    of the walk engine: one Gumbel draw per candidate, one segmented
+    argmax, no Python loop over walks.
+    """
+    if len(logits) == 0:
+        return np.empty(0, dtype=np.int64)
+    keys = logits + rng.gumbel(size=len(logits))
+    seg_max = np.maximum.reduceat(keys, segment_starts)
+    # First position per segment achieving the max (float Gumbel noise
+    # makes ties measure-zero, but min-reduce keeps it deterministic).
+    positions = np.arange(len(keys), dtype=np.int64)
+    hit_positions = np.where(keys == seg_max[segment_ids], positions, len(keys))
+    return np.minimum.reduceat(hit_positions, segment_starts)

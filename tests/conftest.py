@@ -1,0 +1,87 @@
+"""Shared fixtures: small deterministic graphs, corpora and embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import SgnsConfig, train_embeddings
+from repro.graph import TemporalGraph, generators
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+
+@pytest.fixture()
+def tiny_edges() -> TemporalEdgeList:
+    """Hand-built 5-node temporal graph with known structure.
+
+    Node 0 fans out over time; 1-2-3 form a temporally valid chain;
+    node 4 is a sink (no out-edges); (0, 1) is a multi-edge.
+    """
+    rows = [
+        (0, 1, 0.1),
+        (0, 1, 0.5),   # multi-edge, later interaction
+        (0, 2, 0.2),
+        (0, 3, 0.9),
+        (1, 2, 0.3),
+        (2, 3, 0.4),
+        (3, 4, 0.8),
+        (1, 4, 0.05),  # early edge: unreachable from (0,1,0.1) walks
+    ]
+    return TemporalEdgeList.from_edges(rows, num_nodes=5)
+
+
+@pytest.fixture()
+def tiny_graph(tiny_edges) -> TemporalGraph:
+    return TemporalGraph.from_edge_list(tiny_edges)
+
+
+@pytest.fixture(scope="session")
+def email_edges() -> TemporalEdgeList:
+    """Small email-shaped interaction graph (heavy-tailed, bursty)."""
+    return generators.ia_email_like(scale=0.003, seed=11)
+
+
+@pytest.fixture(scope="session")
+def email_graph(email_edges) -> TemporalGraph:
+    return TemporalGraph.from_edge_list(email_edges.with_reverse_edges())
+
+
+@pytest.fixture(scope="session")
+def email_corpus(email_graph):
+    engine = TemporalWalkEngine(email_graph)
+    corpus = engine.run(WalkConfig(num_walks_per_node=4, max_walk_length=6),
+                        seed=12)
+    return corpus
+
+
+@pytest.fixture(scope="session")
+def email_walk_stats(email_graph):
+    engine = TemporalWalkEngine(email_graph)
+    engine.run(WalkConfig(num_walks_per_node=4, max_walk_length=6), seed=12)
+    return engine.last_stats
+
+
+@pytest.fixture(scope="session")
+def email_embeddings(email_corpus, email_graph):
+    embeddings, _stats = train_embeddings(
+        email_corpus,
+        email_graph.num_nodes,
+        config=SgnsConfig(dim=8, epochs=2),
+        batch_sentences=256,
+        seed=13,
+    )
+    return embeddings
+
+
+@pytest.fixture(scope="session")
+def sbm_dataset():
+    """Small labeled 3-community temporal SBM."""
+    return generators.temporal_sbm(
+        [60, 50, 40], intra_degree=6.0, inter_degree=1.0, seed=21
+    )
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(7)

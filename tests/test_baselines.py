@@ -1,0 +1,160 @@
+"""Unit tests for the comparison workloads (BFS, VGG, GCN, DeepWalk)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    GcnModel,
+    VggModel,
+    bfs,
+    bfs_gpu_kernel,
+    gcn_gpu_kernel,
+    gemm_seconds_per_flop,
+    run_static_walks,
+)
+from repro.baselines.gcn import normalized_adjacency
+from repro.errors import ModelError
+from repro.graph import TemporalGraph, generators
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import WalkConfig
+
+
+@pytest.fixture(scope="module")
+def er_graph():
+    return TemporalGraph.from_edge_list(
+        generators.erdos_renyi_temporal(500, 5000, seed=41)
+    )
+
+
+class TestBfs:
+    def test_source_depth_zero(self, er_graph):
+        result = bfs(er_graph, 0)
+        assert result.depths[0] == 0
+
+    def test_depths_respect_edges(self, er_graph):
+        result = bfs(er_graph, 0)
+        # Every reached node at depth d>0 has an in-neighbor at depth d-1.
+        src = np.repeat(np.arange(er_graph.num_nodes),
+                        np.diff(er_graph.indptr))
+        for v in np.flatnonzero(result.depths > 0)[:50]:
+            preds = src[er_graph.dst == v]
+            assert (result.depths[preds] == result.depths[v] - 1).any()
+
+    def test_chain_graph_depths(self):
+        edges = TemporalEdgeList([0, 1, 2], [1, 2, 3], [0.1, 0.2, 0.3])
+        g = TemporalGraph.from_edge_list(edges)
+        result = bfs(g, 0)
+        assert result.depths.tolist() == [0, 1, 2, 3]
+        assert result.max_depth == 3
+        assert result.nodes_visited == 4
+
+    def test_unreachable_marked(self):
+        edges = TemporalEdgeList([0], [1], [0.1], num_nodes=3)
+        result = bfs(TemporalGraph.from_edge_list(edges), 0)
+        assert result.depths[2] == -1
+
+    def test_edges_scanned_counts_frontier_work(self, er_graph):
+        result = bfs(er_graph, 0)
+        assert result.edges_scanned > 0
+        assert result.edges_scanned <= er_graph.num_edges * 2
+
+    def test_gpu_kernel_has_zero_fp(self, er_graph):
+        model = bfs_gpu_kernel(er_graph, bfs(er_graph, 0))
+        assert model.fp_per_item == 0.0
+
+
+class TestVgg:
+    def test_vgg16_flop_magnitude(self):
+        model = VggModel.vgg16()
+        # VGG-16 inference is ~30 GFLOPs.
+        assert 2e10 < model.total_flops() < 4e10
+
+    def test_largest_layer_matches_3136x_claim(self):
+        # §VII-B: largest VGG layer ~3136x larger than the pipeline's
+        # largest (hidden 32 x input 16 = 512 elements scale).
+        model = VggModel.vgg16()
+        pipeline_largest = 2 * 8 * 32  # (2d=16) x hidden 32... elements
+        ratio = model.largest_layer_elements() / pipeline_largest
+        assert ratio > 1000
+
+    def test_batch_scales_flops(self):
+        single = VggModel.vgg16(batch_size=1).total_flops()
+        batched = VggModel.vgg16(batch_size=4).total_flops()
+        assert batched == pytest.approx(4 * single)
+
+    def test_gpu_kernel_is_regular(self):
+        report = VggModel.vgg16().gpu_kernel().report()
+        assert report.irregularity < 0.2
+
+    def test_gemm_seconds_per_flop_small_worse_than_large(self):
+        small = gemm_seconds_per_flop(32, 16, 1, repeats=5, seed=1)
+        large = gemm_seconds_per_flop(512, 512, 512, repeats=2, seed=1)
+        # §VII-B's size gap: tiny GEMMs run at a far worse per-flop rate.
+        assert small > 5 * large
+
+
+class TestGcn:
+    def test_normalized_adjacency_symmetric_rows(self, er_graph):
+        adj = normalized_adjacency(er_graph)
+        diff = abs(adj - adj.T)
+        assert diff.max() < 1e-12
+
+    def test_forward_outputs_probabilities(self, er_graph, rng):
+        model = GcnModel.build(er_graph, 8, 16, 4, seed=1)
+        probs = model.forward(rng.random((er_graph.num_nodes, 8)))
+        assert probs.shape == (er_graph.num_nodes, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert np.all(probs >= 0)
+
+    def test_feature_shape_checked(self, er_graph, rng):
+        model = GcnModel.build(er_graph, 8, 16, 4, seed=1)
+        with pytest.raises(ModelError):
+            model.forward(rng.random((3, 8)))
+
+    def test_invalid_dims_rejected(self, er_graph):
+        with pytest.raises(ModelError):
+            GcnModel.build(er_graph, 0, 4, 2)
+
+    def test_flops_positive(self, er_graph):
+        model = GcnModel.build(er_graph, 8, 16, 4, seed=1)
+        assert model.flops() > 0
+
+    def test_gpu_kernel_between_bfs_and_vgg_in_irregularity(self, er_graph):
+        gcn_report = gcn_gpu_kernel(GcnModel.build(er_graph, 8, 16, 4,
+                                                   seed=1)).report()
+        vgg_report = VggModel.vgg16().gpu_kernel().report()
+        bfs_report = bfs_gpu_kernel(er_graph, bfs(er_graph, 0)).report()
+        assert (vgg_report.irregularity
+                < gcn_report.irregularity
+                < bfs_report.irregularity)
+
+
+class TestStaticDeepwalk:
+    def test_corpus_contract(self, er_graph):
+        cfg = WalkConfig(num_walks_per_node=2, max_walk_length=5)
+        corpus = run_static_walks(er_graph, cfg, seed=1)
+        assert corpus.num_walks == 2 * er_graph.num_nodes
+        assert corpus.max_walk_length == 5
+
+    def test_static_walks_ignore_time_and_live_longer(self, email_edges):
+        from repro.walk import TemporalWalkEngine
+        g = TemporalGraph.from_edge_list(email_edges)
+        cfg = WalkConfig(num_walks_per_node=2, max_walk_length=6)
+        static = run_static_walks(g, cfg, seed=1)
+        temporal = TemporalWalkEngine(g).run(cfg, seed=1)
+        assert static.lengths.mean() > temporal.lengths.mean()
+
+    def test_walks_follow_edges(self, er_graph):
+        cfg = WalkConfig(num_walks_per_node=1, max_walk_length=4)
+        corpus = run_static_walks(er_graph, cfg, seed=2)
+        keys = er_graph.edge_key_set()
+        for i in range(0, corpus.num_walks, 37):
+            walk = corpus.walk(i)
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert (int(a), int(b)) in keys
+
+    def test_deterministic(self, er_graph):
+        cfg = WalkConfig(num_walks_per_node=1, max_walk_length=4)
+        a = run_static_walks(er_graph, cfg, seed=3)
+        b = run_static_walks(er_graph, cfg, seed=3)
+        assert np.array_equal(a.matrix, b.matrix)

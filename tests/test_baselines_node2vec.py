@@ -1,0 +1,89 @@
+"""Unit tests for the node2vec second-order walker."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.node2vec import Node2VecWalker
+from repro.errors import WalkError
+from repro.graph import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import WalkConfig
+
+
+def line_with_triangle() -> TemporalGraph:
+    """0 <-> 1 <-> 2 plus 1 <-> 3, with 0 <-> 2 closing a triangle.
+
+    From node 1 arriving via 0: node 2 is a common neighbor (weight 1),
+    node 0 is the return node (1/p), node 3 is outward (1/q).
+    """
+    rows = []
+    for u, v in [(0, 1), (1, 2), (1, 3), (0, 2)]:
+        rows.append((u, v, 0.5))
+        rows.append((v, u, 0.5))
+    return TemporalGraph.from_edge_list(TemporalEdgeList.from_edges(rows))
+
+
+class TestNode2VecWalker:
+    def test_invalid_parameters(self):
+        graph = line_with_triangle()
+        with pytest.raises(WalkError):
+            Node2VecWalker(graph, p=0.0)
+        with pytest.raises(WalkError):
+            Node2VecWalker(graph, q=-1.0)
+
+    def test_contract(self):
+        graph = line_with_triangle()
+        walker = Node2VecWalker(graph)
+        corpus = walker.run(WalkConfig(num_walks_per_node=2,
+                                       max_walk_length=4), seed=1)
+        assert corpus.num_walks == 2 * graph.num_nodes
+        keys = graph.edge_key_set()
+        for i in range(corpus.num_walks):
+            walk = corpus.walk(i)
+            for a, b in zip(walk[:-1], walk[1:]):
+                assert (int(a), int(b)) in keys
+
+    def test_low_p_returns_often(self):
+        graph = line_with_triangle()
+        config = WalkConfig(num_walks_per_node=400, max_walk_length=3)
+        returny = Node2VecWalker(graph, p=0.05, q=1.0).run(
+            config, seed=2, start_nodes=np.array([0]))
+        neutral = Node2VecWalker(graph, p=1.0, q=1.0).run(
+            config, seed=2, start_nodes=np.array([0]))
+
+        def return_rate(corpus):
+            full = corpus.matrix[corpus.lengths == 3]
+            return np.mean(full[:, 2] == full[:, 0])
+
+        assert return_rate(returny) > return_rate(neutral) + 0.15
+
+    def test_high_q_stays_local(self):
+        graph = line_with_triangle()
+        config = WalkConfig(num_walks_per_node=400, max_walk_length=3)
+
+        def outward_rate(q):
+            corpus = Node2VecWalker(graph, p=10.0, q=q).run(
+                config, seed=3, start_nodes=np.array([0]))
+            # Walks 0 -> 1 -> x: node 3 is the outward choice.
+            full = corpus.matrix[corpus.lengths == 3]
+            via_1 = full[full[:, 1] == 1]
+            if len(via_1) == 0:
+                return 0.0
+            return float(np.mean(via_1[:, 2] == 3))
+
+        assert outward_rate(q=10.0) < outward_rate(q=0.1) - 0.15
+
+    def test_deterministic_by_seed(self):
+        graph = line_with_triangle()
+        config = WalkConfig(num_walks_per_node=2, max_walk_length=4)
+        a = Node2VecWalker(graph, 0.5, 2.0).run(config, seed=4)
+        b = Node2VecWalker(graph, 0.5, 2.0).run(config, seed=4)
+        assert np.array_equal(a.matrix, b.matrix)
+
+    def test_sink_terminates(self):
+        edges = TemporalEdgeList([0], [1], [0.5])
+        graph = TemporalGraph.from_edge_list(edges)
+        corpus = Node2VecWalker(graph).run(
+            WalkConfig(num_walks_per_node=3, max_walk_length=5), seed=5)
+        # Walks from 0 reach 1 (sink) and stop.
+        assert corpus.lengths.max() == 2

@@ -1,0 +1,67 @@
+"""Unit tests for the snapshot-model baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import snapshot_embeddings
+from repro.embedding import SgnsConfig
+from repro.errors import ModelError
+from repro.graph import TemporalGraph, generators
+from repro.walk import WalkConfig
+
+
+@pytest.fixture(scope="module")
+def small_graph():
+    edges = generators.ia_email_like(scale=0.002, seed=71)
+    return TemporalGraph.from_edge_list(edges.with_reverse_edges())
+
+
+FAST_WALK = WalkConfig(num_walks_per_node=3, max_walk_length=5)
+FAST_SGNS = SgnsConfig(dim=8, epochs=1)
+
+
+class TestSnapshotEmbeddings:
+    def test_shape(self, small_graph):
+        emb = snapshot_embeddings(
+            small_graph, num_snapshots=3, walk_config=FAST_WALK,
+            sgns_config=FAST_SGNS, seed=1,
+        )
+        assert emb.matrix.shape == (small_graph.num_nodes, 8)
+
+    def test_single_snapshot_equals_static_model(self, small_graph):
+        emb = snapshot_embeddings(
+            small_graph, num_snapshots=1, walk_config=FAST_WALK,
+            sgns_config=FAST_SGNS, seed=2,
+        )
+        assert np.isfinite(emb.matrix).all()
+
+    def test_invalid_snapshot_count(self, small_graph):
+        with pytest.raises(ModelError):
+            snapshot_embeddings(small_graph, num_snapshots=0)
+
+    def test_isolated_nodes_stay_zero(self):
+        from repro.graph.edges import TemporalEdgeList
+        edges = TemporalEdgeList([0, 1], [1, 0], [0.2, 0.8], num_nodes=4)
+        graph = TemporalGraph.from_edge_list(edges)
+        emb = snapshot_embeddings(
+            graph, num_snapshots=2, walk_config=FAST_WALK,
+            sgns_config=FAST_SGNS, seed=3,
+        )
+        # Nodes 2, 3 never appear in any snapshot with out-edges.
+        assert np.all(emb.matrix[3] == 0.0)
+
+    def test_embeddings_carry_signal(self, small_graph):
+        emb = snapshot_embeddings(
+            small_graph, num_snapshots=3, walk_config=FAST_WALK,
+            sgns_config=SgnsConfig(dim=8, epochs=3), seed=4,
+        )
+        rng = np.random.default_rng(0)
+        src = np.repeat(np.arange(small_graph.num_nodes),
+                        np.diff(small_graph.indptr))
+        near, far = [], []
+        for e in rng.choice(small_graph.num_edges, size=150):
+            near.append(emb.cosine_similarity(int(src[e]),
+                                              int(small_graph.dst[e])))
+            far.append(emb.cosine_similarity(
+                int(src[e]), int(rng.integers(0, small_graph.num_nodes))))
+        assert np.mean(near) > np.mean(far)

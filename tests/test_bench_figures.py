@@ -1,0 +1,57 @@
+"""Unit tests for ASCII figure rendering."""
+
+import pytest
+
+from repro.bench.figures import render_bars, render_grouped_bars
+
+
+class TestRenderBars:
+    def test_max_value_gets_full_width(self):
+        out = render_bars({1: 5.0, 2: 10.0}, width=10)
+        lines = out.splitlines()
+        assert lines[1].count("#") == 10
+        assert lines[0].count("#") == 5
+
+    def test_title_first_line(self):
+        out = render_bars({1: 1.0}, title="Fig. X")
+        assert out.splitlines()[0] == "Fig. X"
+
+    def test_zero_and_negative_render_empty_bars(self):
+        out = render_bars({"a": 0.0, "b": -3.0, "c": 2.0})
+        lines = out.splitlines()
+        assert lines[0].endswith("|")
+        assert lines[1].endswith("|")
+        assert "#" in lines[2]
+
+    def test_log_scale_compresses_decades(self):
+        linear = render_bars({1: 1.0, 2: 1000.0}, width=40)
+        logged = render_bars({1: 1.0, 2: 1000.0}, width=40, log_scale=True)
+        small_linear = linear.splitlines()[0].count("#")
+        small_logged = logged.splitlines()[0].count("#")
+        assert small_logged > small_linear
+
+    def test_empty_series(self):
+        assert "(no data)" in render_bars({}, title="t")
+
+    def test_invalid_width(self):
+        with pytest.raises(ValueError):
+            render_bars({1: 1.0}, width=0)
+
+    def test_values_printed(self):
+        out = render_bars({10: 0.1235})
+        assert "0.1235" in out
+
+
+class TestRenderGroupedBars:
+    def test_shared_scale_across_groups(self):
+        out = render_grouped_bars(
+            {"a": {1: 10.0}, "b": {1: 5.0}}, width=10
+        )
+        lines = out.splitlines()
+        bars = [l.count("#") for l in lines if "|" in l]
+        assert bars == [10, 5]
+
+    def test_group_headers(self):
+        out = render_grouped_bars({"dynamic": {1: 1.0}, "static": {1: 1.0}})
+        assert "-- dynamic" in out
+        assert "-- static" in out

@@ -1,0 +1,129 @@
+"""Unit tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.graph.io import LabeledTemporalDataset, read_wel
+
+
+FAST = ["--walks", "4", "--length", "5", "--dim", "4",
+        "--w2v-epochs", "1", "--epochs", "3", "--seed", "1"]
+
+
+class TestGenerate:
+    def test_er_wel(self, tmp_path, capsys):
+        out = tmp_path / "er.wel"
+        code = main(["generate", "--nodes", "100", "--edges", "500",
+                     "-o", str(out)])
+        assert code == 0
+        edges = read_wel(out)
+        assert edges.num_nodes == 100
+        assert len(edges) == 500
+        assert "wrote" in capsys.readouterr().out
+
+    def test_dataset_shape_wel(self, tmp_path):
+        out = tmp_path / "email.wel"
+        code = main(["generate", "--dataset", "ia-email",
+                     "--scale", "0.001", "-o", str(out)])
+        assert code == 0
+        assert len(read_wel(out)) > 100
+
+    def test_labeled_dataset_npz(self, tmp_path):
+        out = tmp_path / "dblp.npz"
+        code = main(["generate", "--dataset", "dblp3", "--scale", "0.1",
+                     "-o", str(out)])
+        assert code == 0
+        dataset = LabeledTemporalDataset.load(out)
+        assert dataset.num_classes == 3
+
+    def test_labeled_dataset_needs_npz(self, tmp_path, capsys):
+        out = tmp_path / "dblp.wel"
+        code = main(["generate", "--dataset", "dblp3", "-o", str(out)])
+        assert code == 2
+        assert "npz" in capsys.readouterr().err
+
+
+class TestPreprocess:
+    def test_normalizes_and_sorts(self, tmp_path):
+        raw = tmp_path / "raw.txt"
+        raw.write_text("# comment\n0 1 300\n1 2 100\n2 0 200\n")
+        out = tmp_path / "clean.wel"
+        code = main(["preprocess", "-i", str(raw), "-o", str(out)])
+        assert code == 0
+        edges = read_wel(out, normalize=False)
+        assert edges.is_time_sorted()
+        assert edges.timestamps.min() == 0.0
+        assert edges.timestamps.max() == 1.0
+
+    def test_missing_input_fails_cleanly(self, tmp_path, capsys):
+        code = main(["preprocess", "-i", str(tmp_path / "nope.txt"),
+                     "-o", str(tmp_path / "out.wel")])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_malformed_input_fails_cleanly(self, tmp_path, capsys):
+        raw = tmp_path / "raw.txt"
+        raw.write_text("0 1\n")
+        code = main(["preprocess", "-i", str(raw),
+                     "-o", str(tmp_path / "out.wel")])
+        assert code == 1
+
+
+class TestLinkpred:
+    def test_on_generated_file(self, tmp_path, capsys):
+        wel = tmp_path / "g.wel"
+        main(["generate", "--dataset", "ia-email", "--scale", "0.002",
+              "--seed", "3", "-o", str(wel)])
+        code = main(["linkpred", "--input", str(wel), *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "link-prediction" in out
+        assert "accuracy" in out
+
+    def test_on_named_shape(self, capsys):
+        code = main(["linkpred", "--dataset", "ia-email", *FAST])
+        assert code == 0
+        assert "accuracy" in capsys.readouterr().out
+
+
+class TestNodeclass:
+    def test_on_named_shape(self, capsys):
+        code = main(["nodeclass", "--dataset", "dblp3", *FAST])
+        assert code == 0
+        assert "node-classification" in capsys.readouterr().out
+
+    def test_on_bundle(self, tmp_path, capsys):
+        npz = tmp_path / "d.npz"
+        main(["generate", "--dataset", "dblp3", "--scale", "0.1",
+              "--seed", "2", "-o", str(npz)])
+        code = main(["nodeclass", "--input", str(npz), *FAST])
+        assert code == 0
+        assert "node-classification" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_sweep_named_dataset(self, capsys):
+        code = main(["sweep", "--dataset", "ia-email",
+                     "--parameter", "num_walks", "--values", "1,2",
+                     "--seeds", "1", *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy vs num_walks" in out
+        assert "saturation point" in out
+
+    def test_sweep_requires_known_parameter(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--dataset", "ia-email",
+                  "--parameter", "window", "--values", "1"])
+
+
+class TestCharacterize:
+    def test_prints_all_tables(self, capsys):
+        code = main(["characterize", "--nodes", "2000", "--edges", "20000",
+                     *FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "instruction mix" in out
+        assert "GPU kernels" in out
+        assert "thread scaling" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the NodeEmbeddings result object."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.embedding.embeddings import NodeEmbeddings
+
+
+@pytest.fixture()
+def embeddings() -> NodeEmbeddings:
+    matrix = np.array([
+        [1.0, 0.0],
+        [0.9, 0.1],
+        [0.0, 1.0],
+        [0.0, 0.0],
+    ])
+    return NodeEmbeddings(matrix)
+
+
+class TestBasics:
+    def test_shape_properties(self, embeddings):
+        assert embeddings.num_nodes == 4
+        assert embeddings.dim == 2
+
+    def test_rejects_1d(self):
+        with pytest.raises(EmbeddingError):
+            NodeEmbeddings(np.array([1.0, 2.0]))
+
+    def test_vector_lookup(self, embeddings):
+        assert embeddings.vector(2).tolist() == [0.0, 1.0]
+
+    def test_vectors_batch(self, embeddings):
+        out = embeddings.vectors(np.array([0, 2]))
+        assert out.shape == (2, 2)
+
+    def test_edge_features_concatenate(self, embeddings):
+        feats = embeddings.edge_features(np.array([0]), np.array([2]))
+        assert feats.tolist() == [[1.0, 0.0, 0.0, 1.0]]
+
+
+class TestSimilarity:
+    def test_cosine_parallel(self, embeddings):
+        assert embeddings.cosine_similarity(0, 1) == pytest.approx(
+            0.9 / np.sqrt(0.82), rel=1e-6
+        )
+
+    def test_cosine_orthogonal(self, embeddings):
+        assert embeddings.cosine_similarity(0, 2) == 0.0
+
+    def test_cosine_zero_vector_is_zero(self, embeddings):
+        assert embeddings.cosine_similarity(0, 3) == 0.0
+
+    def test_most_similar_order(self, embeddings):
+        top = embeddings.most_similar(0, k=2)
+        assert top[0][0] == 1  # nearly parallel neighbor first
+        assert all(node != 0 for node, _ in top)
+
+    def test_most_similar_k_bound(self, embeddings):
+        assert len(embeddings.most_similar(0, k=10)) == 4
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, embeddings, tmp_path):
+        path = tmp_path / "emb.npz"
+        embeddings.save(path)
+        back = NodeEmbeddings.load(path)
+        assert np.allclose(back.matrix, embeddings.matrix)
+
+    def test_load_missing_matrix_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, other=np.zeros(3))
+        with pytest.raises(EmbeddingError):
+            NodeEmbeddings.load(path)

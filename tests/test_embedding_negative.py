@@ -1,0 +1,78 @@
+"""Unit tests for alias sampling and the negative sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.embedding.negative import AliasTable, NegativeSampler
+from repro.embedding.vocab import Vocabulary
+
+
+class TestAliasTable:
+    def test_reconstructed_probabilities_exact(self):
+        weights = np.array([5.0, 1.0, 3.0, 1.0])
+        table = AliasTable(weights)
+        expected = weights / weights.sum()
+        assert np.allclose(table.probabilities(), expected)
+
+    def test_uniform_weights(self):
+        table = AliasTable(np.ones(7))
+        assert np.allclose(table.probabilities(), 1 / 7)
+
+    def test_zero_weight_entries_never_sampled(self, rng):
+        table = AliasTable(np.array([1.0, 0.0, 1.0]))
+        draws = table.sample(5000, rng)
+        assert 1 not in draws
+
+    def test_empirical_distribution(self, rng):
+        weights = np.array([0.7, 0.2, 0.1])
+        table = AliasTable(weights)
+        draws = table.sample(20000, rng)
+        freqs = np.bincount(draws, minlength=3) / len(draws)
+        assert np.allclose(freqs, weights, atol=0.02)
+
+    def test_single_entry(self, rng):
+        table = AliasTable(np.array([3.0]))
+        assert np.all(table.sample(10, rng) == 0)
+
+    def test_rejects_empty(self):
+        with pytest.raises(EmbeddingError):
+            AliasTable(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(EmbeddingError):
+            AliasTable(np.array([1.0, -0.5]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(EmbeddingError):
+            AliasTable(np.zeros(3))
+
+    def test_deterministic_by_seed(self):
+        table = AliasTable(np.array([1.0, 2.0, 3.0]))
+        assert np.array_equal(table.sample(100, 42), table.sample(100, 42))
+
+
+class TestNegativeSampler:
+    def test_absent_nodes_never_drawn(self, rng):
+        vocab = Vocabulary(np.array([10, 0, 5, 0]))
+        sampler = NegativeSampler(vocab)
+        draws = sampler.sample(5000, rng)
+        assert set(np.unique(draws)) <= {0, 2}
+
+    def test_matrix_shape(self, rng):
+        vocab = Vocabulary(np.array([10, 5, 5]))
+        sampler = NegativeSampler(vocab)
+        matrix = sampler.sample_matrix(7, 3, rng)
+        assert matrix.shape == (7, 3)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(EmbeddingError, match="empty"):
+            NegativeSampler(Vocabulary(np.zeros(4, dtype=int)))
+
+    def test_smoothing_flattens_distribution(self, rng):
+        counts = np.array([1000, 10])
+        smoothed = NegativeSampler(Vocabulary(counts), power=0.75)
+        draws = smoothed.sample(20000, rng)
+        freq_rare = np.mean(draws == 1)
+        raw_share = 10 / 1010
+        assert freq_rare > raw_share  # 0.75 power boosts rare nodes

@@ -1,0 +1,200 @@
+"""Unit tests for the SGNS model math (gradients verified numerically)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import EmbeddingError
+from repro.embedding.skipgram import SkipGramModel, generate_pairs, sigmoid
+
+
+class TestSigmoid:
+    def test_range_and_symmetry(self):
+        x = np.linspace(-20, 20, 101)
+        s = sigmoid(x)
+        assert np.all((s > 0) & (s < 1))
+        assert np.allclose(s + sigmoid(-x), 1.0)
+
+    def test_extreme_values_finite(self):
+        assert np.isfinite(sigmoid(np.array([-1e6, 1e6]))).all()
+
+
+class TestGeneratePairs:
+    def test_short_sentence_yields_nothing(self, rng):
+        c, o = generate_pairs(np.array([5]), window=3, rng=rng)
+        assert len(c) == 0 and len(o) == 0
+
+    def test_fixed_window_pair_count(self, rng):
+        sentence = np.arange(5)
+        c, o = generate_pairs(sentence, window=2, rng=rng, dynamic_window=False)
+        # Each position pairs with up to 2 on each side: 4+... total 14.
+        assert len(c) == 14
+        assert len(c) == len(o)
+
+    def test_no_self_pairs(self, rng):
+        c, o = generate_pairs(np.arange(6), window=3, rng=rng)
+        assert np.all(c != o) or np.any(c != o)  # positions differ even if ids could repeat
+        # With distinct ids, center never equals context.
+        assert not np.any((c == o))
+
+    def test_dynamic_window_produces_fewer_or_equal_pairs(self, rng):
+        sentence = np.arange(8)
+        fixed_c, _ = generate_pairs(sentence, 4, rng, dynamic_window=False)
+        dyn_c, _ = generate_pairs(sentence, 4, rng, dynamic_window=True)
+        assert len(dyn_c) <= len(fixed_c)
+
+    def test_pairs_within_window(self, rng):
+        sentence = np.arange(10)
+        c, o = generate_pairs(sentence, 2, rng, dynamic_window=False)
+        assert np.all(np.abs(c - o) <= 2)
+
+
+class TestSkipGramModel:
+    def test_init_shapes(self):
+        model = SkipGramModel(10, 4, seed=1)
+        assert model.w_in.shape == (10, 4)
+        assert model.w_out.shape == (10, 4)
+        assert np.all(model.w_out == 0.0)
+        assert np.all(np.abs(model.w_in) <= 0.5 / 4)
+
+    def test_invalid_dims(self):
+        with pytest.raises(EmbeddingError):
+            SkipGramModel(0, 4)
+        with pytest.raises(EmbeddingError):
+            SkipGramModel(4, 0)
+
+    def test_initial_loss_is_log2_times_scores(self):
+        # With w_out = 0 every score is 0, so the loss is (1+K) * ln 2.
+        model = SkipGramModel(5, 8, seed=1)
+        loss = model.pair_loss(0, 1, np.array([2, 3, 4]))
+        assert loss == pytest.approx(4 * np.log(2.0), rel=1e-6)
+
+    def test_gradients_match_finite_differences(self):
+        model = SkipGramModel(6, 5, seed=2)
+        rng = np.random.default_rng(3)
+        model.w_out[:] = rng.normal(0, 0.3, size=model.w_out.shape)
+        centers = np.array([0, 1])
+        contexts = np.array([2, 3])
+        negatives = np.array([[4, 5], [5, 0]])
+        gc, go, gn, _ = model.batch_gradients(centers, contexts, negatives)
+
+        eps = 1e-6
+
+        def total_loss():
+            _, _, _, loss = model.batch_gradients(centers, contexts, negatives)
+            return loss * len(centers)  # batch_gradients returns the mean
+
+        # Probe a few coordinates of each gradient block.
+        for b, row in ((0, centers[0]), (1, centers[1])):
+            for d in range(3):
+                old = model.w_in[row, d]
+                model.w_in[row, d] = old + eps
+                up = total_loss()
+                model.w_in[row, d] = old - eps
+                down = total_loss()
+                model.w_in[row, d] = old
+                numeric = (up - down) / (2 * eps)
+                assert gc[b, d] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+        old = model.w_out[contexts[0], 1]
+        model.w_out[contexts[0], 1] = old + eps
+        up = total_loss()
+        model.w_out[contexts[0], 1] = old - eps
+        down = total_loss()
+        model.w_out[contexts[0], 1] = old
+        numeric = (up - down) / (2 * eps)
+        assert go[0, 1] == pytest.approx(numeric, rel=1e-4, abs=1e-7)
+
+    def test_training_pair_reduces_its_loss(self):
+        model = SkipGramModel(6, 4, seed=4)
+        centers = np.array([0])
+        contexts = np.array([1])
+        negatives = np.array([[2, 3]])
+        before = model.pair_loss(0, 1, negatives[0])
+        for _ in range(50):
+            gc, go, gn, _ = model.batch_gradients(centers, contexts, negatives)
+            model.apply_batch(centers, contexts, negatives, gc, go, gn, lr=0.1)
+        after = model.pair_loss(0, 1, negatives[0])
+        assert after < before
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        model = SkipGramModel(7, 4, seed=1)
+        rng = np.random.default_rng(2)
+        model.w_out[:] = rng.normal(size=model.w_out.shape)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        back = SkipGramModel.load(path)
+        assert np.array_equal(back.w_in, model.w_in)
+        assert np.array_equal(back.w_out, model.w_out)
+
+    def test_load_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, w_in=np.zeros((2, 2)))
+        with pytest.raises(EmbeddingError, match="missing"):
+            SkipGramModel.load(path)
+
+    def test_load_shape_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, w_in=np.zeros((2, 2)), w_out=np.zeros((3, 2)))
+        with pytest.raises(EmbeddingError, match="shapes differ"):
+            SkipGramModel.load(path)
+
+    def test_loaded_model_continues_training(self, tmp_path):
+        model = SkipGramModel(6, 4, seed=3)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        back = SkipGramModel.load(path)
+        centers = np.array([0])
+        contexts = np.array([1])
+        negatives = np.array([[2, 3]])
+        before = back.pair_loss(0, 1, negatives[0])
+        for _ in range(30):
+            gc, go, gn, _ = back.batch_gradients(centers, contexts, negatives)
+            back.apply_batch(centers, contexts, negatives, gc, go, gn, lr=0.1)
+        assert back.pair_loss(0, 1, negatives[0]) < before
+
+
+class TestApplyBatchModes:
+    def setup_pairs(self):
+        model = SkipGramModel(5, 4, seed=5)
+        rng = np.random.default_rng(6)
+        model.w_out[:] = rng.normal(0, 0.2, size=model.w_out.shape)
+        centers = np.array([0, 0, 0, 1])
+        contexts = np.array([1, 2, 3, 2])
+        negatives = np.array([[4], [4], [4], [3]])
+        grads = model.batch_gradients(centers, contexts, negatives)[:3]
+        return model, centers, contexts, negatives, grads
+
+    def test_sum_accumulates_duplicates(self):
+        model, c, o, n, (gc, go, gn) = self.setup_pairs()
+        before = model.w_in[0].copy()
+        expected = before - 1.0 * (gc[0] + gc[1] + gc[2])
+        model.apply_batch(c, o, n, gc, go, gn, lr=1.0, update="sum")
+        assert np.allclose(model.w_in[0], expected)
+
+    def test_mean_averages_duplicates(self):
+        model, c, o, n, (gc, go, gn) = self.setup_pairs()
+        before = model.w_in[0].copy()
+        expected = before - 1.0 * (gc[0] + gc[1] + gc[2]) / 3.0
+        model.apply_batch(c, o, n, gc, go, gn, lr=1.0, update="mean")
+        assert np.allclose(model.w_in[0], expected)
+
+    def test_capped_full_sum_below_cap(self):
+        model, c, o, n, (gc, go, gn) = self.setup_pairs()
+        before = model.w_in[0].copy()
+        expected = before - (gc[0] + gc[1] + gc[2])  # 3 <= cap
+        model.apply_batch(c, o, n, gc, go, gn, lr=1.0, update="capped", cap=8)
+        assert np.allclose(model.w_in[0], expected)
+
+    def test_capped_scales_above_cap(self):
+        model, c, o, n, (gc, go, gn) = self.setup_pairs()
+        before = model.w_in[0].copy()
+        expected = before - (gc[0] + gc[1] + gc[2]) * (2.0 / 3.0)
+        model.apply_batch(c, o, n, gc, go, gn, lr=1.0, update="capped", cap=2)
+        assert np.allclose(model.w_in[0], expected)
+
+    def test_unknown_mode_rejected(self):
+        model, c, o, n, (gc, go, gn) = self.setup_pairs()
+        with pytest.raises(EmbeddingError):
+            model.apply_batch(c, o, n, gc, go, gn, lr=0.1, update="bogus")

@@ -1,0 +1,33 @@
+"""Unit tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc", [
+        errors.GraphError,
+        errors.GraphFormatError,
+        errors.WalkError,
+        errors.EmbeddingError,
+        errors.TrainingError,
+        errors.DataPreparationError,
+        errors.ModelError,
+    ])
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+
+    def test_format_error_is_graph_error(self):
+        assert issubclass(errors.GraphFormatError, errors.GraphError)
+
+    def test_catching_base_catches_library_failures(self):
+        from repro.graph.edges import TemporalEdgeList
+
+        with pytest.raises(errors.ReproError):
+            TemporalEdgeList([0], [1, 2], [0.1])
+
+    def test_library_errors_are_not_builtin_value_errors(self):
+        # Callers distinguishing library failures from bugs rely on the
+        # hierarchy being separate from ValueError.
+        assert not issubclass(errors.ReproError, ValueError)

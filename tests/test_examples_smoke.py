@@ -1,0 +1,39 @@
+"""Smoke tests: the fast example scripts run end to end.
+
+The heavyweight sweep/hardware examples are exercised by the benchmark
+suite's equivalent experiments; here we verify the quick ones execute
+as shipped (they are the README's first contact with the library).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[1] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "extend_link_property_prediction.py",
+    "evolving_graph.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True, text=True, timeout=600,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example should print results"
+
+
+def test_all_examples_present_and_documented():
+    scripts = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+    assert len(scripts) >= 6
+    for script in scripts:
+        text = (EXAMPLES_DIR / script).read_text(encoding="utf-8")
+        assert text.startswith('"""'), f"{script} needs a docstring"
+        assert "Run:" in text, f"{script} docstring should say how to run"

@@ -1,0 +1,120 @@
+"""Unit tests for the CSR temporal graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.csr import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+
+
+class TestConstruction:
+    def test_shape(self, tiny_graph):
+        assert tiny_graph.num_nodes == 5
+        assert tiny_graph.num_edges == 8
+
+    def test_adjacency_time_sorted_per_source(self, tiny_graph):
+        for v in range(tiny_graph.num_nodes):
+            _, ts = tiny_graph.neighbors(v)
+            assert np.all(np.diff(ts) >= 0)
+
+    def test_multi_edges_preserved(self, tiny_graph):
+        dsts, ts = tiny_graph.neighbors(0)
+        pairs = list(zip(dsts.tolist(), ts.tolist()))
+        assert (1, 0.1) in pairs and (1, 0.5) in pairs
+
+    def test_num_nodes_override(self, tiny_edges):
+        g = TemporalGraph.from_edge_list(tiny_edges, num_nodes=10)
+        assert g.num_nodes == 10
+        assert g.out_degree(9) == 0
+
+    def test_num_nodes_too_small_rejected(self, tiny_edges):
+        with pytest.raises(GraphError):
+            TemporalGraph.from_edge_list(tiny_edges, num_nodes=2)
+
+    def test_validation_rejects_bad_indptr(self):
+        with pytest.raises(GraphError):
+            TemporalGraph(np.array([1, 2]), np.array([0]), np.array([0.1]))
+
+    def test_validation_rejects_unsorted_adjacency(self):
+        indptr = np.array([0, 2])
+        dst = np.array([0, 0])
+        ts = np.array([0.5, 0.1])
+        with pytest.raises(GraphError, match="not time-sorted"):
+            TemporalGraph(indptr, dst, ts)
+
+    def test_validation_rejects_out_of_range_dst(self):
+        with pytest.raises(GraphError, match="out-of-range"):
+            TemporalGraph(np.array([0, 1]), np.array([5]), np.array([0.1]))
+
+    def test_empty_graph(self):
+        g = TemporalGraph.from_edge_list(TemporalEdgeList([], [], []))
+        assert g.num_nodes == 0
+        assert g.num_edges == 0
+        assert g.max_degree() == 0
+
+
+class TestDegrees:
+    def test_out_degree_scalar(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 4
+        assert tiny_graph.out_degree(4) == 0
+
+    def test_out_degree_array(self, tiny_graph):
+        deg = tiny_graph.out_degree(np.array([0, 4]))
+        assert deg.tolist() == [4, 0]
+
+    def test_out_degrees_sum_to_edges(self, tiny_graph):
+        assert tiny_graph.out_degrees().sum() == tiny_graph.num_edges
+
+    def test_max_degree(self, tiny_graph):
+        assert tiny_graph.max_degree() == 4
+
+
+class TestTemporalQueries:
+    def test_temporal_neighbors_strict(self, tiny_graph):
+        dsts, ts = tiny_graph.temporal_neighbors(0, 0.2)
+        assert np.all(ts > 0.2)
+        assert set(dsts.tolist()) == {1, 3}
+
+    def test_temporal_neighbors_allow_equal(self, tiny_graph):
+        dsts, ts = tiny_graph.temporal_neighbors(0, 0.2, allow_equal=True)
+        assert np.all(ts >= 0.2)
+        assert 2 in dsts.tolist()
+
+    def test_temporal_neighbors_exhausted(self, tiny_graph):
+        dsts, _ = tiny_graph.temporal_neighbors(0, 1.0)
+        assert len(dsts) == 0
+
+    def test_temporal_neighbors_minus_inf_sees_all(self, tiny_graph):
+        dsts, _ = tiny_graph.temporal_neighbors(0, -np.inf)
+        assert len(dsts) == tiny_graph.out_degree(0)
+
+    def test_has_temporal_neighbor(self, tiny_graph):
+        assert tiny_graph.has_temporal_neighbor(0, 0.5)
+        assert not tiny_graph.has_temporal_neighbor(0, 0.9)
+        assert not tiny_graph.has_temporal_neighbor(4, -np.inf)
+
+    def test_range_matches_neighbors(self, tiny_graph):
+        lo, hi = tiny_graph.temporal_neighbor_range(0, 0.15)
+        dsts, _ = tiny_graph.temporal_neighbors(0, 0.15)
+        assert hi - lo == len(dsts)
+
+
+class TestConversions:
+    def test_edge_list_round_trip_preserves_multiset(self, tiny_edges):
+        g = TemporalGraph.from_edge_list(tiny_edges)
+        back = g.to_edge_list()
+        original = sorted(
+            zip(tiny_edges.src, tiny_edges.dst, tiny_edges.timestamps)
+        )
+        returned = sorted(zip(back.src, back.dst, back.timestamps))
+        assert original == returned
+
+    def test_edge_key_set(self, tiny_graph, tiny_edges):
+        assert tiny_graph.edge_key_set() == tiny_edges.edge_key_set()
+
+    def test_time_span(self, tiny_graph, tiny_edges):
+        assert tiny_graph.time_span() == pytest.approx(tiny_edges.time_span())
+
+    def test_repr(self, tiny_graph):
+        assert "num_nodes=5" in repr(tiny_graph)

@@ -1,0 +1,80 @@
+"""Unit tests for the dynamic temporal graph."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.dynamic import DynamicTemporalGraph
+from repro.graph.edges import TemporalEdgeList
+
+
+def batch(rows, num_nodes=None):
+    return TemporalEdgeList.from_edges(rows, num_nodes=num_nodes)
+
+
+class TestDynamicGraph:
+    def test_starts_empty(self):
+        dynamic = DynamicTemporalGraph()
+        assert dynamic.num_edges == 0
+        assert dynamic.generation == 0
+
+    def test_append_grows_edges_and_generation(self):
+        dynamic = DynamicTemporalGraph()
+        gen = dynamic.append(batch([(0, 1, 0.1), (1, 2, 0.2)]))
+        assert gen == 1
+        assert dynamic.num_edges == 2
+        assert dynamic.num_nodes == 3
+
+    def test_append_empty_is_noop(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]))
+        gen = dynamic.append(TemporalEdgeList([], [], []))
+        assert gen == 0
+        assert dynamic.num_edges == 1
+
+    def test_graph_snapshot_valid_and_cached(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.5), (0, 2, 0.1)]))
+        graph1 = dynamic.graph()
+        assert graph1.num_edges == 2
+        # Adjacency sorted by timestamp despite insert order.
+        _, ts = graph1.neighbors(0)
+        assert list(ts) == [0.1, 0.5]
+        assert dynamic.graph() is graph1  # cached until next append
+
+    def test_snapshot_invalidated_by_append(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]))
+        graph1 = dynamic.graph()
+        dynamic.append(batch([(1, 0, 0.2)]))
+        graph2 = dynamic.graph()
+        assert graph2 is not graph1
+        assert graph2.num_edges == 2
+
+    def test_new_nodes_extend_node_set(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]))
+        dynamic.append(batch([(5, 6, 0.9)]))
+        assert dynamic.num_nodes == 7
+
+    def test_edges_since_marker(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]))
+        marker = dynamic.generation
+        dynamic.append(batch([(1, 2, 0.2)]))
+        dynamic.append(batch([(2, 3, 0.3)]))
+        fresh = dynamic.edges_since(marker)
+        assert len(fresh) == 2
+        assert fresh.src.tolist() == [1, 2]
+
+    def test_edges_since_unknown_marker_rejected(self):
+        dynamic = DynamicTemporalGraph()
+        with pytest.raises(GraphError):
+            dynamic.edges_since(99)
+
+    def test_affected_nodes(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]))
+        marker = dynamic.generation
+        dynamic.append(batch([(1, 2, 0.2), (3, 1, 0.3)]))
+        affected = dynamic.affected_nodes(marker)
+        assert set(affected.tolist()) == {1, 2, 3}
+
+    def test_explicit_num_nodes(self):
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]), num_nodes=10)
+        assert dynamic.num_nodes == 10
+        assert dynamic.graph().num_nodes == 10

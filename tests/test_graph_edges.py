@@ -1,0 +1,142 @@
+"""Unit tests for TemporalEdgeList and TemporalEdge."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.edges import TemporalEdge, TemporalEdgeList
+
+
+class TestTemporalEdge:
+    def test_fields(self):
+        e = TemporalEdge(1, 2, 0.5)
+        assert (e.src, e.dst, e.timestamp) == (1, 2, 0.5)
+
+    def test_reversed_swaps_endpoints_keeps_timestamp(self):
+        e = TemporalEdge(1, 2, 0.5).reversed()
+        assert (e.src, e.dst, e.timestamp) == (2, 1, 0.5)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            TemporalEdge(1, 2, 0.5).src = 3
+
+
+class TestConstruction:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(GraphError, match="equal length"):
+            TemporalEdgeList([0, 1], [1], [0.1, 0.2])
+
+    def test_negative_ids_rejected(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            TemporalEdgeList([-1], [0], [0.1])
+
+    def test_num_nodes_inferred_from_max_id(self):
+        edges = TemporalEdgeList([0, 5], [3, 2], [0.1, 0.2])
+        assert edges.num_nodes == 6
+
+    def test_explicit_num_nodes_allows_isolated_tail(self):
+        edges = TemporalEdgeList([0], [1], [0.1], num_nodes=10)
+        assert edges.num_nodes == 10
+
+    def test_num_nodes_smaller_than_ids_rejected(self):
+        with pytest.raises(GraphError, match="smaller than max node id"):
+            TemporalEdgeList([0, 5], [3, 2], [0.1, 0.2], num_nodes=3)
+
+    def test_from_edges_accepts_tuples_and_objects(self):
+        edges = TemporalEdgeList.from_edges(
+            [(0, 1, 0.1), TemporalEdge(1, 2, 0.2)]
+        )
+        assert len(edges) == 2
+        assert edges[1] == TemporalEdge(1, 2, 0.2)
+
+    def test_from_edges_empty(self):
+        edges = TemporalEdgeList.from_edges([])
+        assert len(edges) == 0
+        assert edges.num_nodes == 0
+
+    def test_concatenate(self):
+        a = TemporalEdgeList([0], [1], [0.1], num_nodes=5)
+        b = TemporalEdgeList([2], [3], [0.2], num_nodes=7)
+        merged = TemporalEdgeList.concatenate([a, b])
+        assert len(merged) == 2
+        assert merged.num_nodes == 7
+
+    def test_concatenate_empty_list(self):
+        assert len(TemporalEdgeList.concatenate([])) == 0
+
+
+class TestProtocols:
+    def test_iteration_yields_edges(self, tiny_edges):
+        items = list(tiny_edges)
+        assert len(items) == len(tiny_edges)
+        assert all(isinstance(e, TemporalEdge) for e in items)
+
+    def test_indexing(self, tiny_edges):
+        assert tiny_edges[0] == TemporalEdge(0, 1, 0.1)
+
+    def test_repr_contains_counts(self, tiny_edges):
+        assert "num_edges=8" in repr(tiny_edges)
+
+
+class TestTransformations:
+    def test_sorted_by_time(self, tiny_edges):
+        ordered = tiny_edges.sorted_by_time()
+        assert ordered.is_time_sorted()
+        assert len(ordered) == len(tiny_edges)
+
+    def test_sort_is_stable_for_ties(self):
+        edges = TemporalEdgeList([0, 1, 2], [1, 2, 0], [0.5, 0.5, 0.5])
+        ordered = edges.sorted_by_time()
+        assert ordered.src.tolist() == [0, 1, 2]
+
+    def test_normalize_timestamps_to_unit_range(self):
+        edges = TemporalEdgeList([0, 0, 0], [1, 1, 1], [100.0, 150.0, 200.0])
+        norm = edges.with_normalized_timestamps()
+        assert norm.timestamps.tolist() == [0.0, 0.5, 1.0]
+
+    def test_normalize_constant_timestamps_gives_zeros(self):
+        edges = TemporalEdgeList([0, 1], [1, 0], [7.0, 7.0])
+        assert edges.with_normalized_timestamps().timestamps.tolist() == [0, 0]
+
+    def test_reverse_edges_doubles_count(self, tiny_edges):
+        doubled = tiny_edges.with_reverse_edges()
+        assert len(doubled) == 2 * len(tiny_edges)
+        keys = doubled.edge_key_set()
+        assert (1, 0) in keys and (0, 1) in keys
+
+    def test_filter_time_range(self, tiny_edges):
+        kept = tiny_edges.filter_time_range(0.2, 0.5)
+        assert np.all(kept.timestamps >= 0.2)
+        assert np.all(kept.timestamps <= 0.5)
+
+    def test_split_at_fraction_partitions_chronologically(self, tiny_edges):
+        early, late = tiny_edges.split_at_fraction(0.75)
+        assert len(early) + len(late) == len(tiny_edges)
+        assert early.timestamps.max() <= late.timestamps.min()
+
+    def test_split_fraction_out_of_range_rejected(self, tiny_edges):
+        with pytest.raises(GraphError):
+            tiny_edges.split_at_fraction(1.5)
+
+    def test_take_preserves_order(self, tiny_edges):
+        sub = tiny_edges.take(np.array([3, 0]))
+        assert sub[0] == tiny_edges[3]
+        assert sub[1] == tiny_edges[0]
+
+
+class TestQueries:
+    def test_edge_key_set_collapses_multiedges(self, tiny_edges):
+        keys = tiny_edges.edge_key_set()
+        assert (0, 1) in keys
+        # 8 edges but (0,1) appears twice.
+        assert len(keys) == 7
+
+    def test_time_span(self, tiny_edges):
+        assert tiny_edges.time_span() == pytest.approx(0.9 - 0.05)
+
+    def test_time_span_empty(self):
+        assert TemporalEdgeList([], [], []).time_span() == 0.0
+
+    def test_is_time_sorted(self, tiny_edges):
+        assert not tiny_edges.is_time_sorted()
+        assert tiny_edges.sorted_by_time().is_time_sorted()

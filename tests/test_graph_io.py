@@ -1,0 +1,66 @@
+"""Unit tests for graph file I/O (.wel format and labeled bundles)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import LabeledTemporalDataset, read_wel, write_wel
+from repro.graph.edges import TemporalEdgeList
+
+
+class TestWel:
+    def test_round_trip(self, tiny_edges, tmp_path):
+        path = tmp_path / "graph.wel"
+        write_wel(tiny_edges, path)
+        back = read_wel(path, normalize=False)
+        assert np.array_equal(back.src, tiny_edges.src)
+        assert np.array_equal(back.dst, tiny_edges.dst)
+        assert np.allclose(back.timestamps, tiny_edges.timestamps)
+
+    def test_read_normalizes_by_default(self, tmp_path):
+        path = tmp_path / "g.wel"
+        path.write_text("0 1 100\n1 2 300\n")
+        edges = read_wel(path)
+        assert edges.timestamps.tolist() == [0.0, 1.0]
+
+    def test_comments_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "g.wel"
+        path.write_text("# header\n\n% other comment\n0 1 0.5\n")
+        assert len(read_wel(path)) == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "g.wel"
+        path.write_text("0 1 0.5\n0 1\n")
+        with pytest.raises(GraphFormatError, match=":2:"):
+            read_wel(path)
+
+    def test_non_numeric_raises(self, tmp_path):
+        path = tmp_path / "g.wel"
+        path.write_text("a b c\n")
+        with pytest.raises(GraphFormatError):
+            read_wel(path)
+
+
+class TestLabeledBundle:
+    def test_round_trip(self, tmp_path, sbm_dataset):
+        path = tmp_path / "ds.npz"
+        sbm_dataset.save(path)
+        back = LabeledTemporalDataset.load(path)
+        assert back.name == sbm_dataset.name
+        assert np.array_equal(back.labels, sbm_dataset.labels)
+        assert np.array_equal(back.edges.src, sbm_dataset.edges.src)
+        assert back.edges.num_nodes == sbm_dataset.edges.num_nodes
+
+    def test_label_count_mismatch_rejected(self):
+        edges = TemporalEdgeList([0, 1], [1, 0], [0.1, 0.2])
+        with pytest.raises(GraphFormatError, match="labels"):
+            LabeledTemporalDataset(name="x", edges=edges, labels=np.array([0]))
+
+    def test_num_classes(self, sbm_dataset):
+        assert sbm_dataset.num_classes == 3
+
+    def test_load_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, src=np.array([0]))
+        with pytest.raises(GraphFormatError, match="missing arrays"):
+            LabeledTemporalDataset.load(path)

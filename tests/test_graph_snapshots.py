@@ -1,0 +1,55 @@
+"""Unit tests for snapshot views."""
+
+import numpy as np
+import pytest
+
+from repro.graph.snapshots import snapshot_at, snapshot_sequence, window_edge_lists
+
+
+class TestSnapshotAt:
+    def test_filters_future_edges(self, tiny_graph):
+        snap = snapshot_at(tiny_graph, 0.4)
+        assert snap.num_nodes == tiny_graph.num_nodes
+        assert np.all(snap.ts <= 0.4)
+
+    def test_full_time_keeps_all(self, tiny_graph):
+        snap = snapshot_at(tiny_graph, 1.0)
+        assert snap.num_edges == tiny_graph.num_edges
+
+    def test_before_everything_is_empty(self, tiny_graph):
+        assert snapshot_at(tiny_graph, -1.0).num_edges == 0
+
+
+class TestSnapshotSequence:
+    def test_cumulative_growth(self, tiny_graph):
+        snaps = snapshot_sequence(tiny_graph, 4)
+        sizes = [s.num_edges for s in snaps]
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == tiny_graph.num_edges
+
+    def test_single_snapshot_is_full_graph(self, tiny_graph):
+        snaps = snapshot_sequence(tiny_graph, 1)
+        assert snaps[0].num_edges == tiny_graph.num_edges
+
+    def test_invalid_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            snapshot_sequence(tiny_graph, 0)
+
+
+class TestWindows:
+    def test_windows_partition_edges(self, tiny_graph):
+        windows = window_edge_lists(tiny_graph, 3)
+        assert sum(len(w) for w in windows) == tiny_graph.num_edges
+
+    def test_windows_are_chronological(self, tiny_graph):
+        windows = window_edge_lists(tiny_graph, 3)
+        previous_max = -np.inf
+        for w in windows:
+            if len(w) == 0:
+                continue
+            assert w.timestamps.min() >= previous_max
+            previous_max = w.timestamps.max()
+
+    def test_invalid_count(self, tiny_graph):
+        with pytest.raises(ValueError):
+            window_edge_lists(tiny_graph, 0)

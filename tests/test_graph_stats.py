@@ -1,0 +1,86 @@
+"""Unit tests for graph statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph, compute_stats, generators
+from repro.graph.stats import degree_histogram, gini, powerlaw_exponent_estimate
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini(np.full(100, 5.0)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_single_owner_approaches_one(self):
+        values = np.zeros(1000)
+        values[0] = 100.0
+        assert gini(values) > 0.99
+
+    def test_empty_and_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(5)) == 0.0
+
+    def test_scale_invariant(self, rng):
+        v = rng.random(200)
+        assert gini(v) == pytest.approx(gini(10 * v))
+
+
+class TestComputeStats:
+    def test_tiny_graph(self, tiny_graph):
+        stats = compute_stats(tiny_graph)
+        assert stats.num_nodes == 5
+        assert stats.num_edges == 8
+        assert stats.max_degree == 4
+        assert stats.mean_degree == pytest.approx(8 / 5)
+        assert stats.num_isolated == 1  # node 4 has no out-edges
+
+    def test_as_row_keys(self, tiny_graph):
+        row = compute_stats(tiny_graph).as_row()
+        assert {"nodes", "edges", "max_deg", "mean_deg"} <= set(row)
+
+    def test_empty_graph(self):
+        from repro.graph.edges import TemporalEdgeList
+        g = TemporalGraph.from_edge_list(TemporalEdgeList([], [], []))
+        stats = compute_stats(g)
+        assert stats.num_nodes == 0
+        assert stats.mean_degree == 0.0
+
+
+class TestDegreeHistogram:
+    def test_counts_sum_to_nodes(self, tiny_graph):
+        values, counts = degree_histogram(tiny_graph)
+        assert counts.sum() == tiny_graph.num_nodes
+
+    def test_empty(self):
+        from repro.graph.edges import TemporalEdgeList
+        g = TemporalGraph.from_edge_list(TemporalEdgeList([], [], []))
+        values, counts = degree_histogram(g)
+        assert len(values) == 0
+
+
+class TestPowerlawEstimate:
+    def test_heavy_tail_has_small_exponent(self):
+        edges = generators.activity_driven_temporal(3000, 30000, seed=1)
+        g = TemporalGraph.from_edge_list(edges)
+        alpha = powerlaw_exponent_estimate(g)
+        assert 1.2 < alpha < 3.5
+
+    def test_er_has_larger_tail_exponent_than_heavy_tail(self):
+        # Above the mean degree (10), ER's Poisson tail decays far faster
+        # than the activity-driven power law; d_min must sit in the tail
+        # for the Hill estimator to discriminate.
+        heavy = TemporalGraph.from_edge_list(
+            generators.activity_driven_temporal(3000, 30000, seed=1)
+        )
+        er = TemporalGraph.from_edge_list(
+            generators.erdos_renyi_temporal(3000, 30000, seed=1)
+        )
+        assert (
+            powerlaw_exponent_estimate(er, d_min=10)
+            > powerlaw_exponent_estimate(heavy, d_min=10) + 1.0
+        )
+
+    def test_no_qualifying_degrees(self):
+        from repro.graph.edges import TemporalEdgeList
+        g = TemporalGraph.from_edge_list(TemporalEdgeList([], [], []))
+        assert np.isnan(powerlaw_exponent_estimate(g))

@@ -1,0 +1,86 @@
+"""Unit tests for temporal-dynamics statistics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph, generators
+from repro.graph.edges import TemporalEdgeList
+from repro.graph.temporal_stats import (
+    burstiness,
+    compute_temporal_stats,
+    inter_event_times,
+    node_inter_event_burstiness,
+)
+
+
+class TestInterEventTimes:
+    def test_gaps_of_sorted_stream(self):
+        edges = TemporalEdgeList([0, 1, 2], [1, 2, 0], [0.1, 0.4, 0.5])
+        assert np.allclose(inter_event_times(edges), [0.3, 0.1])
+
+    def test_unsorted_input_sorted_first(self):
+        edges = TemporalEdgeList([0, 1], [1, 0], [0.9, 0.1])
+        assert np.allclose(inter_event_times(edges), [0.8])
+
+    def test_short_streams(self):
+        assert len(inter_event_times(TemporalEdgeList([0], [1], [0.5]))) == 0
+
+
+class TestBurstiness:
+    def test_periodic_is_minus_one(self):
+        assert burstiness(np.full(100, 0.5)) == pytest.approx(-1.0)
+
+    def test_exponential_near_zero(self, rng):
+        gaps = rng.exponential(1.0, size=200_000)
+        assert burstiness(gaps) == pytest.approx(0.0, abs=0.02)
+
+    def test_heavy_tail_positive(self, rng):
+        gaps = rng.pareto(1.3, size=100_000)
+        assert burstiness(gaps) > 0.3
+
+    def test_degenerate(self):
+        assert burstiness(np.array([])) == 0.0
+        assert burstiness(np.zeros(5)) == 0.0
+
+
+class TestNodeBurstiness:
+    def test_counts_only_active_nodes(self, tiny_graph):
+        values = node_inter_event_burstiness(tiny_graph, min_events=4)
+        # Only node 0 has >= 4 out-edges in the tiny fixture.
+        assert len(values) == 1
+
+    def test_bursty_generator_beats_poisson(self):
+        bursty = TemporalGraph.from_edge_list(
+            generators.ia_email_like(scale=0.01, seed=1))
+        poisson = TemporalGraph.from_edge_list(
+            generators.erdos_renyi_temporal(500, 10_000, seed=1))
+        b_bursty = node_inter_event_burstiness(bursty).mean()
+        b_poisson = node_inter_event_burstiness(poisson).mean()
+        assert b_bursty > b_poisson + 0.1
+
+
+class TestComputeTemporalStats:
+    def test_fields(self, email_edges):
+        graph = TemporalGraph.from_edge_list(email_edges)
+        stats = compute_temporal_stats(graph)
+        assert stats.time_span > 0
+        assert 0 <= stats.activity_concentration <= 1
+        assert set(stats.as_row()) == {
+            "span", "median_gap", "burstiness", "node_burstiness",
+            "late_activity",
+        }
+
+    def test_growth_shows_in_late_activity(self):
+        growing = TemporalGraph.from_edge_list(
+            generators.erdos_renyi_temporal(200, 5000, seed=2, growth=3.0))
+        uniform = TemporalGraph.from_edge_list(
+            generators.erdos_renyi_temporal(200, 5000, seed=2, growth=1.0))
+        assert (compute_temporal_stats(growing).activity_concentration
+                > compute_temporal_stats(uniform).activity_concentration
+                + 0.1)
+
+    def test_empty_graph(self):
+        graph = TemporalGraph.from_edge_list(TemporalEdgeList([], [], []))
+        stats = compute_temporal_stats(graph)
+        assert stats.time_span == 0.0
+        assert stats.stream_burstiness == 0.0

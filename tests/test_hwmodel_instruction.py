@@ -1,0 +1,49 @@
+"""Unit tests for the instruction taxonomy."""
+
+import pytest
+
+from repro.hwmodel.instruction import CATEGORIES, InstructionMix
+
+
+class TestInstructionMix:
+    def test_compute_combines_int_and_fp(self):
+        mix = InstructionMix(compute_int=3, compute_fp=7)
+        assert mix.compute == 10
+
+    def test_total(self):
+        mix = InstructionMix(memory=1, branch=2, compute_int=3,
+                             compute_fp=4, other=5)
+        assert mix.total == 15
+
+    def test_fractions_sum_to_one(self):
+        mix = InstructionMix(memory=10, branch=5, compute_fp=25, other=10)
+        fracs = mix.fractions()
+        assert sum(fracs.values()) == pytest.approx(1.0)
+        assert fracs["compute"] == pytest.approx(0.5)
+
+    def test_empty_fractions_are_zero(self):
+        fracs = InstructionMix().fractions()
+        assert all(v == 0.0 for v in fracs.values())
+
+    def test_addition(self):
+        a = InstructionMix(memory=1, compute_fp=2)
+        b = InstructionMix(memory=3, branch=4)
+        c = a + b
+        assert c.memory == 4
+        assert c.branch == 4
+        assert c.compute_fp == 2
+
+    def test_scaled(self):
+        mix = InstructionMix(memory=2, other=4).scaled(2.5)
+        assert mix.memory == 5
+        assert mix.other == 10
+
+    def test_add_category(self):
+        mix = InstructionMix()
+        for cat in CATEGORIES:
+            mix.add(cat, 1)
+        assert mix.total == len(CATEGORIES)
+
+    def test_add_unknown_category_rejected(self):
+        with pytest.raises(ValueError):
+            InstructionMix().add("vector", 1)

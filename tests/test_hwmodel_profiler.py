@@ -1,0 +1,112 @@
+"""Unit tests for per-kernel instruction-mix derivation (Fig. 9)."""
+
+import pytest
+
+from repro.embedding.trainer import SgnsConfig, TrainerStats
+from repro.hwmodel.profiler import (
+    gemm_mix,
+    profile_bfs,
+    profile_classifier,
+    profile_random_walk,
+    profile_word2vec,
+)
+from repro.walk.engine import WalkStats
+
+
+def walk_stats(candidates=1000, steps=200, searches=600, walks=100):
+    return WalkStats(
+        num_walks=walks,
+        total_steps=steps,
+        candidates_scanned=candidates,
+        search_iterations=searches,
+    )
+
+
+class TestRandomWalkProfile:
+    def test_counts_scale_with_candidates(self):
+        small = profile_random_walk(walk_stats(candidates=100))
+        large = profile_random_walk(walk_stats(candidates=10000))
+        assert large.mix.total > small.mix.total
+
+    def test_fig9_shape_compute_and_memory_both_heavy(self, email_walk_stats):
+        profile = profile_random_walk(email_walk_stats)
+        fracs = profile.fractions()
+        # The Fig. 9 claim: even the walk kernel has both substantial
+        # memory AND compute (unlike BFS); nothing dominates everything.
+        assert fracs["memory"] > 0.2
+        assert fracs["compute"] > 0.25
+        assert fracs["branch"] > 0.05
+
+    def test_fp_comes_from_eq1_candidates(self):
+        no_candidates = profile_random_walk(
+            walk_stats(candidates=0, steps=10, searches=10, walks=10)
+        )
+        with_candidates = profile_random_walk(walk_stats())
+        fp_share = lambda p: p.mix.compute_fp / p.mix.total
+        assert fp_share(with_candidates) > fp_share(no_candidates)
+
+    def test_notes_carry_inputs(self):
+        profile = profile_random_walk(walk_stats())
+        assert profile.notes["candidates"] == 1000
+
+
+class TestWord2vecProfile:
+    def test_scales_with_pairs(self):
+        cfg = SgnsConfig(dim=8)
+        small = profile_word2vec(TrainerStats(pairs_trained=10), cfg)
+        large = profile_word2vec(TrainerStats(pairs_trained=1000), cfg)
+        assert large.mix.total == pytest.approx(100 * small.mix.total)
+
+    def test_memory_and_compute_both_heavy(self):
+        profile = profile_word2vec(
+            TrainerStats(pairs_trained=1000), SgnsConfig(dim=8)
+        )
+        fracs = profile.fractions()
+        assert fracs["memory"] > 0.2
+        assert fracs["compute"] > 0.3
+
+    def test_dimension_raises_memory_share(self):
+        lo = profile_word2vec(TrainerStats(pairs_trained=100), SgnsConfig(dim=2))
+        hi = profile_word2vec(TrainerStats(pairs_trained=100), SgnsConfig(dim=64))
+        assert hi.fractions()["memory"] > lo.fractions()["memory"]
+
+
+class TestClassifierProfile:
+    def test_training_heavier_than_inference(self):
+        dims = [(16, 32), (32, 1)]
+        train = profile_classifier("train", dims, 1000, 128, training=True)
+        test = profile_classifier("test", dims, 1000, 128, training=False)
+        assert train.mix.total > 2 * test.mix.total
+
+    def test_memory_and_compute_both_heavy(self):
+        profile = profile_classifier("train", [(16, 32), (32, 1)], 1000, 128)
+        fracs = profile.fractions()
+        assert fracs["memory"] > 0.25
+        assert fracs["compute"] > 0.25
+
+    def test_invalid_batch_rejected(self):
+        with pytest.raises(ValueError):
+            profile_classifier("x", [(2, 2)], 10, 0)
+
+
+class TestGemmMix:
+    def test_fp_matches_flops_over_simd(self):
+        mix = gemm_mix(10, 20, 30)
+        assert mix.compute_fp == pytest.approx(2 * 10 * 20 * 30 / 8)
+
+    def test_memory_traffic_counts_operands(self):
+        mix = gemm_mix(10, 20, 30)
+        assert mix.memory == pytest.approx((200 + 600 + 600) * 2.0)
+
+
+class TestBfsContrast:
+    def test_bfs_has_no_fp(self):
+        profile = profile_bfs(edges_scanned=1000, nodes_visited=100)
+        assert profile.mix.compute_fp == 0.0
+
+    def test_walk_more_fp_heavy_than_bfs(self, email_walk_stats):
+        bfs_profile = profile_bfs(10000, 1000)
+        walk_profile = profile_random_walk(email_walk_stats)
+        bfs_fp = bfs_profile.mix.compute_fp / bfs_profile.mix.total
+        walk_fp = walk_profile.mix.compute_fp / walk_profile.mix.total
+        assert walk_fp > bfs_fp + 0.1  # the Fig. 9 contrast

@@ -1,0 +1,85 @@
+"""Unit tests for the roofline model."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.hwmodel.gpu import GpuConfig
+from repro.hwmodel.roofline import (
+    Roofline,
+    RooflinePoint,
+    pipeline_roofline_points,
+)
+
+
+@pytest.fixture()
+def roofline():
+    return Roofline(peak_flops_per_second=1e12,
+                    bandwidth_bytes_per_second=1e11)
+
+
+class TestRooflinePoint:
+    def test_operational_intensity(self):
+        point = RooflinePoint("k", flops=100.0, bytes_moved=50.0)
+        assert point.operational_intensity == 2.0
+
+    def test_zero_bytes_rejected(self):
+        with pytest.raises(ModelError):
+            _ = RooflinePoint("k", flops=1.0,
+                              bytes_moved=0.0).operational_intensity
+
+
+class TestRoofline:
+    def test_ridge(self, roofline):
+        assert roofline.ridge_intensity == 10.0
+
+    def test_attainable_below_ridge_is_bandwidth_limited(self, roofline):
+        assert roofline.attainable(2.0) == pytest.approx(2e11)
+
+    def test_attainable_above_ridge_is_peak(self, roofline):
+        assert roofline.attainable(100.0) == pytest.approx(1e12)
+
+    def test_attainable_invalid_intensity(self, roofline):
+        with pytest.raises(ModelError):
+            roofline.attainable(0.0)
+
+    def test_classification(self, roofline):
+        low = RooflinePoint("low", 10.0, 10.0)     # intensity 1
+        high = RooflinePoint("high", 1000.0, 10.0)  # intensity 100
+        assert roofline.classify(low) == "memory-bound"
+        assert roofline.classify(high) == "compute-bound"
+
+    def test_efficiency(self, roofline):
+        point = RooflinePoint("k", 10.0, 10.0,
+                              achieved_flops_per_second=1e11)
+        # Attainable at intensity 1 = 1e11: efficiency 1.0.
+        assert roofline.efficiency(point) == pytest.approx(1.0)
+
+    def test_efficiency_unknown_when_unmeasured(self, roofline):
+        assert roofline.efficiency(RooflinePoint("k", 1.0, 1.0)) is None
+
+    def test_from_gpu_defaults(self):
+        roofline = Roofline.from_gpu(GpuConfig())
+        assert roofline.ridge_intensity == pytest.approx(
+            19.5e12 / 1555e9, rel=1e-6
+        )
+
+
+class TestPipelinePoints:
+    def test_points_from_measured_stats(self, email_walk_stats):
+        from repro.embedding.trainer import SgnsConfig, TrainerStats
+
+        points = pipeline_roofline_points(
+            email_walk_stats,
+            TrainerStats(pairs_trained=1000),
+            SgnsConfig(dim=8),
+            [(16, 32), (32, 1)],
+            batch_size=128,
+        )
+        names = [p.name for p in points]
+        assert names == ["rwalk", "word2vec", "train", "test"]
+        for point in points:
+            assert point.operational_intensity > 0
+        # SGNS touches (2+K) rows for (1+K) score's worth of flops:
+        # modest intensity, below dense-GEMM territory.
+        w2v = points[1]
+        assert w2v.operational_intensity < 2.0

@@ -1,0 +1,104 @@
+"""End-to-end integration tests: determinism, persistence, composition."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    NodeEmbeddings,
+    Pipeline,
+    PipelineConfig,
+    generators,
+    read_wel,
+    write_wel,
+)
+from repro.embedding import SgnsConfig
+from repro.tasks import LinkPredictionTask
+from repro.tasks.link_prediction import LinkPredictionConfig
+from repro.tasks.training import TrainSettings
+from repro.walk import WalkConfig, WalkCorpus
+
+
+FAST = PipelineConfig(
+    walk=WalkConfig(num_walks_per_node=4, max_walk_length=5),
+    sgns=SgnsConfig(dim=8, epochs=2),
+    treat_undirected=True,
+    link_prediction=LinkPredictionConfig(
+        training=TrainSettings(epochs=5, learning_rate=0.05)
+    ),
+)
+
+
+class TestDeterminism:
+    def test_full_pipeline_reproducible(self, email_edges):
+        a = Pipeline(FAST).run_link_prediction(email_edges, seed=9)
+        b = Pipeline(FAST).run_link_prediction(email_edges, seed=9)
+        assert a.accuracy == b.accuracy
+        assert a.task_result.auc == b.task_result.auc
+        assert np.array_equal(a.embeddings.matrix, b.embeddings.matrix)
+
+    def test_different_seeds_differ(self, email_edges):
+        a = Pipeline(FAST).run_link_prediction(email_edges, seed=9)
+        b = Pipeline(FAST).run_link_prediction(email_edges, seed=10)
+        assert not np.array_equal(a.embeddings.matrix, b.embeddings.matrix)
+
+
+class TestPersistenceComposition:
+    def test_wel_round_trip_preserves_results(self, email_edges, tmp_path):
+        direct = Pipeline(FAST).run_link_prediction(email_edges, seed=9)
+        path = tmp_path / "graph.wel"
+        write_wel(email_edges, path)
+        reloaded = read_wel(path, normalize=False)
+        via_disk = Pipeline(FAST).run_link_prediction(reloaded, seed=9)
+        assert via_disk.accuracy == pytest.approx(direct.accuracy)
+
+    def test_embeddings_persist_and_reuse(self, email_edges, tmp_path):
+        pipeline = Pipeline(FAST)
+        result = pipeline.run_link_prediction(email_edges, seed=9)
+        path = tmp_path / "emb.npz"
+        result.embeddings.save(path)
+        restored = NodeEmbeddings.load(path)
+        task = LinkPredictionTask(FAST.link_prediction)
+        fresh = task.run(restored, email_edges, seed=11)
+        assert fresh.auc > 0.6
+
+    def test_corpus_persist_and_retrain(self, email_edges, tmp_path):
+        pipeline = Pipeline(FAST)
+        _, _, _, _, corpus = pipeline.embed(email_edges, seed=9)
+        path = tmp_path / "walks.npz"
+        corpus.save(path)
+        reloaded = WalkCorpus.load(path)
+        from repro.embedding import train_embeddings
+
+        num_nodes = int(corpus.matrix.max()) + 1
+        a, _ = train_embeddings(corpus, num_nodes,
+                                SgnsConfig(dim=4, epochs=1), seed=3)
+        b, _ = train_embeddings(reloaded, num_nodes,
+                                SgnsConfig(dim=4, epochs=1), seed=3)
+        assert np.array_equal(a.matrix, b.matrix)
+
+
+class TestCrossDatasetRobustness:
+    @pytest.mark.parametrize("factory,kwargs", [
+        (generators.erdos_renyi_temporal, {"num_nodes": 300,
+                                           "num_edges": 3000}),
+        (generators.activity_driven_temporal, {"num_nodes": 600,
+                                               "num_edges": 4000,
+                                               "burstiness": 0.5}),
+    ])
+    def test_pipeline_runs_on_generator_families(self, factory, kwargs):
+        edges = factory(seed=5, **kwargs)
+        result = Pipeline(FAST).run_link_prediction(edges, seed=6)
+        assert 0.0 <= result.accuracy <= 1.0
+        assert result.timings.total > 0
+
+    def test_pipeline_handles_graph_with_isolated_nodes(self):
+        from repro.graph.edges import TemporalEdgeList
+
+        rng = np.random.default_rng(1)
+        # 100 connected nodes + ids up to 149 never referenced.
+        edges = TemporalEdgeList(
+            rng.integers(0, 100, 400), rng.integers(0, 100, 400),
+            rng.random(400), num_nodes=150,
+        )
+        result = Pipeline(FAST).run_link_prediction(edges, seed=2)
+        assert result.embeddings.num_nodes == 150

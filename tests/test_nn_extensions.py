@@ -1,0 +1,128 @@
+"""Unit tests for nn extensions: Adam, Dropout, shared negatives."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import Adam, Dropout, Linear, ReLU, Sequential
+from repro.nn.module import Parameter
+
+
+def make_param(value=0.0, grad=0.0):
+    p = Parameter(np.array([float(value)]))
+    p.grad[:] = grad
+    return p
+
+
+class TestAdam:
+    def test_converges_on_quadratic(self):
+        p = Parameter(np.array([0.0]))
+        opt = Adam([p], lr=0.05)
+        for _ in range(500):
+            p.grad[:] = 2 * (p.data - 3.0)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-3)
+
+    def test_first_step_magnitude_is_lr(self):
+        # With bias correction, the first Adam step is ~lr regardless of
+        # gradient scale.
+        for grad in (0.001, 1000.0):
+            p = make_param(grad=grad)
+            Adam([p], lr=0.01).step()
+            assert abs(p.data[0]) == pytest.approx(0.01, rel=1e-3)
+
+    def test_weight_decay(self):
+        p = make_param(value=10.0, grad=0.0)
+        opt = Adam([p], lr=0.1, weight_decay=0.1)
+        opt.step()
+        assert p.data[0] < 10.0
+
+    def test_invalid_params(self):
+        with pytest.raises(TrainingError):
+            Adam([], lr=0.1)
+        with pytest.raises(TrainingError):
+            Adam([make_param()], lr=0.0)
+        with pytest.raises(TrainingError):
+            Adam([make_param()], betas=(1.0, 0.999))
+
+    def test_trains_faster_than_untuned_sgd_on_ill_scaled_problem(self):
+        # f(x, y) = x^2 + 100 y^2: Adam's per-coordinate scaling copes.
+        from repro.nn import SGD
+
+        def run(optimizer_cls, **kwargs):
+            p = Parameter(np.array([1.0, 1.0]))
+            opt = optimizer_cls([p], **kwargs)
+            for _ in range(200):
+                p.grad[:] = np.array([2 * p.data[0], 200 * p.data[1]])
+                opt.step()
+            return float(np.abs(p.data).sum())
+
+        adam_error = run(Adam, lr=0.05)
+        sgd_error = run(SGD, lr=0.001)
+        assert adam_error < sgd_error
+
+
+class TestDropout:
+    def test_invalid_rate(self):
+        with pytest.raises(TrainingError):
+            Dropout(rate=1.0)
+
+    def test_eval_is_identity(self):
+        layer = Dropout(rate=0.5, seed=1)
+        layer.eval()
+        x = np.ones((4, 4))
+        assert np.array_equal(layer.forward(x), x)
+        assert np.array_equal(layer.backward(x), x)
+
+    def test_train_zeroes_and_scales(self):
+        layer = Dropout(rate=0.5, seed=2)
+        x = np.ones((1000, 1))
+        out = layer.forward(x)
+        kept = out[out != 0]
+        assert np.allclose(kept, 2.0)  # inverted scaling 1/keep
+        assert 0.35 < np.mean(out != 0) < 0.65
+
+    def test_expected_value_preserved(self):
+        layer = Dropout(rate=0.3, seed=3)
+        x = np.ones((20000, 1))
+        assert layer.forward(x).mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_backward_uses_same_mask(self):
+        layer = Dropout(rate=0.5, seed=4)
+        x = np.ones((100, 1))
+        out = layer.forward(x)
+        grad = layer.backward(np.ones_like(x))
+        assert np.array_equal(grad != 0, out != 0)
+
+    def test_zero_rate_is_identity(self):
+        layer = Dropout(rate=0.0)
+        x = np.random.default_rng(0).random((5, 5))
+        assert np.array_equal(layer.forward(x), x)
+
+    def test_composes_in_sequential(self):
+        model = Sequential(Linear(4, 8, seed=1), ReLU(), Dropout(0.2, seed=2),
+                           Linear(8, 1, seed=3))
+        out = model.forward(np.ones((3, 4)))
+        assert out.shape == (3, 1)
+        model.backward(np.ones((3, 1)))  # must not raise
+
+
+class TestSharedNegatives:
+    def test_whole_batch_sharing_starves_contrast(self, email_corpus,
+                                                  email_graph):
+        # The documented caveat: sharing one negative set across a
+        # multi-thousand-pair batch gives only K rows per batch any
+        # negative gradient, so the objective loses contrast and the
+        # per-pair sampler converges decisively better.
+        from repro.embedding import BatchedSgnsTrainer, SgnsConfig
+
+        results = {}
+        for shared in (False, True):
+            config = SgnsConfig(dim=8, epochs=3, shared_negatives=shared)
+            trainer = BatchedSgnsTrainer(config, batch_sentences=256)
+            model = trainer.train(email_corpus, email_graph.num_nodes,
+                                  seed=1)
+            results[shared] = trainer.last_stats
+            assert np.isfinite(model.w_in).all()
+        assert results[False].losses[-1] < results[False].losses[0] - 0.3
+        assert results[False].losses[-1] < results[True].losses[-1] - 0.3

@@ -1,0 +1,94 @@
+"""Unit tests for loss functions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import BCEWithLogitsLoss, CrossEntropyLoss
+
+
+class TestBCE:
+    def test_zero_logits_loss_is_log2(self):
+        loss = BCEWithLogitsLoss()
+        value = loss.forward(np.zeros(4), np.array([0.0, 1.0, 0.0, 1.0]))
+        assert value == pytest.approx(np.log(2.0))
+
+    def test_confident_correct_loss_near_zero(self):
+        loss = BCEWithLogitsLoss()
+        value = loss.forward(np.array([20.0, -20.0]), np.array([1.0, 0.0]))
+        assert value < 1e-6
+
+    def test_extreme_logits_finite(self):
+        loss = BCEWithLogitsLoss()
+        value = loss.forward(np.array([1e4, -1e4]), np.array([0.0, 1.0]))
+        assert np.isfinite(value)
+
+    def test_gradient_is_sigmoid_minus_target_over_n(self):
+        loss = BCEWithLogitsLoss()
+        logits = np.array([0.0, 2.0])
+        targets = np.array([1.0, 0.0])
+        loss.forward(logits, targets)
+        grad = loss.backward()
+        sig = 1 / (1 + np.exp(-logits))
+        assert np.allclose(grad, (sig - targets) / 2)
+
+    def test_gradient_preserves_column_shape(self):
+        loss = BCEWithLogitsLoss()
+        loss.forward(np.zeros((3, 1)), np.ones(3))
+        assert loss.backward().shape == (3, 1)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            BCEWithLogitsLoss().forward(np.zeros(3), np.zeros(2))
+
+    def test_backward_before_forward_rejected(self):
+        with pytest.raises(TrainingError):
+            BCEWithLogitsLoss().backward()
+
+    def test_predictions_are_probabilities(self):
+        loss = BCEWithLogitsLoss()
+        loss.forward(np.array([-1.0, 1.0]), np.array([0.0, 1.0]))
+        probs = loss.predictions()
+        assert np.all((probs > 0) & (probs < 1))
+
+
+class TestCrossEntropy:
+    def test_uniform_logits_loss_is_log_c(self):
+        loss = CrossEntropyLoss()
+        value = loss.forward(np.zeros((5, 3)), np.array([0, 1, 2, 0, 1]))
+        assert value == pytest.approx(np.log(3.0))
+
+    def test_confident_correct_loss_near_zero(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[30.0, 0.0, 0.0]])
+        assert loss.forward(logits, np.array([0])) < 1e-6
+
+    def test_gradient_is_softmax_minus_onehot_over_n(self):
+        loss = CrossEntropyLoss()
+        logits = np.array([[1.0, 2.0, 3.0]])
+        loss.forward(logits, np.array([2]))
+        grad = loss.backward()
+        exp = np.exp(logits - logits.max())
+        softmax = exp / exp.sum()
+        expected = softmax.copy()
+        expected[0, 2] -= 1.0
+        assert np.allclose(grad, expected)
+
+    def test_predictions_sum_to_one(self):
+        loss = CrossEntropyLoss()
+        loss.forward(np.random.default_rng(0).normal(size=(6, 4)),
+                     np.zeros(6, dtype=int))
+        assert np.allclose(loss.predictions().sum(axis=1), 1.0)
+
+    def test_1d_logits_rejected(self):
+        with pytest.raises(TrainingError):
+            CrossEntropyLoss().forward(np.zeros(3), np.zeros(3, dtype=int))
+
+    def test_out_of_range_target_rejected(self):
+        with pytest.raises(TrainingError):
+            CrossEntropyLoss().forward(np.zeros((2, 3)), np.array([0, 3]))
+
+    def test_large_logits_stable(self):
+        loss = CrossEntropyLoss()
+        value = loss.forward(np.array([[1e4, 0.0]]), np.array([0]))
+        assert np.isfinite(value)

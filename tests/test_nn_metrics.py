@@ -1,0 +1,75 @@
+"""Unit tests for accuracy and ROC-AUC."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import accuracy, binary_accuracy, roc_auc
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_partial(self):
+        assert accuracy(np.array([0, 1, 1]), np.array([0, 1, 2])) == pytest.approx(2 / 3)
+
+    def test_empty(self):
+        assert accuracy(np.array([]), np.array([])) == 0.0
+
+    def test_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            accuracy(np.array([0]), np.array([0, 1]))
+
+
+class TestBinaryAccuracy:
+    def test_threshold(self):
+        probs = np.array([0.9, 0.4, 0.6, 0.1])
+        targets = np.array([1, 0, 0, 0])
+        assert binary_accuracy(probs, targets) == pytest.approx(0.75)
+
+    def test_custom_threshold(self):
+        probs = np.array([0.6, 0.6])
+        assert binary_accuracy(probs, np.array([1, 1]), threshold=0.7) == 0.0
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        targets = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, targets) == 1.0
+
+    def test_perfect_inversion(self):
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        targets = np.array([1, 1, 0, 0])
+        assert roc_auc(scores, targets) == 0.0
+
+    def test_random_scores_near_half(self, rng):
+        scores = rng.random(4000)
+        targets = rng.integers(0, 2, 4000)
+        assert roc_auc(scores, targets) == pytest.approx(0.5, abs=0.03)
+
+    def test_single_class_returns_half(self):
+        assert roc_auc(np.array([0.1, 0.9]), np.array([1, 1])) == 0.5
+
+    def test_ties_get_average_rank(self):
+        # One tied pair split across classes contributes exactly 0.5.
+        scores = np.array([0.5, 0.5])
+        targets = np.array([1, 0])
+        assert roc_auc(scores, targets) == pytest.approx(0.5)
+
+    def test_matches_pairwise_definition(self, rng):
+        scores = rng.random(60)
+        targets = rng.integers(0, 2, 60)
+        pos = scores[targets == 1]
+        neg = scores[targets == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        expected = wins / (len(pos) * len(neg))
+        assert roc_auc(scores, targets) == pytest.approx(expected)
+
+    def test_invariant_to_monotone_transform(self, rng):
+        scores = rng.random(100)
+        targets = rng.integers(0, 2, 100)
+        assert roc_auc(scores, targets) == pytest.approx(
+            roc_auc(np.exp(scores * 3), targets)
+        )

@@ -1,0 +1,71 @@
+"""Unit tests for Module/Parameter/Sequential."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import Linear, ReLU, Residual, Sequential
+from repro.nn.module import Parameter
+
+
+class TestParameter:
+    def test_grad_starts_zero(self):
+        p = Parameter(np.ones((2, 3)))
+        assert p.grad.shape == (2, 3)
+        assert np.all(p.grad == 0)
+
+    def test_zero_grad(self):
+        p = Parameter(np.ones(3))
+        p.grad += 5.0
+        p.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_size(self):
+        assert Parameter(np.ones((2, 3))).size == 6
+
+
+class TestModule:
+    def test_parameters_recurse_sequential(self):
+        model = Sequential(Linear(2, 3, seed=1), ReLU(), Linear(3, 1, seed=2))
+        params = model.parameters()
+        assert len(params) == 4  # two weights, two biases
+
+    def test_parameters_recurse_residual(self):
+        model = Residual(Sequential(Linear(3, 3, seed=1), ReLU()))
+        assert len(model.parameters()) == 2
+
+    def test_num_parameters(self):
+        model = Linear(4, 5, seed=1)
+        assert model.num_parameters() == 4 * 5 + 5
+
+    def test_zero_grad_clears_all(self):
+        model = Sequential(Linear(2, 2, seed=1), Linear(2, 1, seed=2))
+        x = np.ones((3, 2))
+        from repro.nn import BCEWithLogitsLoss
+        loss = BCEWithLogitsLoss()
+        loss.forward(model.forward(x), np.ones(3))
+        model.backward(loss.backward())
+        assert any(np.any(p.grad != 0) for p in model.parameters())
+        model.zero_grad()
+        assert all(np.all(p.grad == 0) for p in model.parameters())
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(TrainingError):
+            Sequential()
+
+    def test_forward_composes(self):
+        model = Sequential(Linear(2, 2, seed=1), ReLU())
+        x = np.array([[1.0, -1.0]])
+        out = model.forward(x)
+        assert np.all(out >= 0)
+
+    def test_callable(self):
+        model = Sequential(Linear(2, 1, seed=1))
+        x = np.ones((2, 2))
+        assert np.allclose(model(x), model.forward(x))
+
+    def test_repr_lists_layers(self):
+        model = Sequential(Linear(2, 2, seed=1), ReLU())
+        assert "Linear" in repr(model) and "ReLU" in repr(model)

@@ -1,0 +1,82 @@
+"""Unit tests for SGD and the step-decay schedule."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrainingError
+from repro.nn import SGD, StepDecay
+from repro.nn.module import Parameter
+
+
+def make_param(value=1.0, grad=0.5):
+    p = Parameter(np.array([value]))
+    p.grad[:] = grad
+    return p
+
+
+class TestSGD:
+    def test_vanilla_step(self):
+        p = make_param()
+        SGD([p], lr=0.1).step()
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5)
+
+    def test_momentum_accumulates(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1, momentum=0.9)
+        opt.step()   # v = 0.5
+        p.grad[:] = 0.5
+        opt.step()   # v = 0.95
+        assert p.data[0] == pytest.approx(1.0 - 0.1 * 0.5 - 0.1 * 0.95)
+
+    def test_weight_decay_pulls_toward_zero(self):
+        p = make_param(value=2.0, grad=0.0)
+        SGD([p], lr=0.1, weight_decay=0.5).step()
+        assert p.data[0] == pytest.approx(2.0 - 0.1 * 0.5 * 2.0)
+
+    def test_zero_grad(self):
+        p = make_param()
+        opt = SGD([p], lr=0.1)
+        opt.zero_grad()
+        assert np.all(p.grad == 0)
+
+    def test_empty_parameters_rejected(self):
+        with pytest.raises(TrainingError):
+            SGD([], lr=0.1)
+
+    def test_invalid_lr(self):
+        with pytest.raises(TrainingError):
+            SGD([make_param()], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(TrainingError):
+            SGD([make_param()], lr=0.1, momentum=1.0)
+
+    def test_converges_on_quadratic(self):
+        # minimize (x - 3)^2 by supplying its gradient.
+        p = Parameter(np.array([0.0]))
+        opt = SGD([p], lr=0.1, momentum=0.5)
+        for _ in range(200):
+            p.grad[:] = 2 * (p.data - 3.0)
+            opt.step()
+        assert p.data[0] == pytest.approx(3.0, abs=1e-4)
+
+
+class TestStepDecay:
+    def test_decays_on_boundary(self):
+        opt = SGD([make_param()], lr=1.0)
+        sched = StepDecay(opt, step_size=2, gamma=0.5)
+        sched.step()
+        assert opt.lr == 1.0
+        sched.step()
+        assert opt.lr == 0.5
+        sched.step()
+        sched.step()
+        assert opt.lr == 0.25
+
+    def test_invalid_step_size(self):
+        with pytest.raises(TrainingError):
+            StepDecay(SGD([make_param()], lr=1.0), step_size=0)
+
+    def test_invalid_gamma(self):
+        with pytest.raises(TrainingError):
+            StepDecay(SGD([make_param()], lr=1.0), step_size=1, gamma=1.5)

@@ -1,0 +1,152 @@
+"""Regression tests for bugs found during development.
+
+Each test documents a concrete defect that existed at some point in this
+codebase, the scenario that exposed it, and pins the fix.
+"""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph, generators
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import TemporalWalkEngine, WalkConfig
+from repro.walk.sampling import transition_probabilities
+
+
+class TestWalkSamplingRegressions:
+    def test_softmax_recency_finite_at_unset_clock(self):
+        """Bug: recency logits used ``-(ts - t_now)`` directly; at the
+        initial clock (-inf) that produced inf-inf = NaN probabilities.
+        Fix: softmax shift-invariance removes the clock term entirely."""
+        probs = transition_probabilities(
+            np.array([0.0, 0.5, 1.0]), "softmax-recency", 1.0
+        )
+        assert np.isfinite(probs).all()
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_first_hop_includes_timestamp_zero_edges(self):
+        """Bug risk: Algorithm 1 initializes currTime = 0; with
+        normalized timestamps and the strict ``>`` rule, edges at t=0
+        would be unreachable.  The engine starts the clock at -inf."""
+        edges = TemporalEdgeList([0], [1], [0.0])
+        graph = TemporalGraph.from_edge_list(edges)
+        corpus = TemporalWalkEngine(graph).run(
+            WalkConfig(num_walks_per_node=5, max_walk_length=2),
+            seed=1, start_nodes=np.array([0]),
+        )
+        assert np.all(corpus.lengths == 2)
+
+    def test_time_window_does_not_kill_first_hop(self):
+        """Bug: the window upper bound computed ``-inf + window = -inf``
+        at the unset clock, emptying every first-hop candidate set."""
+        edges = TemporalEdgeList([0], [1], [0.9])
+        graph = TemporalGraph.from_edge_list(edges)
+        corpus = TemporalWalkEngine(graph).run(
+            WalkConfig(num_walks_per_node=3, max_walk_length=2,
+                       time_window=0.01),
+            seed=1, start_nodes=np.array([0]),
+        )
+        assert np.all(corpus.lengths == 2)
+
+
+class TestEmbeddingRegressions:
+    def test_batched_updates_do_not_explode_on_hubs(self):
+        """Bug: naive scatter-add accumulation of same-batch gradients on
+        hub rows diverged to ~1e29 on heavy-tailed graphs; the default
+        'capped' combining bounds per-row movement."""
+        from repro.embedding import BatchedSgnsTrainer, SgnsConfig
+
+        edges = generators.ia_email_like(scale=0.005, seed=1)
+        graph = TemporalGraph.from_edge_list(edges.with_reverse_edges())
+        corpus = TemporalWalkEngine(graph).run(WalkConfig(), seed=2)
+        trainer = BatchedSgnsTrainer(SgnsConfig(dim=8, epochs=2),
+                                     batch_sentences=1024)
+        model = trainer.train(corpus, graph.num_nodes, seed=3)
+        assert np.abs(model.w_in).max() < 100.0
+
+    def test_mean_combining_documented_as_starving(self):
+        """Bug (of the first fix): scatter-mean was unconditionally
+        stable but froze training — loss stuck at the (1+K)ln2 init.
+        Kept as a mode; this pins the behaviour the default avoids."""
+        from repro.embedding import BatchedSgnsTrainer, SgnsConfig
+
+        edges = generators.ia_email_like(scale=0.005, seed=1)
+        graph = TemporalGraph.from_edge_list(edges.with_reverse_edges())
+        corpus = TemporalWalkEngine(graph).run(WalkConfig(), seed=2)
+
+        def final_loss(mode):
+            trainer = BatchedSgnsTrainer(
+                SgnsConfig(dim=8, epochs=2, update_mode=mode), 1024)
+            trainer.train(corpus, graph.num_nodes, seed=3)
+            return trainer.last_stats.losses[-1]
+
+        assert final_loss("capped") < final_loss("mean") - 0.3
+
+
+class TestDataPrepRegressions:
+    def test_split_rounding_is_exact_when_fractions_cover(self):
+        """Bug: 60/20/20 rounding could demand more train+valid edges
+        than the early partition held (7-edge graphs), or drop an edge.
+        Fix: remainder absorption when the fractions sum to 1."""
+        from repro.tasks.splits import temporal_edge_split
+
+        for n in range(3, 30):
+            rng = np.random.default_rng(n)
+            edges = TemporalEdgeList(
+                rng.integers(0, 5, n), rng.integers(0, 5, n), rng.random(n),
+                num_nodes=5,
+            )
+            splits = temporal_edge_split(edges, seed=n)
+            assert splits.total == n
+
+    def test_classifier_features_standardized(self):
+        """Bug: unscaled embedding features made the small FNNs collapse
+        onto the majority class (accuracy cliffs at exactly the class
+        prior).  Fix: train-fit standardization in every task."""
+        from repro.embedding import NodeEmbeddings
+        from repro.tasks import NodeClassificationTask
+        from repro.tasks.node_classification import NodeClassificationConfig
+        from repro.tasks.training import TrainSettings
+
+        rng = np.random.default_rng(5)
+        labels = np.repeat([0, 1], 100)
+        # Perfectly separable but tiny-scale features.
+        matrix = (labels[:, None] + rng.normal(0, 0.1, (200, 4))) * 1e-4
+        result = NodeClassificationTask(NodeClassificationConfig(
+            training=TrainSettings(epochs=20, learning_rate=0.05)
+        )).run(NodeEmbeddings(matrix), labels, seed=6)
+        assert result.accuracy > 0.9
+
+
+class TestModelRegressions:
+    def test_w2v_gpu_batching_speedup_saturates(self):
+        """Bug: the occupancy-division cost model let batching speedup
+        grow linearly without bound (13000x at batch 16k).  Fix:
+        additive per-pair device costs; amortization saturates."""
+        from repro.hwmodel import Word2vecGpuModel
+
+        model = Word2vecGpuModel(num_sentences=100_000,
+                                 pairs_per_sentence=10)
+        speedups = model.batching_speedups([4096, 16384])
+        assert speedups[16384] < 1000
+        assert speedups[16384] < 2 * speedups[4096]
+
+    def test_oversized_batch_not_penalized(self):
+        """Bug: a modeled batch larger than the corpus transferred
+        phantom sentences, making batch=16k slower than batch=4k on a
+        3k-sentence corpus."""
+        from repro.hwmodel import Word2vecGpuModel
+
+        model = Word2vecGpuModel(num_sentences=3000, pairs_per_sentence=10)
+        assert model.batched_time(100_000) <= model.batched_time(3000) * 1.001
+
+    def test_streaming_trace_has_spatial_reuse(self):
+        """Bug: the GEMM trace emitted one address per cache line, so
+        "streaming" measured 0% hit rate; real dense kernels touch every
+        element and hit 7/8 in 64-byte lines."""
+        from repro.hwmodel.cache import CacheConfig, CacheSim, streaming_trace
+
+        trace = streaming_trace(64 * 1024, element_bytes=8, passes=1)
+        cache = CacheSim(CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
+        cache.access_many(trace)
+        assert cache.hit_rate > 0.8

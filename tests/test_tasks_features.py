@@ -1,0 +1,63 @@
+"""Unit tests for feature construction and standardization."""
+
+import numpy as np
+import pytest
+
+from repro.embedding.embeddings import NodeEmbeddings
+from repro.errors import DataPreparationError
+from repro.graph.edges import TemporalEdgeList
+from repro.tasks.features import (
+    Standardizer,
+    build_link_prediction_features,
+    build_node_classification_features,
+)
+
+
+@pytest.fixture()
+def embeddings():
+    return NodeEmbeddings(np.arange(12, dtype=float).reshape(6, 2))
+
+
+class TestLinkPredictionFeatures:
+    def test_concat_and_labels(self, embeddings):
+        pos = TemporalEdgeList([0], [1], [0.1], num_nodes=6)
+        neg = TemporalEdgeList([2, 3], [4, 5], [0.2, 0.3], num_nodes=6)
+        x, y = build_link_prediction_features(embeddings, pos, neg)
+        assert x.shape == (3, 4)
+        assert y.tolist() == [1.0, 0.0, 0.0]
+        assert x[0].tolist() == [0.0, 1.0, 2.0, 3.0]  # [f(0), f(1)]
+
+
+class TestNodeClassificationFeatures:
+    def test_selects_rows_and_labels(self, embeddings):
+        labels = np.array([0, 1, 2, 0, 1, 2])
+        x, y = build_node_classification_features(
+            embeddings, np.array([1, 4]), labels
+        )
+        assert x.shape == (2, 2)
+        assert y.tolist() == [1, 1]
+
+
+class TestStandardizer:
+    def test_standardizes_train_to_zero_mean_unit_std(self, rng):
+        x = rng.normal(5.0, 3.0, size=(200, 4))
+        z = Standardizer().fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_feature_maps_to_zero(self):
+        x = np.full((10, 2), 7.0)
+        z = Standardizer().fit_transform(x)
+        assert np.all(z == 0.0)
+
+    def test_transform_uses_train_statistics(self, rng):
+        train = rng.normal(size=(100, 3))
+        scaler = Standardizer().fit(train)
+        test = rng.normal(3.0, 1.0, size=(50, 3))
+        z = scaler.transform(test)
+        # Shifted test set keeps its offset relative to train stats.
+        assert z.mean() > 1.0
+
+    def test_transform_before_fit_rejected(self):
+        with pytest.raises(DataPreparationError):
+            Standardizer().transform(np.zeros((2, 2)))

@@ -1,0 +1,124 @@
+"""Unit tests for incremental embedding maintenance."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import SgnsConfig
+from repro.embedding.skipgram import SkipGramModel
+from repro.errors import EmbeddingError
+from repro.graph import DynamicTemporalGraph, generators
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.walk import WalkConfig
+
+
+class TestSkipGramGrow:
+    def test_grow_preserves_existing_rows(self):
+        model = SkipGramModel(5, 4, seed=1)
+        before = model.w_in.copy()
+        model.grow(8, seed=2)
+        assert model.num_nodes == 8
+        assert np.array_equal(model.w_in[:5], before)
+        assert np.all(model.w_out[5:] == 0.0)
+
+    def test_grow_same_size_is_noop(self):
+        model = SkipGramModel(5, 4, seed=1)
+        before = model.w_in.copy()
+        model.grow(5)
+        assert np.array_equal(model.w_in, before)
+
+    def test_shrink_rejected(self):
+        with pytest.raises(EmbeddingError):
+            SkipGramModel(5, 4, seed=1).grow(3)
+
+
+@pytest.fixture()
+def evolving():
+    """An email-shaped graph split into an initial 70% and a 30% tail.
+
+    Mirrored (undirected view) so directed session bursts don't starve
+    the walks at this tiny scale.
+    """
+    edges = generators.ia_email_like(scale=0.004, seed=61)
+    ordered = edges.sorted_by_time()
+    cut = int(0.7 * len(ordered))
+    initial = ordered.take(np.arange(cut)).with_reverse_edges()
+    tail = ordered.take(np.arange(cut, len(ordered))).with_reverse_edges()
+    return initial, tail
+
+
+class TestIncrementalEmbedder:
+    def make(self, initial):
+        dynamic = DynamicTemporalGraph(initial)
+        return dynamic, IncrementalEmbedder(
+            dynamic,
+            walk_config=WalkConfig(num_walks_per_node=6, max_walk_length=6),
+            sgns_config=SgnsConfig(dim=8, epochs=3),
+            seed=7,
+        )
+
+    def test_embeddings_before_rebuild_rejected(self, evolving):
+        initial, _ = evolving
+        _, embedder = self.make(initial)
+        with pytest.raises(EmbeddingError):
+            _ = embedder.embeddings
+
+    def test_rebuild_reports_full(self, evolving):
+        initial, _ = evolving
+        dynamic, embedder = self.make(initial)
+        report = embedder.rebuild()
+        assert report.full_rebuild
+        assert report.affected_nodes == dynamic.num_nodes
+        assert embedder.embeddings.num_nodes == dynamic.num_nodes
+
+    def test_update_touches_fewer_nodes_than_rebuild(self, evolving):
+        initial, tail = evolving
+        dynamic, embedder = self.make(initial)
+        embedder.rebuild()
+        dynamic.append(tail)
+        report = embedder.update()
+        assert not report.full_rebuild
+        assert 0 < report.affected_nodes < dynamic.num_nodes
+
+    def test_update_covers_new_nodes(self, evolving):
+        initial, tail = evolving
+        dynamic, embedder = self.make(initial)
+        embedder.rebuild()
+        dynamic.append(tail)
+        embedder.update()
+        assert embedder.embeddings.num_nodes == dynamic.num_nodes
+
+    def test_update_without_rebuild_falls_back(self, evolving):
+        initial, _ = evolving
+        _, embedder = self.make(initial)
+        report = embedder.update()
+        assert report.full_rebuild
+
+    def test_noop_update_when_nothing_appended(self, evolving):
+        initial, _ = evolving
+        _, embedder = self.make(initial)
+        embedder.rebuild()
+        report = embedder.update()
+        assert report.affected_nodes == 0
+        assert report.walks_generated == 0
+
+    def test_incremental_embeddings_stay_useful(self, evolving):
+        # After appending the tail, incrementally updated embeddings
+        # should still separate co-walkers from random pairs.
+        initial, tail = evolving
+        dynamic, embedder = self.make(initial)
+        embedder.rebuild()
+        dynamic.append(tail)
+        embedder.update()
+        emb = embedder.embeddings
+        graph = dynamic.graph()
+        rng = np.random.default_rng(0)
+        near, far = [], []
+        src = np.repeat(np.arange(graph.num_nodes),
+                        np.diff(graph.indptr))
+        sample = rng.choice(graph.num_edges, size=200)
+        for e in sample:
+            near.append(emb.cosine_similarity(int(src[e]),
+                                              int(graph.dst[e])))
+            far.append(emb.cosine_similarity(
+                int(src[e]), int(rng.integers(0, graph.num_nodes))))
+        assert np.mean(near) > np.mean(far)

@@ -1,0 +1,87 @@
+"""Unit tests for negative edge sampling (Fig. 7 step 3)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataPreparationError
+from repro.graph.edges import TemporalEdgeList
+from repro.tasks.negative_sampling import sample_negative_edges
+
+
+class TestNegativeSampling:
+    def test_count_matches_positives_by_default(self, email_edges):
+        forbidden = email_edges.edge_key_set()
+        negatives = sample_negative_edges(
+            email_edges, forbidden, email_edges.num_nodes, seed=1
+        )
+        assert len(negatives) == len(email_edges)
+
+    def test_negatives_absent_from_graph(self, email_edges):
+        forbidden = email_edges.edge_key_set()
+        negatives = sample_negative_edges(
+            email_edges, forbidden, email_edges.num_nodes, seed=1
+        )
+        assert not (negatives.edge_key_set() & forbidden)
+
+    def test_no_self_loops(self, email_edges):
+        negatives = sample_negative_edges(
+            email_edges, email_edges.edge_key_set(), email_edges.num_nodes,
+            seed=2,
+        )
+        assert np.all(negatives.src != negatives.dst)
+
+    def test_negatives_mutually_distinct(self, email_edges):
+        negatives = sample_negative_edges(
+            email_edges, email_edges.edge_key_set(), email_edges.num_nodes,
+            seed=3,
+        )
+        assert len(negatives.edge_key_set()) == len(negatives)
+
+    def test_explicit_count(self, email_edges):
+        negatives = sample_negative_edges(
+            email_edges, email_edges.edge_key_set(), email_edges.num_nodes,
+            count=17, seed=4,
+        )
+        assert len(negatives) == 17
+
+    def test_zero_count(self, email_edges):
+        negatives = sample_negative_edges(
+            email_edges, set(), email_edges.num_nodes, count=0
+        )
+        assert len(negatives) == 0
+
+    def test_timestamps_inherited_from_positives(self, tiny_edges):
+        negatives = sample_negative_edges(
+            tiny_edges, tiny_edges.edge_key_set(), 50, count=8, seed=5
+        )
+        assert set(negatives.timestamps.tolist()) <= set(
+            tiny_edges.timestamps.tolist()
+        )
+
+    def test_empty_positives_rejected(self):
+        empty = TemporalEdgeList([], [], [], num_nodes=5)
+        with pytest.raises(DataPreparationError):
+            sample_negative_edges(empty, set(), 5, count=3)
+
+    def test_too_few_nodes_rejected(self, tiny_edges):
+        with pytest.raises(DataPreparationError):
+            sample_negative_edges(tiny_edges, set(), 1, count=1)
+
+    def test_dense_graph_rejected(self):
+        # Complete directed graph on 4 nodes: nothing left to sample.
+        src, dst = zip(*[(i, j) for i in range(4) for j in range(4) if i != j])
+        edges = TemporalEdgeList(src, dst, np.linspace(0, 1, len(src)))
+        with pytest.raises(DataPreparationError, match="too dense"):
+            sample_negative_edges(edges, edges.edge_key_set(), 4)
+
+    def test_deterministic_by_seed(self, email_edges):
+        a = sample_negative_edges(
+            email_edges, email_edges.edge_key_set(), email_edges.num_nodes,
+            count=50, seed=6,
+        )
+        b = sample_negative_edges(
+            email_edges, email_edges.edge_key_set(), email_edges.num_nodes,
+            count=50, seed=6,
+        )
+        assert np.array_equal(a.src, b.src)
+        assert np.array_equal(a.dst, b.dst)

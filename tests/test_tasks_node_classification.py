@@ -1,0 +1,75 @@
+"""Unit tests for the node-classification task."""
+
+import numpy as np
+import pytest
+
+from repro.embedding import SgnsConfig, train_embeddings
+from repro.errors import DataPreparationError
+from repro.graph import TemporalGraph
+from repro.nn.layers import Linear
+from repro.tasks.node_classification import (
+    NodeClassificationConfig,
+    NodeClassificationTask,
+    build_node_classification_model,
+)
+from repro.tasks.training import TrainSettings
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+
+class TestModelArchitecture:
+    def test_three_layers(self):
+        model = build_node_classification_model(8, (64, 32), 5, seed=1)
+        linears = [l for l in model.layers if isinstance(l, Linear)]
+        assert [l.in_features for l in linears] == [8, 64, 32]
+        assert linears[-1].out_features == 5
+
+
+@pytest.fixture(scope="module")
+def sbm_embeddings(sbm_dataset):
+    graph = TemporalGraph.from_edge_list(
+        sbm_dataset.edges.with_reverse_edges()
+    )
+    corpus = TemporalWalkEngine(graph).run(
+        WalkConfig(num_walks_per_node=8, max_walk_length=6), seed=1
+    )
+    emb, _ = train_embeddings(
+        corpus, graph.num_nodes, SgnsConfig(dim=8, epochs=5),
+        batch_sentences=256, seed=2,
+    )
+    return emb
+
+
+class TestTaskRun:
+    def test_beats_chance_on_sbm(self, sbm_embeddings, sbm_dataset):
+        config = NodeClassificationConfig(
+            training=TrainSettings(epochs=25, learning_rate=0.05)
+        )
+        result = NodeClassificationTask(config).run(
+            sbm_embeddings, sbm_dataset.labels, seed=3
+        )
+        chance = np.bincount(sbm_dataset.labels).max() / len(sbm_dataset.labels)
+        assert result.accuracy > chance + 0.1
+        assert result.auc is None
+
+    def test_label_count_mismatch_rejected(self, sbm_embeddings):
+        with pytest.raises(DataPreparationError):
+            NodeClassificationTask().run(
+                sbm_embeddings, np.zeros(3, dtype=int), seed=1
+            )
+
+    def test_single_class_rejected(self, sbm_embeddings):
+        labels = np.zeros(sbm_embeddings.num_nodes, dtype=int)
+        with pytest.raises(DataPreparationError, match="2 classes"):
+            NodeClassificationTask().run(sbm_embeddings, labels, seed=1)
+
+    def test_timings_and_counts(self, sbm_embeddings, sbm_dataset):
+        config = NodeClassificationConfig(
+            training=TrainSettings(epochs=3, learning_rate=0.05)
+        )
+        result = NodeClassificationTask(config).run(
+            sbm_embeddings, sbm_dataset.labels, seed=4
+        )
+        n = len(sbm_dataset.labels)
+        assert result.num_train == pytest.approx(0.6 * n, abs=4)
+        assert result.num_test == pytest.approx(0.2 * n, abs=4)
+        assert result.train_seconds > 0

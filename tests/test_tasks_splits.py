@@ -1,0 +1,87 @@
+"""Unit tests for temporal edge splits and stratified node splits (Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DataPreparationError
+from repro.tasks.splits import stratified_node_split, temporal_edge_split
+
+
+class TestTemporalEdgeSplit:
+    def test_default_fractions(self, email_edges):
+        splits = temporal_edge_split(email_edges, seed=1)
+        n = len(email_edges)
+        assert splits.total == n
+        assert len(splits.test) == pytest.approx(0.2 * n, abs=2)
+        assert len(splits.train) == pytest.approx(0.6 * n, abs=2)
+        assert len(splits.valid) == pytest.approx(0.2 * n, abs=2)
+
+    def test_test_partition_is_chronological_tail(self, email_edges):
+        splits = temporal_edge_split(email_edges, seed=1)
+        cutoff = splits.test.timestamps.min()
+        assert splits.train.timestamps.max() <= cutoff
+        assert splits.valid.timestamps.max() <= cutoff
+
+    def test_partitions_disjoint(self, email_edges):
+        splits = temporal_edge_split(email_edges, seed=1)
+        # Compare by positional identity: indices within the sorted list.
+        ordered = email_edges.sorted_by_time()
+        def keys(part):
+            return set(zip(part.src.tolist(), part.dst.tolist(),
+                           part.timestamps.tolist()))
+        total = len(keys(ordered))
+        union = keys(splits.train) | keys(splits.valid) | keys(splits.test)
+        assert len(union) == total  # no triple appears in two partitions
+
+    def test_deterministic_by_seed(self, email_edges):
+        a = temporal_edge_split(email_edges, seed=5)
+        b = temporal_edge_split(email_edges, seed=5)
+        assert np.array_equal(a.train.src, b.train.src)
+
+    def test_fractions_over_one_rejected(self, email_edges):
+        with pytest.raises(DataPreparationError):
+            temporal_edge_split(email_edges, 0.7, 0.3, 0.2)
+
+    def test_fraction_out_of_range_rejected(self, email_edges):
+        with pytest.raises(DataPreparationError):
+            temporal_edge_split(email_edges, train_fraction=-0.1)
+
+    def test_too_few_edges_rejected(self):
+        from repro.graph.edges import TemporalEdgeList
+        edges = TemporalEdgeList([0], [1], [0.5])
+        with pytest.raises(DataPreparationError):
+            temporal_edge_split(edges)
+
+    def test_partial_fractions_leave_remainder_unused(self, email_edges):
+        splits = temporal_edge_split(email_edges, 0.3, 0.1, 0.2, seed=1)
+        assert splits.total < len(email_edges)
+
+
+class TestStratifiedNodeSplit:
+    def test_every_class_in_every_partition(self):
+        labels = np.repeat([0, 1, 2], 30)
+        splits = stratified_node_split(labels, seed=1)
+        for part in (splits.train, splits.valid, splits.test):
+            assert set(labels[part]) == {0, 1, 2}
+
+    def test_partitions_disjoint_and_complete(self):
+        labels = np.repeat([0, 1], 25)
+        splits = stratified_node_split(labels, seed=2)
+        union = np.concatenate([splits.train, splits.valid, splits.test])
+        assert sorted(union.tolist()) == list(range(50))
+
+    def test_class_balance_preserved(self):
+        labels = np.repeat([0, 1], [80, 20])
+        splits = stratified_node_split(labels, seed=3)
+        train_labels = labels[splits.train]
+        assert np.mean(train_labels == 0) == pytest.approx(0.8, abs=0.05)
+
+    def test_fractions_respected(self):
+        labels = np.repeat([0, 1], 100)
+        splits = stratified_node_split(labels, 0.5, 0.25, seed=4)
+        assert len(splits.train) == pytest.approx(100, abs=4)
+        assert len(splits.valid) == pytest.approx(50, abs=4)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(DataPreparationError):
+            stratified_node_split(np.zeros(10, dtype=int), 0.8, 0.3)

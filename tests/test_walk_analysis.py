@@ -1,0 +1,58 @@
+"""Unit tests for walk-corpus diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.graph import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import TemporalWalkEngine, WalkConfig
+from repro.walk.analysis import corpus_coverage
+from repro.walk.corpus import PAD, WalkCorpus
+
+
+class TestCorpusCoverage:
+    def test_full_coverage_simple_graph(self):
+        matrix = np.array([[0, 1, PAD], [1, 2, PAD], [2, 0, PAD]])
+        corpus = WalkCorpus(matrix, np.array([2, 2, 2]))
+        edges = TemporalEdgeList([0, 1, 2], [1, 2, 0], [0.1, 0.2, 0.3])
+        graph = TemporalGraph.from_edge_list(edges)
+        coverage = corpus_coverage(corpus, graph)
+        assert coverage.node_coverage == 1.0
+        assert coverage.trainable_node_coverage == 1.0
+        assert coverage.mean_distinct_neighbors == 1.0
+        assert coverage.neighbor_coverage == 1.0
+
+    def test_isolated_start_not_trainable(self):
+        # Walk [2] alone: node 2 appears but never in a 2+ sentence.
+        matrix = np.array([[0, 1], [2, PAD]])
+        corpus = WalkCorpus(matrix, np.array([2, 1]))
+        edges = TemporalEdgeList([0], [1], [0.5], num_nodes=3)
+        graph = TemporalGraph.from_edge_list(edges)
+        coverage = corpus_coverage(corpus, graph)
+        assert coverage.node_coverage == 1.0
+        assert coverage.trainable_node_coverage == pytest.approx(2 / 3)
+
+    def test_more_walks_increase_neighbor_coverage(self, email_graph):
+        def coverage_at(k):
+            corpus = TemporalWalkEngine(email_graph).run(
+                WalkConfig(num_walks_per_node=k, max_walk_length=4), seed=1
+            )
+            return corpus_coverage(corpus, email_graph)
+
+        low = coverage_at(1)
+        high = coverage_at(10)
+        # The Fig. 8b mechanism: more walks sample more distinct
+        # first-hop neighbors.
+        assert (high.mean_distinct_neighbors
+                > low.mean_distinct_neighbors)
+        assert high.neighbor_coverage >= low.neighbor_coverage
+
+    def test_entropy_bounded_by_log_nodes(self, email_corpus, email_graph):
+        coverage = corpus_coverage(email_corpus, email_graph)
+        assert 0.0 < coverage.context_entropy <= np.log2(
+            email_graph.num_nodes)
+
+    def test_as_row_keys(self, email_corpus, email_graph):
+        row = corpus_coverage(email_corpus, email_graph).as_row()
+        assert set(row) == {"node_cov", "trainable_cov", "distinct_nbrs",
+                            "nbr_cov", "ctx_entropy"}

@@ -1,0 +1,83 @@
+"""Unit tests for reverse-time (backward) walks."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.graph import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+
+class TestBackwardWalks:
+    def test_invalid_direction_rejected(self):
+        with pytest.raises(WalkError):
+            WalkConfig(direction="sideways")
+
+    def test_timestamps_strictly_decrease(self, email_graph):
+        config = WalkConfig(num_walks_per_node=4, max_walk_length=6,
+                            direction="backward")
+        corpus = TemporalWalkEngine(email_graph).run(config, seed=1)
+        assert corpus.validate_temporal_order(email_graph, "backward")
+
+    def test_backward_walk_violates_forward_order(self, email_graph):
+        config = WalkConfig(num_walks_per_node=4, max_walk_length=6,
+                            direction="backward")
+        corpus = TemporalWalkEngine(email_graph).run(config, seed=1)
+        # With real multi-hop walks, reverse-time traversal cannot also
+        # be forward-valid.
+        assert corpus.lengths.max() >= 3
+        assert not corpus.validate_temporal_order(email_graph, "forward")
+
+    def test_chain_graph_backward_reachability(self):
+        # 0 ->(t=0.3) 1 ->(t=0.1) 2: only backward walks traverse both.
+        edges = TemporalEdgeList([0, 1], [1, 2], [0.3, 0.1])
+        graph = TemporalGraph.from_edge_list(edges)
+        forward = TemporalWalkEngine(graph).run(
+            WalkConfig(num_walks_per_node=10, max_walk_length=3),
+            seed=2, start_nodes=np.array([0]),
+        )
+        backward = TemporalWalkEngine(graph).run(
+            WalkConfig(num_walks_per_node=10, max_walk_length=3,
+                       direction="backward"),
+            seed=2, start_nodes=np.array([0]),
+        )
+        assert forward.lengths.max() == 2   # 0 -> 1 then stuck (0.1 < 0.3)
+        assert backward.lengths.max() == 3  # 0 -> 1 -> 2 going back in time
+
+    def test_backward_window(self):
+        # From node 0 (clock 0.9 after first hop), edges at 0.85 (near
+        # past) and 0.1 (distant past).
+        edges = TemporalEdgeList([0, 1, 1], [1, 2, 3], [0.9, 0.85, 0.1])
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=40, max_walk_length=3,
+                            direction="backward", time_window=0.2)
+        corpus = TemporalWalkEngine(graph).run(
+            config, seed=3, start_nodes=np.array([0])
+        )
+        third = corpus.matrix[corpus.lengths == 3, 2]
+        assert set(third.tolist()) == {2}
+
+    def test_edge_starts_reject_backward(self, tiny_graph):
+        config = WalkConfig(direction="backward")
+        with pytest.raises(WalkError, match="forward"):
+            TemporalWalkEngine(tiny_graph).run_from_edges(config, 5)
+
+    @pytest.mark.parametrize("sampler", ["cdf", "gumbel"])
+    def test_both_samplers_support_backward(self, email_graph, sampler):
+        config = WalkConfig(num_walks_per_node=2, max_walk_length=5,
+                            direction="backward")
+        corpus = TemporalWalkEngine(email_graph, sampler=sampler).run(
+            config, seed=4
+        )
+        assert corpus.validate_temporal_order(email_graph, "backward")
+
+    def test_backward_default_start_time_is_plus_inf(self, tiny_graph):
+        # Every edge of the start node is a valid first hop backward.
+        config = WalkConfig(num_walks_per_node=20, max_walk_length=2,
+                            direction="backward")
+        corpus = TemporalWalkEngine(tiny_graph).run(
+            config, seed=5, start_nodes=np.array([0])
+        )
+        assert set(corpus.matrix[:, 1].tolist()) <= {1, 2, 3}
+        assert corpus.lengths.max() == 2

@@ -1,0 +1,38 @@
+"""Unit tests for WalkConfig validation."""
+
+import pytest
+
+from repro.errors import WalkError
+from repro.walk.config import WalkConfig
+
+
+class TestWalkConfig:
+    def test_defaults_are_paper_operating_point(self):
+        cfg = WalkConfig()
+        assert cfg.num_walks_per_node == 10
+        assert cfg.max_walk_length == 6
+        assert cfg.bias == "softmax-recency"
+
+    def test_max_steps(self):
+        assert WalkConfig(max_walk_length=6).max_steps == 5
+        assert WalkConfig(max_walk_length=1).max_steps == 0
+
+    def test_invalid_num_walks(self):
+        with pytest.raises(WalkError):
+            WalkConfig(num_walks_per_node=0)
+
+    def test_invalid_length(self):
+        with pytest.raises(WalkError):
+            WalkConfig(max_walk_length=0)
+
+    def test_invalid_bias(self):
+        with pytest.raises(WalkError, match="unknown bias"):
+            WalkConfig(bias="bogus")
+
+    def test_invalid_temperature(self):
+        with pytest.raises(WalkError):
+            WalkConfig(temperature=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            WalkConfig().bias = "uniform"

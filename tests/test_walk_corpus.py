@@ -1,0 +1,135 @@
+"""Unit tests for WalkCorpus."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.walk.corpus import PAD, WalkCorpus
+
+
+def make_corpus() -> WalkCorpus:
+    matrix = np.array([
+        [0, 1, 2, PAD],
+        [1, PAD, PAD, PAD],
+        [2, 3, PAD, PAD],
+        [3, 4, 1, 0],
+    ])
+    lengths = np.array([3, 1, 2, 4])
+    return WalkCorpus(matrix, lengths)
+
+
+class TestConstruction:
+    def test_shape_properties(self):
+        corpus = make_corpus()
+        assert corpus.num_walks == 4
+        assert corpus.max_walk_length == 4
+        assert len(corpus) == 4
+
+    def test_start_nodes_default(self):
+        corpus = make_corpus()
+        assert corpus.start_nodes.tolist() == [0, 1, 2, 3]
+
+    def test_rejects_1d_matrix(self):
+        with pytest.raises(WalkError):
+            WalkCorpus(np.array([1, 2, 3]), np.array([3]))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(WalkError):
+            WalkCorpus(np.zeros((2, 3), dtype=int), np.array([1]))
+
+    def test_rejects_out_of_range_lengths(self):
+        with pytest.raises(WalkError):
+            WalkCorpus(np.zeros((2, 3), dtype=int), np.array([0, 2]))
+        with pytest.raises(WalkError):
+            WalkCorpus(np.zeros((2, 3), dtype=int), np.array([4, 2]))
+
+
+class TestAccess:
+    def test_walk_trims_padding(self):
+        corpus = make_corpus()
+        assert corpus.walk(0).tolist() == [0, 1, 2]
+        assert corpus.walk(1).tolist() == [1]
+
+    def test_sentences_filters_short(self):
+        corpus = make_corpus()
+        sentences = list(corpus.sentences(min_length=2))
+        assert len(sentences) == 3
+
+    def test_total_nodes(self):
+        assert make_corpus().total_nodes() == 10
+
+    def test_node_frequencies(self):
+        freqs = make_corpus().node_frequencies(5)
+        # Node 1 appears in walks 0, 1 and 3.
+        assert freqs[1] == 3
+        assert freqs.sum() == 10
+
+
+class TestHistogram:
+    def test_length_histogram(self):
+        values, counts = make_corpus().length_histogram()
+        assert dict(zip(values.tolist(), counts.tolist())) == {
+            1: 1, 2: 1, 3: 1, 4: 1
+        }
+
+    def test_length_fractions_sum_to_one(self):
+        fractions = make_corpus().length_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_power_law_shape_on_directed_temporal_graph(self, email_edges):
+        # Fig. 4: on the *directed* interaction graph most walks are
+        # short, and frequency decays with length (the wiki-talk power
+        # law).  The undirected view does not show this — reverse edges
+        # keep walks alive — which is why the fixture builds directed.
+        from repro.graph import TemporalGraph
+        from repro.walk import TemporalWalkEngine, WalkConfig
+
+        g = TemporalGraph.from_edge_list(email_edges)
+        corpus = TemporalWalkEngine(g).run(
+            WalkConfig(num_walks_per_node=4, max_walk_length=8), seed=5
+        )
+        fractions = corpus.length_fractions()
+        mode = max(fractions, key=fractions.get)
+        # Fig. 4: mass is centered on lengths 1-5 and the frequency of
+        # longer walks decays steeply.
+        assert mode <= 3
+        assert sum(v for k, v in fractions.items() if k <= 5) > 0.8
+        assert fractions.get(8, 0.0) < 0.05
+        # Monotone decay past the mode.
+        tail = [fractions.get(k, 0.0) for k in range(mode, 9)]
+        assert all(a >= b for a, b in zip(tail, tail[1:]))
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        corpus = make_corpus()
+        path = tmp_path / "corpus.npz"
+        corpus.save(path)
+        back = WalkCorpus.load(path)
+        assert np.array_equal(back.matrix, corpus.matrix)
+        assert np.array_equal(back.lengths, corpus.lengths)
+        assert np.array_equal(back.start_nodes, corpus.start_nodes)
+
+    def test_load_missing_arrays_rejected(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez(path, matrix=np.zeros((1, 2), dtype=int))
+        with pytest.raises(WalkError, match="missing arrays"):
+            WalkCorpus.load(path)
+
+
+class TestValidation:
+    def test_validate_accepts_real_walks(self, tiny_graph):
+        matrix = np.array([[0, 2, 3, PAD]])
+        corpus = WalkCorpus(matrix, np.array([3]))
+        assert corpus.validate_temporal_order(tiny_graph)
+
+    def test_validate_rejects_nonexistent_edge(self, tiny_graph):
+        matrix = np.array([[0, 4, PAD, PAD]])  # no edge 0 -> 4
+        corpus = WalkCorpus(matrix, np.array([2]))
+        assert not corpus.validate_temporal_order(tiny_graph)
+
+    def test_validate_rejects_time_violation(self, tiny_graph):
+        # 0 -> 3 uses t=0.9; 3 -> 4 needs t > 0.9 but the edge is at 0.8.
+        matrix = np.array([[0, 3, 4, PAD]])
+        corpus = WalkCorpus(matrix, np.array([3]))
+        assert not corpus.validate_temporal_order(tiny_graph)

@@ -1,0 +1,114 @@
+"""Unit tests for walk-engine extensions: time windows and edge starts."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.graph import TemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.walk import TemporalWalkEngine, WalkConfig
+
+
+class TestTimeWindow:
+    def test_invalid_window_rejected(self):
+        with pytest.raises(WalkError):
+            WalkConfig(time_window=0.0)
+
+    def test_window_excludes_distant_edges(self):
+        # 0 -> 1 at 0.1; from 1: edges at 0.15 (near) and 0.9 (far).
+        edges = TemporalEdgeList(
+            [0, 1, 1], [1, 2, 3], [0.1, 0.15, 0.9]
+        )
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=50, max_walk_length=3,
+                            time_window=0.1)
+        corpus = TemporalWalkEngine(graph).run(
+            config, seed=1, start_nodes=np.array([0])
+        )
+        third = corpus.matrix[corpus.lengths == 3, 2]
+        assert set(third.tolist()) == {2}  # node 3's edge is out of window
+
+    def test_no_window_reaches_both(self):
+        edges = TemporalEdgeList(
+            [0, 1, 1], [1, 2, 3], [0.1, 0.15, 0.9]
+        )
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=100, max_walk_length=3)
+        corpus = TemporalWalkEngine(graph).run(
+            config, seed=1, start_nodes=np.array([0])
+        )
+        third = corpus.matrix[corpus.lengths == 3, 2]
+        assert set(third.tolist()) == {2, 3}
+
+    def test_first_hop_unconstrained(self):
+        # The walk clock starts at -inf; the window must not bind there.
+        edges = TemporalEdgeList([0], [1], [0.9])
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=5, max_walk_length=2,
+                            time_window=0.01)
+        corpus = TemporalWalkEngine(graph).run(
+            config, seed=1, start_nodes=np.array([0])
+        )
+        assert np.all(corpus.lengths == 2)
+
+    def test_window_shortens_walks(self, email_graph):
+        narrow = TemporalWalkEngine(email_graph).run(
+            WalkConfig(time_window=0.02), seed=2
+        )
+        wide = TemporalWalkEngine(email_graph).run(WalkConfig(), seed=2)
+        assert narrow.lengths.mean() <= wide.lengths.mean()
+
+    def test_windowed_walks_still_temporally_valid(self, tiny_graph):
+        config = WalkConfig(num_walks_per_node=5, max_walk_length=5,
+                            time_window=0.3)
+        corpus = TemporalWalkEngine(tiny_graph).run(config, seed=3)
+        assert corpus.validate_temporal_order(tiny_graph)
+
+
+class TestEdgeStarts:
+    def test_contract(self, email_graph):
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=6)
+        corpus = TemporalWalkEngine(email_graph).run_from_edges(
+            config, num_walks=500, seed=4
+        )
+        assert corpus.num_walks == 500
+        # Every walk starts with a real edge, so length >= 2.
+        assert corpus.lengths.min() >= 2
+        assert corpus.validate_temporal_order(email_graph)
+
+    def test_first_hop_is_a_real_edge(self, tiny_graph):
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=4)
+        corpus = TemporalWalkEngine(tiny_graph).run_from_edges(
+            config, num_walks=100, seed=5
+        )
+        keys = tiny_graph.edge_key_set()
+        for i in range(corpus.num_walks):
+            walk = corpus.walk(i)
+            assert (int(walk[0]), int(walk[1])) in keys
+
+    def test_late_bias_prefers_late_initial_edges(self):
+        edges = TemporalEdgeList([0, 1], [1, 0], [0.05, 0.95])
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=2,
+                            bias="softmax-late", temperature=0.1)
+        corpus = TemporalWalkEngine(graph).run_from_edges(
+            config, num_walks=4000, seed=6
+        )
+        late_share = np.mean(corpus.matrix[:, 0] == 1)
+        assert late_share > 0.9
+
+    def test_empty_graph_rejected(self):
+        graph = TemporalGraph.from_edge_list(TemporalEdgeList([], [], []))
+        with pytest.raises(WalkError):
+            TemporalWalkEngine(graph).run_from_edges(WalkConfig(), 10)
+
+    def test_invalid_num_walks(self, tiny_graph):
+        with pytest.raises(WalkError):
+            TemporalWalkEngine(tiny_graph).run_from_edges(WalkConfig(), 0)
+
+    def test_length_one_cap(self, tiny_graph):
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=1)
+        corpus = TemporalWalkEngine(tiny_graph).run_from_edges(
+            config, num_walks=10, seed=7
+        )
+        assert np.all(corpus.lengths == 1)

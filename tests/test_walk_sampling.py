@@ -1,0 +1,134 @@
+"""Unit tests for transition-probability models (Eq. 1 variants)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WalkError
+from repro.walk.sampling import (
+    BIAS_CHOICES,
+    gumbel_argmax,
+    segmented_gumbel_argmax,
+    segmented_transition_logits,
+    transition_logits,
+    transition_probabilities,
+)
+
+
+TS = np.array([0.1, 0.2, 0.6, 0.9])
+
+
+class TestLogits:
+    def test_uniform_is_constant(self):
+        logits = transition_logits(TS, "uniform", 1.0)
+        assert np.allclose(logits, 0.0)
+
+    def test_softmax_late_favors_later(self):
+        logits = transition_logits(TS, "softmax-late", 1.0)
+        assert np.all(np.diff(logits) > 0)
+
+    def test_softmax_recency_favors_sooner(self):
+        logits = transition_logits(TS, "softmax-recency", 1.0)
+        assert np.all(np.diff(logits) < 0)
+
+    def test_linear_rank_weights(self):
+        logits = transition_logits(TS, "linear", 1.0)
+        assert np.allclose(np.exp(logits), [4, 3, 2, 1])
+
+    def test_unknown_bias_rejected(self):
+        with pytest.raises(WalkError, match="unknown bias"):
+            transition_logits(TS, "nope", 1.0)
+
+    def test_bias_choices_cover_all(self):
+        for bias in BIAS_CHOICES:
+            transition_logits(TS, bias, 1.0)  # must not raise
+
+    def test_temperature_flattens_softmax(self):
+        sharp = transition_probabilities(TS, "softmax-late", 0.1)
+        flat = transition_probabilities(TS, "softmax-late", 10.0)
+        assert sharp.max() > flat.max()
+
+
+class TestProbabilities:
+    @pytest.mark.parametrize("bias", sorted(BIAS_CHOICES))
+    def test_sums_to_one(self, bias):
+        probs = transition_probabilities(TS, bias, 0.5)
+        assert probs.sum() == pytest.approx(1.0)
+        assert np.all(probs > 0)
+
+    def test_empty_candidates(self):
+        probs = transition_probabilities(np.array([]), "uniform", 1.0)
+        assert len(probs) == 0
+
+    def test_eq1_formula_exact(self):
+        # Pr[v|u] = exp(tau/r) / sum exp(tau/r)  (Eq. 1 verbatim)
+        r = 0.8
+        expected = np.exp(TS / r) / np.exp(TS / r).sum()
+        probs = transition_probabilities(TS, "softmax-late", r)
+        assert np.allclose(probs, expected)
+
+    def test_numerical_stability_large_logits(self):
+        probs = transition_probabilities(
+            np.array([1e5, 2e5]), "softmax-late", 1.0
+        )
+        assert np.isfinite(probs).all()
+        assert probs.sum() == pytest.approx(1.0)
+
+
+class TestSegmentedLogits:
+    def test_matches_scalar_per_segment(self):
+        seg_a = np.array([0.1, 0.4])
+        seg_b = np.array([0.2, 0.3, 0.9])
+        concat = np.concatenate([seg_a, seg_b])
+        rank = np.array([0, 1, 0, 1, 2])
+        sizes = np.array([2, 2, 3, 3, 3])
+        for bias in sorted(BIAS_CHOICES):
+            combined = segmented_transition_logits(
+                concat, rank, sizes, bias, 0.7
+            )
+            scalar_a = transition_logits(seg_a, bias, 0.7)
+            scalar_b = transition_logits(seg_b, bias, 0.7)
+            assert np.allclose(combined[:2], scalar_a)
+            assert np.allclose(combined[2:], scalar_b)
+
+
+class TestGumbel:
+    def test_gumbel_argmax_matches_softmax(self, rng):
+        logits = np.log(np.array([0.5, 0.3, 0.2]))
+        counts = np.zeros(3)
+        for _ in range(6000):
+            counts[gumbel_argmax(logits, rng)] += 1
+        freqs = counts / counts.sum()
+        assert np.allclose(freqs, [0.5, 0.3, 0.2], atol=0.03)
+
+    def test_gumbel_argmax_empty_rejected(self, rng):
+        with pytest.raises(WalkError):
+            gumbel_argmax(np.array([]), rng)
+
+    def test_segmented_gumbel_one_choice_per_segment(self, rng):
+        logits = np.zeros(7)
+        seg_starts = np.array([0, 3, 5])
+        seg_ids = np.array([0, 0, 0, 1, 1, 2, 2])
+        chosen = segmented_gumbel_argmax(logits, seg_starts, seg_ids, rng)
+        assert len(chosen) == 3
+        assert 0 <= chosen[0] < 3
+        assert 3 <= chosen[1] < 5
+        assert 5 <= chosen[2] < 7
+
+    def test_segmented_gumbel_distribution(self, rng):
+        # Two segments, each weighted 2:1; draws should track softmax.
+        logits = np.log(np.array([2.0, 1.0, 2.0, 1.0]))
+        seg_starts = np.array([0, 2])
+        seg_ids = np.array([0, 0, 1, 1])
+        first = np.zeros(2)
+        for _ in range(4000):
+            chosen = segmented_gumbel_argmax(logits, seg_starts, seg_ids, rng)
+            first[0] += chosen[0] == 0
+            first[1] += chosen[1] == 2
+        assert first[0] / 4000 == pytest.approx(2 / 3, abs=0.04)
+        assert first[1] / 4000 == pytest.approx(2 / 3, abs=0.04)
+
+    def test_segmented_gumbel_empty(self, rng):
+        out = segmented_gumbel_argmax(
+            np.array([]), np.array([], dtype=int), np.array([], dtype=int), rng
+        )
+        assert len(out) == 0
