@@ -87,6 +87,8 @@ def test_fig05_batching_speedup(benchmark, wiki_graph):
     recorder = ExperimentRecorder("fig05_w2v_batching")
     recorder.add("measured_speedups",
                  {b: base / measured[b].wall_seconds for b in BATCH_SIZES})
+    # mean_loss is pair-weighted (per-pair unit) in every trainer, so
+    # these values are directly comparable across batch sizes.
     recorder.add("measured_losses",
                  {b: measured[b].mean_loss for b in BATCH_SIZES})
     recorder.add("modeled_speedups", modeled)

@@ -23,6 +23,8 @@ Package map:
 - :mod:`repro.nn` — the FNN substrate (layers, losses, SGD, metrics);
 - :mod:`repro.tasks` — data preparation, the downstream tasks, and the
   end-to-end :class:`Pipeline`;
+- :mod:`repro.parallel` — multiprocess execution of the walk and
+  word2vec phases (``PipelineConfig(workers=N)``);
 - :mod:`repro.hwmodel` — instruction/cache/GPU/thread models for the
   hardware study;
 - :mod:`repro.baselines` — BFS, VGG, GCN, static DeepWalk comparisons.

@@ -69,6 +69,9 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--directed", action="store_true",
                        help="walk the directed stream (default mirrors "
                             "each edge)")
+    group.add_argument("--workers", type=int, default=1,
+                       help="worker processes for the walk and word2vec "
+                            "phases (1 = serial)")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -87,6 +90,7 @@ def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
         sgns=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
         batch_sentences=args.batch_sentences or None,
         treat_undirected=not args.directed,
+        workers=args.workers,
         link_prediction=LinkPredictionConfig(training=training),
         node_classification=NodeClassificationConfig(training=training),
     )

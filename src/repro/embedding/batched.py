@@ -110,11 +110,13 @@ class BatchedSgnsTrainer:
                 stats.pairs_trained += len(centers)
                 stats.updates += 1
                 stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
-                loss_accum += loss
+                # Pair-weighted accumulation: mean_loss is per-pair, the
+                # same unit the sequential trainer reports.
+                loss_accum += loss * len(centers)
                 stats.losses.append(loss)
 
         stats.wall_seconds = time.perf_counter() - start
-        stats.mean_loss = loss_accum / max(1, stats.updates)
+        stats.mean_loss = loss_accum / max(1, stats.pairs_trained)
         self.last_stats = stats
         return model
 

@@ -100,6 +100,7 @@ def train_embeddings(
     batch_sentences: int | None = 1024,
     seed: SeedLike = None,
     objective: str = "negative-sampling",
+    workers: int = 1,
 ) -> tuple[NodeEmbeddings, TrainerStats]:
     """Train node embeddings from a walk corpus (pipeline phase RW-P2).
 
@@ -108,10 +109,29 @@ def train_embeddings(
     default 1024 is well inside Fig. 5's no-accuracy-loss regime).
     ``objective`` is ``negative-sampling`` (the paper's) or
     ``hierarchical-softmax`` (word2vec's alternative output layer;
-    batched only).  Returns the embeddings and the trainer's work
-    statistics.
+    batched only).  ``workers > 1`` trains data-parallel across that
+    many processes with per-epoch parameter averaging
+    (:class:`repro.parallel.ParallelSgnsTrainer`; negative sampling
+    only); ``workers=1`` is the serial path.  Returns the embeddings
+    and the trainer's work statistics.
     """
     config = config or SgnsConfig()
+    if workers < 1:
+        raise EmbeddingError(f"workers must be >= 1, got {workers}")
+    if workers > 1:
+        if objective != "negative-sampling":
+            raise EmbeddingError(
+                "parallel training supports the negative-sampling "
+                f"objective only, got {objective!r}"
+            )
+        from repro.parallel.sgns import ParallelSgnsTrainer
+
+        par_trainer = ParallelSgnsTrainer(
+            config, workers=workers, batch_sentences=batch_sentences
+        )
+        par_model = par_trainer.train(corpus, num_nodes, seed=seed)
+        assert par_trainer.last_stats is not None
+        return NodeEmbeddings(par_model.w_in), par_trainer.last_stats
     if objective == "hierarchical-softmax":
         from repro.embedding.hsoftmax import BatchedHsTrainer
 

@@ -284,9 +284,11 @@ class BatchedHsTrainer:
                 stats.fp_ops += int(
                     len(centers) * model.tree.max_code_length * 4 * cfg.dim
                 )
-                loss_accum += loss
+                # Pair-weighted, like the SGNS trainers: mean_loss is
+                # per-pair regardless of batch size.
+                loss_accum += loss * len(centers)
                 stats.losses.append(loss)
         stats.wall_seconds = time.perf_counter() - start
-        stats.mean_loss = loss_accum / max(1, stats.updates)
+        stats.mean_loss = loss_accum / max(1, stats.pairs_trained)
         self.last_stats = stats
         return model

@@ -14,8 +14,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.errors import EmbeddingError
 from repro.rng import SeedLike, make_rng
 from repro.embedding.negative import NegativeSampler
@@ -71,6 +69,12 @@ class TrainerStats:
     sequential trainer, one per batch for the batched trainer) — the
     analogue of GPU kernel launches.  fp-op counts follow the SGNS math:
     each pair costs about ``(1 + K) * 4d`` multiply-adds.
+
+    ``mean_loss`` is the mean SGNS loss *per (center, context) pair*
+    over the whole run, in every trainer — pair-weighted, so sequential
+    and batched runs report the same unit and Fig. 5/6-style loss
+    comparisons are apples-to-apples.  ``losses`` keeps the per-update
+    mean-pair-loss trace (one entry per update event).
     """
 
     pairs_trained: int = 0
@@ -118,15 +122,21 @@ class SequentialSgnsTrainer:
         loss_accum = 0.0
         for _epoch in range(cfg.epochs):
             for sentence in corpus.sentences(min_length=2):
+                # The schedule counts every *visited* sentence, matching
+                # the pre-subsample ``total_sentences`` denominator.
+                # (Counting only surviving sentences left ``seen`` far
+                # below the total under subsampling, so the linear decay
+                # never reached its floor and the effective LR was
+                # biased high.)
+                lr = self._lr(seen, total_sentences)
+                seen += 1
                 if keep is not None:
                     sentence = vocab.subsample_sentence(sentence, keep, rng)
                     if len(sentence) < 2:
                         continue
-                lr = self._lr(seen, total_sentences)
                 centers, contexts = generate_pairs(
                     sentence, cfg.window, rng, cfg.dynamic_window
                 )
-                seen += 1
                 if len(centers) == 0:
                     continue
                 negatives = sampler.sample_matrix(len(centers), cfg.negatives, rng)
@@ -139,11 +149,11 @@ class SequentialSgnsTrainer:
                 stats.sentences += 1
                 stats.updates += 1
                 stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
-                loss_accum += loss
+                loss_accum += loss * len(centers)
                 stats.losses.append(loss)
 
         stats.wall_seconds = time.perf_counter() - start
-        stats.mean_loss = loss_accum / max(1, stats.sentences)
+        stats.mean_loss = loss_accum / max(1, stats.pairs_trained)
         self.last_stats = stats
         return model
 

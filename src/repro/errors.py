@@ -37,3 +37,7 @@ class DataPreparationError(ReproError):
 
 class ModelError(ReproError):
     """Raised for hardware-model configuration errors."""
+
+
+class PipelineError(ReproError):
+    """Raised for invalid end-to-end pipeline configuration."""

@@ -39,7 +39,14 @@ from repro.hwmodel.report import (
     PipelineCharacterization,
     characterize_pipeline,
 )
-from repro.hwmodel.threads import ScheduleResult, scaling_curve, simulate_schedule
+from repro.hwmodel.threads import (
+    ScheduleResult,
+    compare_to_measured,
+    load_measured_curve,
+    model_measured_gap,
+    scaling_curve,
+    simulate_schedule,
+)
 from repro.hwmodel.gpu import (
     GpuConfig,
     GpuKernelModel,
@@ -68,6 +75,9 @@ __all__ = [
     "ScheduleResult",
     "simulate_schedule",
     "scaling_curve",
+    "compare_to_measured",
+    "load_measured_curve",
+    "model_measured_gap",
     "GpuConfig",
     "GpuKernelModel",
     "GpuKernelReport",

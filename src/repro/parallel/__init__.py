@@ -1,0 +1,37 @@
+"""Multiprocess parallel execution of the two hot pipeline phases.
+
+The paper's hardware story (Fig. 10, Table III) is about *thread
+scaling* of the temporal-walk and word2vec kernels; the serial numpy
+engine only models it (:mod:`repro.hwmodel.threads`).  This package
+executes both phases across worker **processes**:
+
+- :func:`run_parallel_walks` shards ``start_nodes`` across workers,
+  each running :class:`~repro.walk.engine.TemporalWalkEngine` against
+  the CSR graph shared read-only through ``multiprocessing.shared_memory``
+  (:class:`SharedCsrGraph`), then concatenates the walk matrices and
+  merges the :class:`~repro.walk.engine.WalkStats`;
+- :class:`ParallelSgnsTrainer` shards sentences across workers that
+  each train on a parameter snapshot and periodically average — the
+  paper's stale-read batching taken one level up.
+
+``workers=1`` is bit-identical to the serial path; ``workers=N`` is
+reproducible for fixed ``N`` (per-worker seeds derive from the root
+seed via ``SeedSequence.spawn``).  Wire-up lives in
+``PipelineConfig(workers=...)`` and the CLI ``--workers`` flag; the
+measured scaling curve (``benchmarks/bench_parallel_scaling.py``) is
+what :func:`repro.hwmodel.threads.compare_to_measured` validates the
+analytic scheduler model against.
+"""
+
+from repro.parallel.shared_graph import SharedCsrGraph, SharedGraphSpec
+from repro.parallel.sgns import ParallelSgnsTrainer
+from repro.parallel.walks import merge_walk_stats, run_parallel_walks, shard_indices
+
+__all__ = [
+    "SharedCsrGraph",
+    "SharedGraphSpec",
+    "ParallelSgnsTrainer",
+    "merge_walk_stats",
+    "run_parallel_walks",
+    "shard_indices",
+]

@@ -1,0 +1,139 @@
+"""Read-only CSR graph sharing via ``multiprocessing.shared_memory``.
+
+Walk workers need the whole graph but never mutate it.  Pickling the
+three CSR arrays to every worker would copy the graph per process (and
+dominate wall time on large graphs); instead the parent copies them
+once into named shared-memory blocks and workers map the same physical
+pages.  This mirrors what the paper's OpenMP threads get for free from
+a shared address space.
+
+Usage::
+
+    with SharedCsrGraph.create(graph) as shared:
+        spec = shared.spec          # small, picklable
+        ... pass spec to workers ...
+    # workers:
+    with SharedCsrGraph.attach(spec) as graph_view:
+        ... graph_view is a TemporalGraph over the shared pages ...
+
+The parent owns the blocks and unlinks them on exit; workers only close
+their mappings.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+from repro.graph.csr import TemporalGraph
+
+
+@dataclass(frozen=True)
+class SharedGraphSpec:
+    """Picklable description of a shared CSR graph (names + shapes)."""
+
+    block_name: str
+    num_nodes: int
+    num_edges: int
+
+
+def _layout(num_nodes: int, num_edges: int) -> tuple[int, int, int]:
+    """Byte offsets of (dst, ts) and total size for one packed block.
+
+    One block holds ``indptr | dst | ts`` back to back; all three are
+    8-byte types so every section stays 8-byte aligned.
+    """
+    indptr_bytes = (num_nodes + 1) * 8
+    edges_bytes = num_edges * 8
+    return indptr_bytes, indptr_bytes + edges_bytes, indptr_bytes + 2 * edges_bytes
+
+
+class SharedCsrGraph:
+    """One CSR graph in a shared-memory block (parent or worker side)."""
+
+    def __init__(
+        self,
+        shm: shared_memory.SharedMemory,
+        spec: SharedGraphSpec,
+        owner: bool,
+    ) -> None:
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+        dst_off, ts_off, _ = _layout(spec.num_nodes, spec.num_edges)
+        indptr = np.ndarray(
+            (spec.num_nodes + 1,), dtype=np.int64, buffer=shm.buf
+        )
+        dst = np.ndarray(
+            (spec.num_edges,), dtype=np.int64, buffer=shm.buf, offset=dst_off
+        )
+        ts = np.ndarray(
+            (spec.num_edges,), dtype=np.float64, buffer=shm.buf, offset=ts_off
+        )
+        self.arrays = (indptr, dst, ts)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, graph: TemporalGraph) -> "SharedCsrGraph":
+        """Parent side: copy ``graph``'s CSR arrays into shared memory."""
+        _, _, total = _layout(graph.num_nodes, graph.num_edges)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+        spec = SharedGraphSpec(shm.name, graph.num_nodes, graph.num_edges)
+        shared = cls(shm, spec, owner=True)
+        indptr, dst, ts = shared.arrays
+        indptr[:] = graph.indptr
+        dst[:] = graph.dst
+        ts[:] = graph.ts
+        return shared
+
+    @classmethod
+    def attach(cls, spec: SharedGraphSpec) -> "SharedCsrGraph":
+        """Worker side: map an existing block by name."""
+        shm = shared_memory.SharedMemory(name=spec.block_name)
+        # Attaching registers the block with the resource tracker again
+        # (bpo-39959).  Under spawn each worker runs its own tracker,
+        # which would unlink the parent's block at worker exit — so
+        # deregister.  Under fork the tracker is shared with the parent
+        # (register is a set no-op) and deregistering here would break
+        # the parent's own cleanup.
+        if "fork" not in mp.get_all_start_methods():
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, spec, owner=False)
+
+    # ------------------------------------------------------------------
+    def graph(self) -> TemporalGraph:
+        """A :class:`TemporalGraph` viewing the shared pages (no copy).
+
+        Keep this :class:`SharedCsrGraph` alive (or use the context
+        manager) for as long as the returned graph is in use.
+        """
+        indptr, dst, ts = self.arrays
+        return TemporalGraph(indptr, dst, ts, validate=False)
+
+    def close(self) -> None:
+        """Drop this process's mapping; the owner also unlinks the block."""
+        # Release the numpy views before closing the mmap.
+        self.arrays = ()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A caller still holds a view (error-path cleanup); the
+            # mapping is reclaimed at process exit instead.
+            pass
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def __enter__(self) -> "SharedCsrGraph":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,166 @@
+"""Walk-phase sharding across worker processes.
+
+Algorithm 1's middle loop ("for every vertex") is what the paper
+parallelizes with work-stealing OpenMP threads.  The process analogue:
+partition ``start_nodes`` into contiguous shards, run a full
+:class:`~repro.walk.engine.TemporalWalkEngine` per worker against the
+shared-memory CSR graph, then concatenate the padded walk matrices and
+merge the per-shard :class:`~repro.walk.engine.WalkStats` (counters
+summed, ``work_per_start_node`` added elementwise — every worker
+returns a full ``num_nodes``-sized array, so the merge is exact).
+
+Determinism: per-worker seeds derive from the root seed via
+``SeedSequence.spawn``, so ``workers=N`` is reproducible for fixed
+``N``.  ``workers=1`` runs in-process with the caller's generator and
+is bit-identical to :meth:`TemporalWalkEngine.run`.  Walk *row order*
+differs between worker counts (serial interleaves all nodes K times;
+shards interleave within themselves), but every start node contributes
+exactly ``K`` walks under any worker count.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import WalkError
+from repro.rng import SeedLike, make_rng
+from repro.graph.csr import TemporalGraph
+from repro.parallel.shared_graph import SharedCsrGraph, SharedGraphSpec
+from repro.walk.config import WalkConfig
+from repro.walk.corpus import WalkCorpus
+from repro.walk.engine import TemporalWalkEngine, WalkStats
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """Prefer fork (cheap, Linux); fall back to spawn elsewhere."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def shard_indices(num_items: int, workers: int) -> list[np.ndarray]:
+    """Contiguous near-equal index shards, one per worker.
+
+    Contiguous (rather than strided) shards keep each worker's CSR
+    accesses clustered, the same reason OpenMP static chunks are
+    contiguous; empty shards are dropped.
+    """
+    if workers < 1:
+        raise WalkError(f"workers must be >= 1, got {workers}")
+    bounds = np.linspace(0, num_items, workers + 1).astype(np.int64)
+    return [
+        np.arange(bounds[i], bounds[i + 1], dtype=np.int64)
+        for i in range(workers)
+        if bounds[i + 1] > bounds[i]
+    ]
+
+
+def merge_walk_stats(parts: Sequence[WalkStats]) -> WalkStats:
+    """Sum shard counters; ``work_per_start_node`` adds elementwise."""
+    if not parts:
+        return WalkStats()
+    merged = WalkStats(
+        num_walks=sum(p.num_walks for p in parts),
+        total_steps=sum(p.total_steps for p in parts),
+        candidates_scanned=sum(p.candidates_scanned for p in parts),
+        search_iterations=sum(p.search_iterations for p in parts),
+        terminated_early=sum(p.terminated_early for p in parts),
+        work_per_start_node=np.zeros_like(parts[0].work_per_start_node),
+    )
+    for p in parts:
+        if p.work_per_start_node.shape != merged.work_per_start_node.shape:
+            raise WalkError(
+                "cannot merge WalkStats with mismatched work_per_start_node "
+                f"shapes {p.work_per_start_node.shape} vs "
+                f"{merged.work_per_start_node.shape}"
+            )
+        merged.work_per_start_node += p.work_per_start_node
+    return merged
+
+
+def _walk_shard(
+    spec: SharedGraphSpec,
+    sampler: str,
+    config: WalkConfig,
+    shard: np.ndarray,
+    seed_seq: np.random.SeedSequence,
+    start_time: float | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, WalkStats]:
+    """Worker body: run the engine over one shard of start nodes."""
+    shared = SharedCsrGraph.attach(spec)
+    try:
+        engine = TemporalWalkEngine(shared.graph(), sampler=sampler)
+        corpus = engine.run(
+            config,
+            seed=np.random.default_rng(seed_seq),
+            start_nodes=shard,
+            start_time=start_time,
+        )
+        stats = engine.last_stats
+        assert stats is not None
+        result = (corpus.matrix, corpus.lengths, corpus.start_nodes, stats)
+        # Drop every view of the shared pages before closing the mapping
+        # (a live exported buffer would make mmap.close() raise).
+        del engine, corpus
+        return result
+    finally:
+        shared.close()
+
+
+def run_parallel_walks(
+    graph: TemporalGraph,
+    config: WalkConfig,
+    workers: int,
+    seed: SeedLike = None,
+    start_nodes: np.ndarray | None = None,
+    start_time: float | None = None,
+    sampler: str = "cdf",
+) -> tuple[WalkCorpus, WalkStats]:
+    """Phase-1 front door: ``K`` walks per start node across processes.
+
+    Returns ``(corpus, merged_stats)``.  ``workers=1`` executes
+    in-process (bit-identical to the serial engine); ``workers=N``
+    shards ``start_nodes`` contiguously, shares the CSR arrays through
+    shared memory, and merges the per-shard results in shard order.
+    """
+    if workers < 1:
+        raise WalkError(f"workers must be >= 1, got {workers}")
+    if workers == 1:
+        engine = TemporalWalkEngine(graph, sampler=sampler)
+        corpus = engine.run(
+            config, seed=seed, start_nodes=start_nodes, start_time=start_time
+        )
+        assert engine.last_stats is not None
+        return corpus, engine.last_stats
+
+    if start_nodes is None:
+        start_nodes = np.arange(graph.num_nodes, dtype=np.int64)
+    else:
+        start_nodes = np.ascontiguousarray(start_nodes, dtype=np.int64)
+    shards = [start_nodes[idx] for idx in shard_indices(len(start_nodes), workers)]
+    root = make_rng(seed)
+    seed_seqs = root.bit_generator.seed_seq.spawn(len(shards))
+
+    shared = SharedCsrGraph.create(graph)
+    try:
+        ctx = _mp_context()
+        with ctx.Pool(processes=len(shards)) as pool:
+            parts = pool.starmap(
+                _walk_shard,
+                [
+                    (shared.spec, sampler, config, shard, seq, start_time)
+                    for shard, seq in zip(shards, seed_seqs)
+                ],
+            )
+    finally:
+        shared.close()
+
+    matrices, lengths, starts, stats = zip(*parts)
+    corpus = WalkCorpus(
+        np.vstack(matrices),
+        np.concatenate(lengths),
+        start_nodes=np.concatenate(starts),
+    )
+    return corpus, merge_walk_stats(stats)

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.embedding.embeddings import NodeEmbeddings, train_embeddings
+from repro.errors import PipelineError
 from repro.embedding.trainer import SgnsConfig, TrainerStats
 from repro.graph.csr import TemporalGraph
 from repro.graph.edges import TemporalEdgeList
@@ -45,6 +46,14 @@ class PipelineConfig:
     traverse both directions (useful on interaction networks whose
     directed out-degree is heavily skewed); the raw directed stream is
     what the paper's CSR stores, so the default is False.
+
+    ``workers`` executes phases 1-2 across that many worker processes
+    (:mod:`repro.parallel`): walk-phase start nodes are sharded over a
+    shared-memory CSR graph and word2vec trains data-parallel with
+    per-epoch parameter averaging.  ``workers=1`` (default) is the
+    serial path, bit-identical to previous behavior; ``workers=N`` is
+    deterministic for fixed ``N`` (seeds derive from the root seed via
+    ``SeedSequence.spawn``).
     """
 
     walk: WalkConfig = field(default_factory=WalkConfig)
@@ -52,6 +61,7 @@ class PipelineConfig:
     batch_sentences: int | None = 1024
     sampler: str = "cdf"
     treat_undirected: bool = False
+    workers: int = 1
     link_prediction: LinkPredictionConfig = field(
         default_factory=LinkPredictionConfig
     )
@@ -59,6 +69,12 @@ class PipelineConfig:
         default_factory=NodeClassificationConfig
     )
     link_property: LinkPropertyConfig = field(default_factory=LinkPropertyConfig)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise PipelineError(
+                f"workers must be >= 1, got {self.workers}"
+            )
 
 
 @dataclass
@@ -136,7 +152,9 @@ class Pipeline:
         """Phases 1-2: walks and word2vec.
 
         Exposed separately so sweeps (Fig. 8) can reuse embeddings across
-        classifier configurations.
+        classifier configurations.  With ``config.workers > 1`` both
+        phases execute across worker processes (:mod:`repro.parallel`);
+        ``workers=1`` keeps the serial code path bit-for-bit.
         """
         cfg = self.config
         rng = make_rng(seed)
@@ -145,10 +163,19 @@ class Pipeline:
 
         timings = PhaseTimings()
         start = time.perf_counter()
-        engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
-        corpus = engine.run(cfg.walk, seed=rng)
+        if cfg.workers > 1:
+            from repro.parallel import run_parallel_walks
+
+            corpus, walk_stats = run_parallel_walks(
+                graph, cfg.walk, workers=cfg.workers, seed=rng,
+                sampler=cfg.sampler,
+            )
+        else:
+            engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
+            corpus = engine.run(cfg.walk, seed=rng)
+            assert engine.last_stats is not None
+            walk_stats = engine.last_stats
         timings.rwalk = time.perf_counter() - start
-        assert engine.last_stats is not None
 
         start = time.perf_counter()
         embeddings, trainer_stats = train_embeddings(
@@ -157,9 +184,10 @@ class Pipeline:
             config=cfg.sgns,
             batch_sentences=cfg.batch_sentences,
             seed=rng,
+            workers=cfg.workers,
         )
         timings.word2vec = time.perf_counter() - start
-        return embeddings, timings, engine.last_stats, trainer_stats, corpus
+        return embeddings, timings, walk_stats, trainer_stats, corpus
 
     # ------------------------------------------------------------------
     def run_link_prediction(

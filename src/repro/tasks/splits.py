@@ -105,6 +105,16 @@ def stratified_node_split(
     ``valid_fraction`` to valid, and the remainder to test, so class
     balance is preserved across partitions (what the artifact's
     ``process_dataset.py`` produces).
+
+    Tiny classes fill partitions in priority order **train, test,
+    valid** — a classifier can never be asked to predict a label it has
+    not seen.  Precisely:
+
+    - every class appears in **train** (including singletons);
+    - every class with >= 2 members also appears in **test**;
+    - every class with >= 3 members also appears in **valid** when
+      ``valid_fraction > 0`` (with ``valid_fraction == 0`` valid is
+      empty and the remainder goes to test).
     """
     labels = np.asarray(labels, dtype=np.int64)
     if not 0 < train_fraction < 1 or not 0 <= valid_fraction < 1:
@@ -118,11 +128,18 @@ def stratified_node_split(
     for cls in np.unique(labels):
         members = np.flatnonzero(labels == cls)
         rng.shuffle(members)
-        n_train = max(1, int(round(train_fraction * len(members))))
-        n_valid = int(round(valid_fraction * len(members)))
-        # Guarantee a non-empty test share for classes with >= 3 members.
-        n_train = min(n_train, len(members) - 1)
-        n_valid = min(n_valid, len(members) - n_train - 1) if len(members) - n_train > 1 else 0
+        n = len(members)
+        # Train first: at least one member always (the old clamp
+        # ``min(..., n - 1)`` sent singleton classes entirely to test),
+        # leaving one member for test when n >= 2 and one more for
+        # valid when n >= 3 and a valid share was requested.
+        reserve = 0 if n == 1 else (1 if n == 2 or valid_fraction == 0 else 2)
+        n_train = min(max(1, int(round(train_fraction * n))), n - reserve)
+        rest = n - n_train
+        # Valid never starves test: test keeps >= 1 whenever rest >= 1.
+        n_valid = min(int(round(valid_fraction * n)), max(0, rest - 1))
+        if valid_fraction > 0 and rest >= 2 and n_valid == 0:
+            n_valid = 1
         train_parts.append(members[:n_train])
         valid_parts.append(members[n_train: n_train + n_valid])
         test_parts.append(members[n_train + n_valid:])

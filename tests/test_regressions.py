@@ -150,3 +150,94 @@ class TestModelRegressions:
         cache = CacheSim(CacheConfig(size_bytes=4096, line_bytes=64, ways=4))
         cache.access_many(trace)
         assert cache.hit_rate > 0.8
+
+
+class TestSgnsScheduleRegressions:
+    def test_lr_schedule_advances_past_subsampled_sentences(self):
+        """Bug: ``seen`` only advanced for sentences that survived
+        subsampling while ``total_sentences`` counted all of them, so
+        under aggressive subsampling the linear decay stalled near the
+        keep rate and the effective LR stayed biased high.  Fix: every
+        visited sentence advances the schedule."""
+        from repro.embedding.trainer import SequentialSgnsTrainer, SgnsConfig
+        from repro.graph import generators
+        from repro.graph.csr import TemporalGraph
+
+        recorded = []
+
+        class Probe(SequentialSgnsTrainer):
+            def _lr(self, seen, total):
+                recorded.append((seen, total))
+                return super()._lr(seen, total)
+
+        edges = generators.ia_email_like(scale=0.003, seed=11)
+        graph = TemporalGraph.from_edge_list(edges.with_reverse_edges())
+        corpus = TemporalWalkEngine(graph).run(
+            WalkConfig(num_walks_per_node=2, max_walk_length=6), seed=3
+        )
+        trainer = Probe(
+            SgnsConfig(dim=4, epochs=2, subsample_threshold=1e-9)
+        )
+        trainer.train(corpus, graph.num_nodes, seed=5)
+        # Aggressive subsampling drops most sentences; the schedule must
+        # still sweep 0 .. total-1 exactly once per visited sentence.
+        assert trainer.last_stats.sentences < len(recorded)
+        seens = [s for s, _ in recorded]
+        total = recorded[0][1]
+        assert seens == list(range(total))
+
+    def test_mean_loss_is_per_pair_not_per_update(self):
+        """Bug: ``mean_loss`` averaged per-update batch means, so a
+        2-pair sentence weighed as much as a 14-pair one and the number
+        was incomparable across batch sizes.  Fix: pair-weighted mean."""
+        from repro.embedding.trainer import SequentialSgnsTrainer, SgnsConfig
+        from repro.walk.corpus import PAD, WalkCorpus
+
+        matrix = np.array([[0, 1, 2, 3, 4],
+                           [1, 2, PAD, PAD, PAD]], dtype=np.int64)
+        corpus = WalkCorpus(matrix, np.array([5, 2], dtype=np.int64))
+        trainer = SequentialSgnsTrainer(SgnsConfig(
+            dim=4, epochs=1, window=2, dynamic_window=False,
+            subsample_threshold=None,
+        ))
+        trainer.train(corpus, 5, seed=0)
+        stats = trainer.last_stats
+        # window=2, no dynamic shrink: the length-5 sentence yields 14
+        # pairs, the length-2 sentence 2 pairs.
+        assert stats.pairs_trained == 16
+        assert len(stats.losses) == 2
+        weighted = (stats.losses[0] * 14 + stats.losses[1] * 2) / 16
+        assert stats.mean_loss == pytest.approx(weighted, rel=1e-12)
+        unweighted = sum(stats.losses) / 2
+        assert stats.mean_loss != pytest.approx(unweighted, rel=1e-6)
+
+
+class TestStratifiedSplitRegressions:
+    def test_tiny_classes_always_reach_train(self):
+        """Bug: ``n_train = int(round(f * n))`` rounded to 0 for
+        singleton classes (and ``n_valid`` could swallow the rest), so
+        rare labels appeared *only* in test and the classifier could
+        never learn them.  Fix: train gets at least one member of every
+        class; test gets one from classes of >= 2; valid one from
+        classes of >= 3 (when requested)."""
+        from repro.tasks.splits import stratified_node_split
+
+        labels = np.array([0] * 10 + [1] + [2] * 2 + [3] * 3)
+        splits = stratified_node_split(labels, 0.4, 0.2, seed=0)
+        train_classes = set(labels[splits.train])
+        test_classes = set(labels[splits.test])
+        valid_classes = set(labels[splits.valid])
+        assert train_classes == {0, 1, 2, 3}
+        assert {0, 2, 3} <= test_classes
+        assert 1 not in test_classes and 1 not in valid_classes
+        assert {0, 3} <= valid_classes
+
+    def test_singleton_class_never_only_in_test(self):
+        """The concrete pre-fix failure: label 1 has one node and
+        train_fraction * 1 rounds to 0, so it landed in test alone."""
+        from repro.tasks.splits import stratified_node_split
+
+        labels = np.array([0] * 20 + [1])
+        for seed in range(5):
+            splits = stratified_node_split(labels, 0.4, 0.2, seed=seed)
+            assert 1 in set(labels[splits.train])
