@@ -32,6 +32,7 @@ from repro.embedding.trainer import SgnsConfig
 from repro.errors import ReproError
 from repro.graph import TemporalGraph, compute_stats, generators
 from repro.graph.io import LabeledTemporalDataset, read_wel, write_wel
+from repro.parallel import SupervisorConfig
 from repro.tasks.link_prediction import LinkPredictionConfig
 from repro.tasks.node_classification import NodeClassificationConfig
 from repro.tasks.pipeline import Pipeline, PipelineConfig
@@ -72,6 +73,21 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     group.add_argument("--workers", type=int, default=1,
                        help="worker processes for the walk and word2vec "
                             "phases (1 = serial)")
+    fault = parser.add_argument_group(
+        "fault tolerance and resumability"
+    )
+    fault.add_argument("--checkpoint-dir", default=None,
+                       help="persist each phase's artifact here (atomic, "
+                            "keyed by config fingerprint + seed)")
+    fault.add_argument("--resume", action="store_true",
+                       help="load completed phases from --checkpoint-dir "
+                            "instead of recomputing them")
+    fault.add_argument("--shard-timeout", type=float, default=None,
+                       help="wall-clock seconds per worker shard attempt "
+                            "(default: no timeout)")
+    fault.add_argument("--max-retries", type=int, default=2,
+                       help="retries per failed worker shard before "
+                            "degrading to in-process execution")
     parser.add_argument("--seed", type=int, default=0)
 
 
@@ -93,6 +109,12 @@ def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
         workers=args.workers,
         link_prediction=LinkPredictionConfig(training=training),
         node_classification=NodeClassificationConfig(training=training),
+        supervisor=SupervisorConfig(
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+        ),
+        checkpoint_dir=args.checkpoint_dir,
+        resume=args.resume,
     )
     return Pipeline(config)
 
@@ -153,6 +175,8 @@ def cmd_linkpred(args: argparse.Namespace) -> int:
     result = _pipeline_from_args(args).run_link_prediction(
         edges, seed=args.seed
     )
+    if result.cached_phases:
+        print("cached phases: " + ", ".join(result.cached_phases))
     print(result.summary())
     return 0
 
@@ -170,6 +194,8 @@ def cmd_nodeclass(args: argparse.Namespace) -> int:
     result = _pipeline_from_args(args).run_node_classification(
         dataset, seed=args.seed
     )
+    if result.cached_phases:
+        print("cached phases: " + ", ".join(result.cached_phases))
     print(result.summary())
     return 0
 

@@ -101,6 +101,8 @@ def train_embeddings(
     seed: SeedLike = None,
     objective: str = "negative-sampling",
     workers: int = 1,
+    supervisor=None,
+    fault_plan=None,
 ) -> tuple[NodeEmbeddings, TrainerStats]:
     """Train node embeddings from a walk corpus (pipeline phase RW-P2).
 
@@ -112,8 +114,11 @@ def train_embeddings(
     batched only).  ``workers > 1`` trains data-parallel across that
     many processes with per-epoch parameter averaging
     (:class:`repro.parallel.ParallelSgnsTrainer`; negative sampling
-    only); ``workers=1`` is the serial path.  Returns the embeddings
-    and the trainer's work statistics.
+    only); ``workers=1`` is the serial path.  ``supervisor`` and
+    ``fault_plan`` configure worker supervision and fault injection for
+    the parallel path (see :mod:`repro.parallel.supervisor` and
+    :mod:`repro.faults`).  Returns the embeddings and the trainer's
+    work statistics.
     """
     config = config or SgnsConfig()
     if workers < 1:
@@ -127,7 +132,8 @@ def train_embeddings(
         from repro.parallel.sgns import ParallelSgnsTrainer
 
         par_trainer = ParallelSgnsTrainer(
-            config, workers=workers, batch_sentences=batch_sentences
+            config, workers=workers, batch_sentences=batch_sentences,
+            supervisor=supervisor, fault_plan=fault_plan,
         )
         par_model = par_trainer.train(corpus, num_nodes, seed=seed)
         assert par_trainer.last_stats is not None

@@ -1,0 +1,184 @@
+"""Deterministic fault injection for pipeline and worker testing.
+
+Fault tolerance is only trustworthy if failures are reproducible on
+demand.  This module provides a small, env/config-driven hook that the
+parallel supervisor (:mod:`repro.parallel.supervisor`) and the pipeline
+(:mod:`repro.tasks.pipeline`) consult at well-defined *sites*:
+
+- worker sites: ``walks`` and ``sgns``, fired once per shard *attempt*
+  inside the worker process, before the shard body runs;
+- pipeline sites: ``after-walks``, ``after-word2vec`` and
+  ``after-task``, fired in the driver process right after a phase
+  completes (and after its checkpoint, if any, has been written) — the
+  way to simulate a run dying between phases.
+
+A :class:`FaultSpec` selects a site, a fault kind, an optional shard,
+and how many attempts to sabotage.  Because the supervisor retries a
+shard with the *same* seed material, a spec with ``times=1`` makes the
+first attempt fail and the retry succeed with bit-identical output —
+which is exactly what the fault-injection test suite asserts.
+
+Fault kinds
+-----------
+``crash``
+    ``os._exit`` with a nonzero code: an abrupt death that skips all
+    cleanup, like the OOM killer.
+``hang``
+    Sleep effectively forever; only a supervisor shard timeout recovers.
+``delay``
+    Sleep ``delay_seconds`` and then continue normally: a straggler,
+    not a failure (unless it trips the shard timeout).
+``error``
+    Raise :class:`~repro.errors.FaultInjected`: a clean worker
+    exception.
+``corrupt``
+    Let the shard complete, then garble its result payload so the
+    supervisor's integrity check rejects it.
+
+Plans can be built programmatically (``FaultPlan.parse("walks:crash:0")``)
+or ambient via the ``REPRO_FAULTS`` environment variable, which holds a
+comma-separated list of ``site:kind[:shard[:times[:delay]]]`` specs
+(shard ``*`` matches any shard).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import FaultInjected, ReproError
+
+ENV_VAR = "REPRO_FAULTS"
+
+#: Exit code used by injected ``crash`` faults (visible in supervisor
+#: failure reports, so tests can tell an injected crash from a real one).
+CRASH_EXIT_CODE = 73
+
+#: ``hang`` sleeps this long; any sane shard timeout fires first.
+_HANG_SECONDS = 6000.0
+
+KINDS = ("crash", "hang", "delay", "error", "corrupt")
+
+WORKER_SITES = ("walks", "sgns")
+PIPELINE_SITES = ("after-walks", "after-word2vec", "after-task")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: where, what, which shard, and how often."""
+
+    site: str
+    kind: str
+    shard: int | None = None
+    times: int = 1
+    delay_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ReproError(
+                f"unknown fault kind {self.kind!r}; options: {', '.join(KINDS)}"
+            )
+        if self.times < 1:
+            raise ReproError(f"fault times must be >= 1, got {self.times}")
+        if self.delay_seconds < 0:
+            raise ReproError(
+                f"fault delay must be >= 0, got {self.delay_seconds}"
+            )
+
+    def matches(self, site: str, shard: int, attempt: int) -> bool:
+        """True when this spec should fire at (site, shard, attempt)."""
+        return (
+            self.site == site
+            and (self.shard is None or self.shard == shard)
+            and attempt < self.times
+        )
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultSpec":
+        """Parse ``site:kind[:shard[:times[:delay]]]`` (shard ``*`` = any)."""
+        parts = text.strip().split(":")
+        if len(parts) < 2:
+            raise ReproError(
+                f"bad fault spec {text!r}; expected site:kind[:shard[:times[:delay]]]"
+            )
+        site, kind = parts[0], parts[1]
+        shard: int | None = None
+        times = 1
+        delay = 1.0
+        try:
+            if len(parts) > 2 and parts[2] not in ("", "*"):
+                shard = int(parts[2])
+            if len(parts) > 3 and parts[3]:
+                times = int(parts[3])
+            if len(parts) > 4 and parts[4]:
+                delay = float(parts[4])
+        except ValueError as exc:
+            raise ReproError(f"bad fault spec {text!r}: {exc}") from exc
+        return cls(site=site, kind=kind, shard=shard, times=times,
+                   delay_seconds=delay)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered set of fault specs consulted at every injection site.
+
+    The empty plan (the default everywhere) never fires and costs one
+    tuple iteration per site visit.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+    @classmethod
+    def parse(cls, text: str) -> "FaultPlan":
+        """Parse a comma-separated list of fault specs (may be empty)."""
+        specs = tuple(
+            FaultSpec.parse(part)
+            for part in text.split(",")
+            if part.strip()
+        )
+        return cls(specs=specs)
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan":
+        """Build a plan from ``REPRO_FAULTS`` (empty plan when unset)."""
+        env = os.environ if environ is None else environ
+        return cls.parse(env.get(ENV_VAR, ""))
+
+    # ------------------------------------------------------------------
+    def match(self, site: str, shard: int, attempt: int) -> FaultSpec | None:
+        """First spec firing at (site, shard, attempt), or None."""
+        for spec in self.specs:
+            if spec.matches(site, shard, attempt):
+                return spec
+        return None
+
+    def fire(self, site: str, shard: int = 0, attempt: int = 0) -> None:
+        """Execute any matching pre-execution fault at this site.
+
+        ``corrupt`` is not handled here — it must garble the *result*,
+        so the supervisor applies it after the shard body returns (see
+        :meth:`should_corrupt`).
+        """
+        spec = self.match(site, shard, attempt)
+        if spec is None or spec.kind == "corrupt":
+            return
+        if spec.kind == "crash":
+            os._exit(CRASH_EXIT_CODE)
+        if spec.kind == "hang":
+            time.sleep(_HANG_SECONDS)
+            return
+        if spec.kind == "delay":
+            time.sleep(spec.delay_seconds)
+            return
+        raise FaultInjected(
+            f"injected fault at site={site} shard={shard} attempt={attempt}"
+        )
+
+    def should_corrupt(self, site: str, shard: int = 0, attempt: int = 0) -> bool:
+        """True when a ``corrupt`` spec fires at (site, shard, attempt)."""
+        spec = self.match(site, shard, attempt)
+        return spec is not None and spec.kind == "corrupt"

@@ -14,6 +14,14 @@ executes both phases across worker **processes**:
   each train on a parameter snapshot and periodically average — the
   paper's stale-read batching taken one level up.
 
+Both phases run under :mod:`repro.parallel.supervisor`: every shard
+attempt has an optional wall-clock deadline, failed shards (crash,
+hang, corrupt result, clean exception) are retried a bounded number of
+times with the *same* seed material, and incurable shards degrade to
+in-process execution — all recovery paths produce bit-identical output
+to an uninjected run.  Failures are testable on demand through
+:mod:`repro.faults` (``REPRO_FAULTS`` or an explicit plan).
+
 ``workers=1`` is bit-identical to the serial path; ``workers=N`` is
 reproducible for fixed ``N`` (per-worker seeds derive from the root
 seed via ``SeedSequence.spawn``).  Wire-up lives in
@@ -25,13 +33,21 @@ analytic scheduler model against.
 
 from repro.parallel.shared_graph import SharedCsrGraph, SharedGraphSpec
 from repro.parallel.sgns import ParallelSgnsTrainer
+from repro.parallel.supervisor import (
+    ShardReport,
+    SupervisorConfig,
+    run_supervised,
+)
 from repro.parallel.walks import merge_walk_stats, run_parallel_walks, shard_indices
 
 __all__ = [
     "SharedCsrGraph",
     "SharedGraphSpec",
     "ParallelSgnsTrainer",
+    "ShardReport",
+    "SupervisorConfig",
     "merge_walk_stats",
     "run_parallel_walks",
+    "run_supervised",
     "shard_indices",
 ]

@@ -19,18 +19,24 @@ and shard results are combined in worker order.
 
 from __future__ import annotations
 
-import multiprocessing as mp
 import time
 
 import numpy as np
 
 from repro.errors import EmbeddingError
+from repro.faults import FaultPlan
 from repro.rng import SeedLike, make_rng
 from repro.embedding.batched import BatchedSgnsTrainer
 from repro.embedding.negative import NegativeSampler
 from repro.embedding.skipgram import SkipGramModel, generate_pairs
 from repro.embedding.trainer import SequentialSgnsTrainer, SgnsConfig, TrainerStats
 from repro.embedding.vocab import Vocabulary
+from repro.parallel.supervisor import (
+    ShardReport,
+    SupervisorConfig,
+    _mp_context,
+    run_supervised,
+)
 from repro.walk.corpus import WalkCorpus
 
 
@@ -129,13 +135,18 @@ class ParallelSgnsTrainer:
         config: SgnsConfig,
         workers: int,
         batch_sentences: int | None = 1024,
+        supervisor: SupervisorConfig | None = None,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
         if workers < 1:
             raise EmbeddingError(f"workers must be >= 1, got {workers}")
         self.config = config
         self.workers = workers
         self.batch_sentences = batch_sentences
+        self.supervisor = supervisor
+        self.fault_plan = fault_plan
         self.last_stats: TrainerStats | None = None
+        self.last_shard_reports: list[ShardReport] = []
 
     # ------------------------------------------------------------------
     def train(
@@ -177,34 +188,47 @@ class ParallelSgnsTrainer:
             max(1, len(shards)) * cfg.epochs
         )
 
-        methods = mp.get_all_start_methods()
-        ctx = mp.get_context("fork" if "fork" in methods else "spawn")
+        ctx = _mp_context()
         loss_pair_sum = 0.0
-        with ctx.Pool(processes=max(1, len(shards))) as pool:
-            for epoch in range(cfg.epochs):
-                frac0 = epoch / cfg.epochs
-                frac1 = (epoch + 1) / cfg.epochs
-                jobs = [
-                    (
-                        shard, vocab.counts, model.w_in, model.w_out, cfg,
-                        batch, seed_seqs[epoch * len(shards) + w],
-                        frac0, frac1,
-                    )
-                    for w, shard in enumerate(shards)
-                ]
-                results = pool.starmap(_train_shard, jobs)
-                # Parameter averaging: every worker's epoch is stale
-                # with respect to the others; the mean is the sync
-                # point (the §V-B stale-read trick across processes).
-                model.w_in = np.mean([r[0] for r in results], axis=0)
-                model.w_out = np.mean([r[1] for r in results], axis=0)
-                for _, _, counters, losses in results:
-                    stats.pairs_trained += counters["pairs_trained"]
-                    stats.sentences += counters["sentences"]
-                    stats.updates += counters["updates"]
-                    stats.fp_ops += counters["fp_ops"]
-                    loss_pair_sum += counters["loss_pair_sum"]
-                    stats.losses.extend(losses)
+        self.last_shard_reports = []
+        for epoch in range(cfg.epochs):
+            frac0 = epoch / cfg.epochs
+            frac1 = (epoch + 1) / cfg.epochs
+            jobs = [
+                (
+                    shard, vocab.counts, model.w_in, model.w_out, cfg,
+                    batch, seed_seqs[epoch * len(shards) + w],
+                    frac0, frac1,
+                )
+                for w, shard in enumerate(shards)
+            ]
+            # Supervised execution: a crashed/hung/corrupted worker is
+            # retried with the same seed material, and an incurable
+            # shard runs in-process (``_train_shard`` is pure, so the
+            # fallback is bit-identical to the worker path).
+            results, reports = run_supervised(
+                _train_shard,
+                jobs,
+                workers=len(shards),
+                supervisor=self.supervisor,
+                serial_fn=_train_shard,
+                site="sgns",
+                fault_plan=self.fault_plan,
+                mp_context=ctx,
+            )
+            self.last_shard_reports.extend(reports)
+            # Parameter averaging: every worker's epoch is stale
+            # with respect to the others; the mean is the sync
+            # point (the §V-B stale-read trick across processes).
+            model.w_in = np.mean([r[0] for r in results], axis=0)
+            model.w_out = np.mean([r[1] for r in results], axis=0)
+            for _, _, counters, losses in results:
+                stats.pairs_trained += counters["pairs_trained"]
+                stats.sentences += counters["sentences"]
+                stats.updates += counters["updates"]
+                stats.fp_ops += counters["fp_ops"]
+                loss_pair_sum += counters["loss_pair_sum"]
+                stats.losses.extend(losses)
 
         stats.wall_seconds = time.perf_counter() - start
         stats.mean_loss = loss_pair_sum / max(1, stats.pairs_trained)

@@ -78,15 +78,36 @@ class SharedCsrGraph:
     # ------------------------------------------------------------------
     @classmethod
     def create(cls, graph: TemporalGraph) -> "SharedCsrGraph":
-        """Parent side: copy ``graph``'s CSR arrays into shared memory."""
+        """Parent side: copy ``graph``'s CSR arrays into shared memory.
+
+        The block never outlives a failed construction: if mapping the
+        views or copying the arrays raises, the segment is closed *and
+        unlinked* before the exception propagates, so no ``/dev/shm``
+        entry can leak from this path.
+        """
         _, _, total = _layout(graph.num_nodes, graph.num_edges)
         shm = shared_memory.SharedMemory(create=True, size=max(1, total))
-        spec = SharedGraphSpec(shm.name, graph.num_nodes, graph.num_edges)
-        shared = cls(shm, spec, owner=True)
-        indptr, dst, ts = shared.arrays
-        indptr[:] = graph.indptr
-        dst[:] = graph.dst
-        ts[:] = graph.ts
+        shared = None
+        try:
+            spec = SharedGraphSpec(shm.name, graph.num_nodes, graph.num_edges)
+            shared = cls(shm, spec, owner=True)
+            indptr, dst, ts = shared.arrays
+            indptr[:] = graph.indptr
+            dst[:] = graph.dst
+            ts[:] = graph.ts
+        except BaseException:
+            if shared is not None:
+                shared.arrays = ()  # release views so close() can unmap
+                indptr = dst = ts = None
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+            raise
         return shared
 
     @classmethod

@@ -1,0 +1,277 @@
+"""Supervised shard execution: timeouts, retries, serial degradation.
+
+PR 1's parallel layer drove its workers through ``Pool.starmap``, so a
+single crashed, hung, or OOM-killed worker took the whole run down.
+This module replaces that with explicit supervision: one process per
+shard *attempt*, a wall-clock deadline per attempt, bounded retry, and
+— when a shard keeps failing — degradation to in-process execution.
+
+Determinism is the design constraint.  A shard is a pure function of
+its argument tuple (the per-shard ``SeedSequence`` rides inside it), so
+a retry re-derives the exact RNG stream the failed attempt had and the
+recovered output is bit-identical to an uninjected run.  The serial
+fallback calls an equivalent in-process function with the *same*
+arguments, so even a fully degraded run produces identical results —
+it is slower, never different.
+
+Result transport is file-based: each worker atomically writes a pickled
+``(status, value)`` payload and exits.  A missing payload means the
+worker died before finishing (crash), an unreadable payload means it
+was corrupted in flight; both are retried the same way.  Files beat
+pipes here because a killed worker can never leave the parent blocked
+on a half-written stream, and the temp directory is removed on every
+exit path.
+
+Fault injection (:mod:`repro.faults`) hooks into the worker entry
+point: pre-execution faults (crash/hang/delay/error) fire before the
+shard body, and ``corrupt`` garbles the payload after a successful
+attempt.  The plan defaults to ``REPRO_FAULTS`` from the environment so
+the CLI can be fault-tested without code changes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import pickle
+import shutil
+import tempfile
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.errors import WorkerError
+from repro.faults import FaultPlan
+
+
+def _mp_context() -> mp.context.BaseContext:
+    """Prefer fork (cheap, Linux); fall back to spawn elsewhere."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+@dataclass(frozen=True)
+class SupervisorConfig:
+    """Retry/timeout/degradation policy for supervised shards.
+
+    ``shard_timeout`` is wall-clock seconds per *attempt* (None = no
+    deadline, so hangs are not recoverable).  ``max_retries`` bounds
+    extra attempts after the first, so a shard runs at most
+    ``max_retries + 1`` times before degradation.  ``fallback_serial``
+    permits in-process execution of shards whose retries are exhausted;
+    with it disabled such shards raise :class:`WorkerError` instead.
+    """
+
+    shard_timeout: float | None = None
+    max_retries: int = 2
+    fallback_serial: bool = True
+    poll_interval: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise WorkerError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise WorkerError(
+                f"shard_timeout must be positive, got {self.shard_timeout}"
+            )
+
+
+@dataclass
+class ShardReport:
+    """Per-shard supervision outcome (for logging and tests)."""
+
+    index: int
+    attempts: int = 0
+    outcome: str = "pending"  # "ok" | "degraded" | "failed"
+    failures: list[str] = field(default_factory=list)
+
+
+def _atomic_pickle(obj: object, path: str) -> None:
+    """Write ``pickle(obj)`` so ``path`` is either absent or complete."""
+    tmp = f"{path}.tmp"
+    with open(tmp, "wb") as handle:
+        pickle.dump(obj, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def _attempt_entry(
+    fn: Callable,
+    args: tuple,
+    payload_path: str,
+    site: str,
+    shard_index: int,
+    attempt: int,
+    plan: FaultPlan,
+) -> None:
+    """Worker process body: run one shard attempt, persist the outcome.
+
+    Always exits 0 after writing a payload — a clean worker exception
+    becomes an ``("error", traceback)`` payload rather than a nonzero
+    exit, so the parent can tell bugs (reported, retried with context)
+    from abrupt deaths (no payload at all).
+    """
+    try:
+        plan.fire(site, shard_index, attempt)
+        result = fn(*args)
+        payload = ("ok", result)
+    except BaseException:
+        payload = ("error", traceback.format_exc())
+    _atomic_pickle(payload, payload_path)
+    if plan.should_corrupt(site, shard_index, attempt):
+        # Garble the payload *after* the atomic rename: the parent sees
+        # a complete-looking file that fails integrity checks.
+        with open(payload_path, "r+b") as handle:
+            handle.seek(0)
+            handle.write(b"\x00CORRUPTED\x00")
+
+
+def _collect(payload_path: str, exitcode: int | None) -> tuple[bool, object]:
+    """Read one attempt's payload; returns (ok, value-or-failure-reason)."""
+    if not os.path.exists(payload_path):
+        return False, f"worker died without a result (exit code {exitcode})"
+    try:
+        with open(payload_path, "rb") as handle:
+            status, value = pickle.load(handle)
+    except Exception as exc:
+        return False, f"unreadable result payload ({exc!r})"
+    finally:
+        try:
+            os.remove(payload_path)
+        except OSError:
+            pass
+    if status == "ok":
+        return True, value
+    return False, str(value)
+
+
+def _kill(proc: mp.process.BaseProcess) -> None:
+    """Stop a worker hard: SIGTERM, brief grace, then SIGKILL."""
+    try:
+        proc.terminate()
+        proc.join(0.5)
+        if proc.is_alive():
+            proc.kill()
+            proc.join()
+    except Exception:
+        pass
+
+
+def run_supervised(
+    fn: Callable,
+    arg_tuples: Sequence[tuple],
+    *,
+    workers: int,
+    supervisor: SupervisorConfig | None = None,
+    serial_fn: Callable | None = None,
+    site: str = "shards",
+    fault_plan: FaultPlan | None = None,
+    mp_context: mp.context.BaseContext | None = None,
+) -> tuple[list, list[ShardReport]]:
+    """Run ``fn(*args)`` for every tuple under supervision.
+
+    Returns ``(results, reports)`` with both lists in shard order —
+    position ``i`` of ``results`` holds shard ``i``'s output no matter
+    how many retries or which degradations happened, so downstream
+    merges stay deterministic.
+
+    ``serial_fn`` (same signature as ``fn``) is the in-process fallback
+    used once a shard exhausts its retries; when it is None or
+    ``supervisor.fallback_serial`` is False, exhausted shards raise
+    :class:`WorkerError` carrying every recorded failure.
+    """
+    sup = supervisor or SupervisorConfig()
+    plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    ctx = mp_context or _mp_context()
+    n = len(arg_tuples)
+    results: list = [None] * n
+    reports = [ShardReport(index=i) for i in range(n)]
+    if n == 0:
+        return results, reports
+    if workers < 1:
+        raise WorkerError(f"workers must be >= 1, got {workers}")
+
+    pending: deque[int] = deque(range(n))
+    running: dict[int, tuple[mp.process.BaseProcess, float | None, str]] = {}
+    degraded: list[int] = []
+    tmpdir = tempfile.mkdtemp(prefix="repro-supervise-")
+
+    def _settle_failure(index: int, reason: str) -> None:
+        reports[index].failures.append(
+            f"attempt {reports[index].attempts - 1}: {reason}"
+        )
+        if reports[index].attempts <= sup.max_retries:
+            pending.append(index)
+        else:
+            degraded.append(index)
+
+    try:
+        while pending or running:
+            while pending and len(running) < workers:
+                index = pending.popleft()
+                report = reports[index]
+                payload_path = os.path.join(
+                    tmpdir, f"shard-{index}-attempt-{report.attempts}.pkl"
+                )
+                proc = ctx.Process(
+                    target=_attempt_entry,
+                    args=(fn, tuple(arg_tuples[index]), payload_path,
+                          site, index, report.attempts, plan),
+                    daemon=True,
+                )
+                proc.start()
+                deadline = (
+                    None if sup.shard_timeout is None
+                    else time.monotonic() + sup.shard_timeout
+                )
+                running[index] = (proc, deadline, payload_path)
+                report.attempts += 1
+
+            reaped = False
+            for index in list(running):
+                proc, deadline, payload_path = running[index]
+                if not proc.is_alive():
+                    proc.join()
+                    del running[index]
+                    reaped = True
+                    ok, value = _collect(payload_path, proc.exitcode)
+                    if ok:
+                        results[index] = value
+                        reports[index].outcome = "ok"
+                    else:
+                        _settle_failure(index, str(value))
+                elif deadline is not None and time.monotonic() > deadline:
+                    _kill(proc)
+                    del running[index]
+                    reaped = True
+                    _settle_failure(
+                        index, f"timed out after {sup.shard_timeout}s"
+                    )
+            if running and not reaped:
+                time.sleep(sup.poll_interval)
+    finally:
+        for proc, _, _ in running.values():
+            _kill(proc)
+        shutil.rmtree(tmpdir, ignore_errors=True)
+
+    if degraded:
+        if not (sup.fallback_serial and serial_fn is not None):
+            details = "; ".join(
+                f"shard {i}: {reports[i].failures[-1]}" for i in degraded
+            )
+            raise WorkerError(
+                f"{len(degraded)} shard(s) failed permanently at site "
+                f"{site!r} after {sup.max_retries + 1} attempt(s) each "
+                f"({details})"
+            )
+        for index in degraded:
+            # Same arguments, in-process: bit-identical to what the
+            # worker would have produced, just not parallel.
+            results[index] = serial_fn(*arg_tuples[index])
+            reports[index].outcome = "degraded"
+    return results, reports

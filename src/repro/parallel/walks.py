@@ -9,35 +9,42 @@ merge the per-shard :class:`~repro.walk.engine.WalkStats` (counters
 summed, ``work_per_start_node`` added elementwise — every worker
 returns a full ``num_nodes``-sized array, so the merge is exact).
 
+Workers run under :func:`~repro.parallel.supervisor.run_supervised`:
+a crashed, hung, or corrupted shard is retried with the same
+``SeedSequence`` (bit-identical recovery), and a shard that keeps
+failing degrades to in-process execution against the parent's own
+graph — same arguments, same output, no shared-memory attach.
+
 Determinism: per-worker seeds derive from the root seed via
 ``SeedSequence.spawn``, so ``workers=N`` is reproducible for fixed
-``N``.  ``workers=1`` runs in-process with the caller's generator and
-is bit-identical to :meth:`TemporalWalkEngine.run`.  Walk *row order*
-differs between worker counts (serial interleaves all nodes K times;
-shards interleave within themselves), but every start node contributes
-exactly ``K`` walks under any worker count.
+``N`` under any combination of retries and degradations.  ``workers=1``
+runs in-process with the caller's generator and is bit-identical to
+:meth:`TemporalWalkEngine.run`.  Walk *row order* differs between
+worker counts (serial interleaves all nodes K times; shards interleave
+within themselves), but every start node contributes exactly ``K``
+walks under any worker count.
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
 from typing import Sequence
 
 import numpy as np
 
 from repro.errors import WalkError
+from repro.faults import FaultPlan
 from repro.rng import SeedLike, make_rng
 from repro.graph.csr import TemporalGraph
 from repro.parallel.shared_graph import SharedCsrGraph, SharedGraphSpec
+from repro.parallel.supervisor import (
+    ShardReport,
+    SupervisorConfig,
+    _mp_context,
+    run_supervised,
+)
 from repro.walk.config import WalkConfig
 from repro.walk.corpus import WalkCorpus
 from repro.walk.engine import TemporalWalkEngine, WalkStats
-
-
-def _mp_context() -> mp.context.BaseContext:
-    """Prefer fork (cheap, Linux); fall back to spawn elsewhere."""
-    methods = mp.get_all_start_methods()
-    return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
 def shard_indices(num_items: int, workers: int) -> list[np.ndarray]:
@@ -80,6 +87,27 @@ def merge_walk_stats(parts: Sequence[WalkStats]) -> WalkStats:
     return merged
 
 
+def _run_shard_engine(
+    graph: TemporalGraph,
+    sampler: str,
+    config: WalkConfig,
+    shard: np.ndarray,
+    seed_seq: np.random.SeedSequence,
+    start_time: float | None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, WalkStats]:
+    """One shard of start nodes through a fresh engine (any process)."""
+    engine = TemporalWalkEngine(graph, sampler=sampler)
+    corpus = engine.run(
+        config,
+        seed=np.random.default_rng(seed_seq),
+        start_nodes=shard,
+        start_time=start_time,
+    )
+    stats = engine.last_stats
+    assert stats is not None
+    return corpus.matrix, corpus.lengths, corpus.start_nodes, stats
+
+
 def _walk_shard(
     spec: SharedGraphSpec,
     sampler: str,
@@ -91,21 +119,13 @@ def _walk_shard(
     """Worker body: run the engine over one shard of start nodes."""
     shared = SharedCsrGraph.attach(spec)
     try:
-        engine = TemporalWalkEngine(shared.graph(), sampler=sampler)
-        corpus = engine.run(
-            config,
-            seed=np.random.default_rng(seed_seq),
-            start_nodes=shard,
-            start_time=start_time,
+        result = _run_shard_engine(
+            shared.graph(), sampler, config, shard, seed_seq, start_time
         )
-        stats = engine.last_stats
-        assert stats is not None
-        result = (corpus.matrix, corpus.lengths, corpus.start_nodes, stats)
-        # Drop every view of the shared pages before closing the mapping
-        # (a live exported buffer would make mmap.close() raise).
-        del engine, corpus
         return result
     finally:
+        # Drop every view of the shared pages before closing the mapping
+        # (a live exported buffer would make mmap.close() raise).
         shared.close()
 
 
@@ -117,6 +137,9 @@ def run_parallel_walks(
     start_nodes: np.ndarray | None = None,
     start_time: float | None = None,
     sampler: str = "cdf",
+    supervisor: SupervisorConfig | None = None,
+    fault_plan: FaultPlan | None = None,
+    shard_reports: list[ShardReport] | None = None,
 ) -> tuple[WalkCorpus, WalkStats]:
     """Phase-1 front door: ``K`` walks per start node across processes.
 
@@ -124,6 +147,12 @@ def run_parallel_walks(
     in-process (bit-identical to the serial engine); ``workers=N``
     shards ``start_nodes`` contiguously, shares the CSR arrays through
     shared memory, and merges the per-shard results in shard order.
+
+    ``supervisor`` sets the per-shard timeout/retry/degradation policy
+    (defaults: no timeout, 2 retries, serial fallback allowed) and
+    ``fault_plan`` overrides the ambient ``REPRO_FAULTS`` injection
+    plan.  Pass an empty list as ``shard_reports`` to receive the
+    per-shard :class:`ShardReport` outcomes.
     """
     if workers < 1:
         raise WalkError(f"workers must be >= 1, got {workers}")
@@ -145,15 +174,31 @@ def run_parallel_walks(
 
     shared = SharedCsrGraph.create(graph)
     try:
-        ctx = _mp_context()
-        with ctx.Pool(processes=len(shards)) as pool:
-            parts = pool.starmap(
-                _walk_shard,
-                [
-                    (shared.spec, sampler, config, shard, seq, start_time)
-                    for shard, seq in zip(shards, seed_seqs)
-                ],
+        argsets = [
+            (shared.spec, sampler, config, shard, seq, start_time)
+            for shard, seq in zip(shards, seed_seqs)
+        ]
+
+        def _serial_fallback(spec, sampler_, config_, shard, seq, start_time_):
+            # In-parent degradation path: identical arguments against the
+            # parent's own graph object (no shared-memory attach, so a
+            # sick segment can never block recovery).
+            return _run_shard_engine(
+                graph, sampler_, config_, shard, seq, start_time_
             )
+
+        parts, reports = run_supervised(
+            _walk_shard,
+            argsets,
+            workers=len(shards),
+            supervisor=supervisor,
+            serial_fn=_serial_fallback,
+            site="walks",
+            fault_plan=fault_plan,
+            mp_context=_mp_context(),
+        )
+        if shard_reports is not None:
+            shard_reports.extend(reports)
     finally:
         shared.close()
 

@@ -44,7 +44,10 @@ class TaskResult:
     ``model`` and ``scaler`` are the trained classifier and the feature
     standardizer fit on the training partition, kept so callers can score
     new inputs (e.g. ranking candidate recommendations) with exactly the
-    artifacts evaluation used.
+    artifacts evaluation used.  ``splits`` records the train/valid/test
+    partition the run used (:class:`~repro.tasks.splits.EdgeSplits` or
+    :class:`~repro.tasks.splits.NodeSplits`), so checkpointing can
+    persist the exact split indices alongside the classifier weights.
     """
 
     task: str
@@ -58,6 +61,7 @@ class TaskResult:
     num_test: int
     model: Module | None = None
     scaler: object | None = None
+    splits: object | None = None
 
     def score_link(
         self, embeddings: NodeEmbeddings, src: np.ndarray, dst: np.ndarray
@@ -186,4 +190,5 @@ class LinkPredictionTask:
             num_test=len(test_y),
             model=model,
             scaler=scaler,
+            splits=splits,
         )

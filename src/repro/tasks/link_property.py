@@ -24,6 +24,7 @@ from repro.nn.module import Module, Sequential
 from repro.rng import SeedLike, make_rng
 from repro.tasks.features import Standardizer
 from repro.tasks.link_prediction import TaskResult
+from repro.tasks.splits import NodeSplits
 from repro.tasks.training import TrainSettings, train_classifier
 
 
@@ -120,4 +121,6 @@ class LinkPropertyPredictionTask:
             num_test=len(test_xy[1]),
             model=model,
             scaler=scaler,
+            splits=NodeSplits(train=idx_train, valid=idx_valid,
+                              test=idx_test),
         )

@@ -125,4 +125,5 @@ class NodeClassificationTask:
             num_test=len(test_xy[1]),
             model=model,
             scaler=scaler,
+            splits=splits,
         )

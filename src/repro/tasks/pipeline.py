@@ -14,12 +14,15 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.checkpoint import CheckpointStore
 from repro.embedding.embeddings import NodeEmbeddings, train_embeddings
 from repro.errors import PipelineError
 from repro.embedding.trainer import SgnsConfig, TrainerStats
+from repro.faults import FaultPlan
 from repro.graph.csr import TemporalGraph
 from repro.graph.edges import TemporalEdgeList
 from repro.graph.io import LabeledTemporalDataset
+from repro.parallel.supervisor import SupervisorConfig
 from repro.rng import SeedLike, make_rng
 from repro.tasks.link_prediction import (
     LinkPredictionConfig,
@@ -54,6 +57,19 @@ class PipelineConfig:
     serial path, bit-identical to previous behavior; ``workers=N`` is
     deterministic for fixed ``N`` (seeds derive from the root seed via
     ``SeedSequence.spawn``).
+
+    ``supervisor`` sets the worker timeout/retry/degradation policy
+    (:class:`~repro.parallel.supervisor.SupervisorConfig`); every
+    recovery path yields output bit-identical to an undisturbed run, so
+    supervision knobs never change results, only resilience.
+
+    ``checkpoint_dir`` persists each phase's artifact atomically as it
+    completes (:mod:`repro.checkpoint`), keyed by the semantic config
+    fingerprint and the seed; with ``resume=True`` completed phases are
+    loaded instead of recomputed and the driving RNG is restored to its
+    post-phase state, so a resumed run is bit-identical to an
+    uninterrupted one.  ``faults`` injects deterministic failures for
+    testing (defaults to the ambient ``REPRO_FAULTS`` plan).
     """
 
     walk: WalkConfig = field(default_factory=WalkConfig)
@@ -69,12 +85,18 @@ class PipelineConfig:
         default_factory=NodeClassificationConfig
     )
     link_property: LinkPropertyConfig = field(default_factory=LinkPropertyConfig)
+    supervisor: SupervisorConfig = field(default_factory=SupervisorConfig)
+    checkpoint_dir: str | None = None
+    resume: bool = False
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise PipelineError(
                 f"workers must be >= 1, got {self.workers}"
             )
+        if self.resume and not self.checkpoint_dir:
+            raise PipelineError("resume=True requires checkpoint_dir")
 
 
 @dataclass
@@ -113,7 +135,11 @@ class PhaseTimings:
 
 @dataclass
 class PipelineResult:
-    """Everything one end-to-end run produces."""
+    """Everything one end-to-end run produces.
+
+    ``cached_phases`` names the phases served from a checkpoint instead
+    of recomputed (empty for a fresh or checkpoint-less run).
+    """
 
     task_result: TaskResult
     timings: PhaseTimings
@@ -122,6 +148,7 @@ class PipelineResult:
     trainer_stats: TrainerStats
     corpus_num_walks: int
     corpus_mean_length: float
+    cached_phases: tuple[str, ...] = ()
 
     @property
     def accuracy(self) -> float:
@@ -146,6 +173,26 @@ class Pipeline:
         self.config = config or PipelineConfig()
 
     # ------------------------------------------------------------------
+    def _fault_plan(self) -> FaultPlan:
+        """The active injection plan (explicit config or ambient env)."""
+        if self.config.faults is not None:
+            return self.config.faults
+        return FaultPlan.from_env()
+
+    def _open_store(self, rng: np.random.Generator) -> CheckpointStore | None:
+        """Open the checkpoint store for this (config, seed) run, if any.
+
+        Must be called before ``rng`` is consumed: the run key includes
+        the generator's *initial* state, so two runs with the same
+        config and seed share a store and different seeds never collide.
+        """
+        if not self.config.checkpoint_dir:
+            return None
+        return CheckpointStore.open(
+            self.config.checkpoint_dir, self.config, rng
+        )
+
+    # ------------------------------------------------------------------
     def embed(
         self, edges: TemporalEdgeList, seed: SeedLike = None
     ) -> tuple[NodeEmbeddings, PhaseTimings, WalkStats, TrainerStats, WalkCorpus]:
@@ -154,68 +201,138 @@ class Pipeline:
         Exposed separately so sweeps (Fig. 8) can reuse embeddings across
         classifier configurations.  With ``config.workers > 1`` both
         phases execute across worker processes (:mod:`repro.parallel`);
-        ``workers=1`` keeps the serial code path bit-for-bit.
+        ``workers=1`` keeps the serial code path bit-for-bit.  With
+        ``config.checkpoint_dir`` set, phase artifacts are persisted as
+        they complete (and loaded instead of recomputed under
+        ``resume=True``).
+        """
+        rng = make_rng(seed)
+        store = self._open_store(rng)
+        embeddings, timings, walk_stats, trainer_stats, corpus, _, _ = (
+            self._embed(edges, rng, store)
+        )
+        return embeddings, timings, walk_stats, trainer_stats, corpus
+
+    def _embed(
+        self,
+        edges: TemporalEdgeList,
+        rng: np.random.Generator,
+        store: CheckpointStore | None,
+    ) -> tuple[NodeEmbeddings, PhaseTimings, WalkStats, TrainerStats,
+               WalkCorpus, np.random.Generator, list[str]]:
+        """Checkpoint-aware phases 1-2; returns the RNG to drive phase 3.
+
+        When a phase loads from the store, the returned generator is the
+        one snapshotted right after that phase originally ran — the
+        resumed run continues on exactly the stream an uninterrupted run
+        would have, which is what makes resume bit-identical end to end.
         """
         cfg = self.config
-        rng = make_rng(seed)
+        plan = self._fault_plan()
+        resume = store is not None and cfg.resume
+        cached: list[str] = []
         walk_edges = edges.with_reverse_edges() if cfg.treat_undirected else edges
         graph = TemporalGraph.from_edge_list(walk_edges)
 
         timings = PhaseTimings()
         start = time.perf_counter()
-        if cfg.workers > 1:
-            from repro.parallel import run_parallel_walks
-
-            corpus, walk_stats = run_parallel_walks(
-                graph, cfg.walk, workers=cfg.workers, seed=rng,
-                sampler=cfg.sampler,
-            )
+        if resume and store.has("walks"):
+            corpus, walk_stats = store.load_walks()
+            rng = store.load_rng("walks")
+            cached.append("walks")
         else:
-            engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
-            corpus = engine.run(cfg.walk, seed=rng)
-            assert engine.last_stats is not None
-            walk_stats = engine.last_stats
+            if cfg.workers > 1:
+                from repro.parallel import run_parallel_walks
+
+                corpus, walk_stats = run_parallel_walks(
+                    graph, cfg.walk, workers=cfg.workers, seed=rng,
+                    sampler=cfg.sampler, supervisor=cfg.supervisor,
+                    fault_plan=plan,
+                )
+            else:
+                engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
+                corpus = engine.run(cfg.walk, seed=rng)
+                assert engine.last_stats is not None
+                walk_stats = engine.last_stats
+            if store is not None:
+                store.save_walks(corpus, walk_stats, rng=rng)
+            plan.fire("after-walks")
         timings.rwalk = time.perf_counter() - start
 
         start = time.perf_counter()
-        embeddings, trainer_stats = train_embeddings(
-            corpus,
-            graph.num_nodes,
-            config=cfg.sgns,
-            batch_sentences=cfg.batch_sentences,
-            seed=rng,
-            workers=cfg.workers,
-        )
+        if resume and store.has("embeddings"):
+            embeddings, trainer_stats = store.load_embeddings()
+            rng = store.load_rng("embeddings")
+            cached.append("embeddings")
+        else:
+            embeddings, trainer_stats = train_embeddings(
+                corpus,
+                graph.num_nodes,
+                config=cfg.sgns,
+                batch_sentences=cfg.batch_sentences,
+                seed=rng,
+                workers=cfg.workers,
+                supervisor=cfg.supervisor,
+                fault_plan=plan,
+            )
+            if store is not None:
+                store.save_embeddings(embeddings, trainer_stats, rng=rng)
+            plan.fire("after-word2vec")
         timings.word2vec = time.perf_counter() - start
-        return embeddings, timings, walk_stats, trainer_stats, corpus
+        return (embeddings, timings, walk_stats, trainer_stats, corpus,
+                rng, cached)
 
     # ------------------------------------------------------------------
+    def _run_task(
+        self,
+        run_fn,
+        task_name: str,
+        edges: TemporalEdgeList,
+        seed: SeedLike,
+    ) -> PipelineResult:
+        """Shared driver: phases 1-2, then the (checkpointed) task phase."""
+        rng = make_rng(seed)
+        store = self._open_store(rng)
+        (embeddings, timings, walk_stats, trainer_stats, corpus, rng,
+         cached) = self._embed(edges, rng, store)
+        phase = f"task-{task_name}"
+        if store is not None and self.config.resume and store.has(phase):
+            result, _ = store.load_pickle(phase)
+            cached.append(phase)
+        else:
+            result = run_fn(embeddings, rng)
+            if store is not None:
+                store.save_pickle(phase, result, rng=rng)
+                if result.splits is not None:
+                    store.save_splits(result.splits, phase="splits")
+                if result.model is not None:
+                    store.save_classifier(result.model, phase="classifier")
+            self._fault_plan().fire("after-task")
+        return self._finish(
+            result, timings, embeddings, walk_stats, trainer_stats, corpus,
+            cached_phases=tuple(cached),
+        )
+
     def run_link_prediction(
         self, edges: TemporalEdgeList, seed: SeedLike = None
     ) -> PipelineResult:
         """End-to-end link prediction on a temporal edge stream."""
-        rng = make_rng(seed)
-        embeddings, timings, walk_stats, trainer_stats, corpus = self.embed(
-            edges, seed=rng
-        )
         task = LinkPredictionTask(self.config.link_prediction)
-        result = task.run(embeddings, edges, seed=rng)
-        return self._finish(
-            result, timings, embeddings, walk_stats, trainer_stats, corpus
+        return self._run_task(
+            lambda embeddings, rng: task.run(embeddings, edges, seed=rng),
+            "link-prediction", edges, seed,
         )
 
     def run_node_classification(
         self, dataset: LabeledTemporalDataset, seed: SeedLike = None
     ) -> PipelineResult:
         """End-to-end node classification on a labeled temporal dataset."""
-        rng = make_rng(seed)
-        embeddings, timings, walk_stats, trainer_stats, corpus = self.embed(
-            dataset.edges, seed=rng
-        )
         task = NodeClassificationTask(self.config.node_classification)
-        result = task.run(embeddings, dataset.labels, seed=rng)
-        return self._finish(
-            result, timings, embeddings, walk_stats, trainer_stats, corpus
+        return self._run_task(
+            lambda embeddings, rng: task.run(
+                embeddings, dataset.labels, seed=rng
+            ),
+            "node-classification", dataset.edges, seed,
         )
 
     def run_link_property_prediction(
@@ -225,14 +342,12 @@ class Pipeline:
         seed: SeedLike = None,
     ) -> PipelineResult:
         """End-to-end §VIII-B extension: predict per-edge labels."""
-        rng = make_rng(seed)
-        embeddings, timings, walk_stats, trainer_stats, corpus = self.embed(
-            edges, seed=rng
-        )
         task = LinkPropertyPredictionTask(self.config.link_property)
-        result = task.run(embeddings, edges, edge_labels, seed=rng)
-        return self._finish(
-            result, timings, embeddings, walk_stats, trainer_stats, corpus
+        return self._run_task(
+            lambda embeddings, rng: task.run(
+                embeddings, edges, edge_labels, seed=rng
+            ),
+            "link-property-prediction", edges, seed,
         )
 
     # ------------------------------------------------------------------
@@ -244,6 +359,7 @@ class Pipeline:
         walk_stats: WalkStats,
         trainer_stats: TrainerStats,
         corpus: WalkCorpus,
+        cached_phases: tuple[str, ...] = (),
     ) -> PipelineResult:
         timings.data_prep = result.data_prep_seconds
         timings.train = result.train_seconds
@@ -257,4 +373,5 @@ class Pipeline:
             trainer_stats=trainer_stats,
             corpus_num_walks=corpus.num_walks,
             corpus_mean_length=float(corpus.lengths.mean()),
+            cached_phases=cached_phases,
         )
