@@ -3,9 +3,13 @@
 A long pipeline run should survive its process: every phase artifact is
 persisted as it completes, so a crashed or interrupted run restarts
 from the last finished phase instead of from scratch.  The store keeps
-one directory per *run identity* — the pair (configuration fingerprint,
-initial RNG state) — so a resume can never silently splice artifacts
-from a different experiment:
+one directory per *run identity* — the triple (configuration
+fingerprint, dataset fingerprint, initial RNG state) — so a resume can
+never silently splice artifacts from a different experiment: a dataset
+sweep sharing one ``--checkpoint-dir`` gets one run directory per edge
+list, and opening an existing run with a mismatched config or dataset
+fingerprint raises :class:`CheckpointError` instead of serving stale
+artifacts:
 
 ``<checkpoint_dir>/<key>/``
     ``manifest.json``    — run metadata plus one entry per completed
@@ -40,8 +44,14 @@ import json
 import os
 import pickle
 import tempfile
+from contextlib import contextmanager
 from pathlib import Path
-from typing import TYPE_CHECKING, Any, Mapping
+from typing import TYPE_CHECKING, Any, Iterator, Mapping
+
+try:  # advisory manifest locking (POSIX only; see _manifest_lock)
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None  # type: ignore[assignment]
 
 import numpy as np
 
@@ -72,6 +82,28 @@ _TRAINER_COUNTERS = (
 # ---------------------------------------------------------------------------
 
 
+def _json_safe(value: Any) -> Any:
+    """Recursively convert numpy containers/scalars to JSON-native types.
+
+    ``bit_generator.state`` is only plain ints for PCG64; MT19937 keys
+    are a uint32 ndarray and Philox carries uint64 arrays and scalars,
+    none of which ``json.dumps`` accepts.  Every supported bit
+    generator's state setter accepts the list/int form back verbatim,
+    so the conversion is lossless.
+    """
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {key: _json_safe(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    return value
+
+
 def rng_snapshot(rng: np.random.Generator) -> dict:
     """JSON-serializable snapshot of a Generator's full restart state.
 
@@ -92,16 +124,24 @@ def rng_snapshot(rng: np.random.Generator) -> dict:
         raise CheckpointError(
             f"cannot snapshot seed sequence of type {type(ss).__name__}"
         )
-    return {
+    snapshot = {
         "bit_generator": type(bg).__name__,
-        "state": bg.state,
+        "state": _json_safe(bg.state),
         "seed_seq": {
-            "entropy": ss.entropy,
+            "entropy": _json_safe(ss.entropy),
             "spawn_key": list(ss.spawn_key),
             "pool_size": ss.pool_size,
             "n_children_spawned": ss.n_children_spawned,
         },
     }
+    try:
+        json.dumps(snapshot)
+    except TypeError as exc:
+        raise CheckpointError(
+            f"cannot snapshot {type(bg).__name__}: state is not "
+            f"JSON-serializable ({exc})"
+        ) from exc
+    return snapshot
 
 
 def rng_restore(snapshot: Mapping[str, Any]) -> np.random.Generator:
@@ -149,11 +189,44 @@ def config_fingerprint(config: Any) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def run_key(config: Any, rng: np.random.Generator) -> str:
-    """Checkpoint directory key: config fingerprint x initial RNG state."""
+def dataset_fingerprint(edges: TemporalEdgeList) -> str:
+    """Stable hash of an edge list's contents (src, dst, ts, num_nodes).
+
+    Part of the run identity: two runs over different graphs must never
+    share a checkpoint directory, even with identical config and seed.
+    """
+    digest = hashlib.sha256()
+    digest.update(np.int64(edges.num_nodes).tobytes())
+    for column in (edges.src, edges.dst, edges.timestamps):
+        digest.update(np.ascontiguousarray(column).tobytes())
+    return digest.hexdigest()
+
+
+def _resolve_dataset_fingerprint(dataset: "TemporalEdgeList | str | None"
+                                 ) -> str | None:
+    """Accept an edge list or a precomputed fingerprint string."""
+    if dataset is None:
+        return None
+    if isinstance(dataset, str):
+        return dataset
+    return dataset_fingerprint(dataset)
+
+
+def run_key(config: Any, rng: np.random.Generator,
+            dataset: "TemporalEdgeList | str | None" = None) -> str:
+    """Checkpoint directory key: config x dataset x initial RNG state.
+
+    ``dataset`` is the input edge list (or its precomputed
+    :func:`dataset_fingerprint`); omitting it keys on config and seed
+    alone, which is only safe when a checkpoint root is never shared
+    across datasets.
+    """
     seed_blob = json.dumps(rng_snapshot(rng), sort_keys=True)
     digest = hashlib.sha256()
     digest.update(config_fingerprint(config).encode("utf-8"))
+    data_fp = _resolve_dataset_fingerprint(dataset)
+    if data_fp is not None:
+        digest.update(data_fp.encode("utf-8"))
     digest.update(seed_blob.encode("utf-8"))
     return digest.hexdigest()[:16]
 
@@ -189,34 +262,81 @@ def _sha256(data: bytes) -> str:
 class CheckpointStore:
     """Atomic, hash-verified artifact store for one pipeline run."""
 
+    #: Meta fields that define the run identity; opening an existing run
+    #: directory with a different value for any of them is an error, not
+    #: a silent artifact reuse.
+    IDENTITY_FIELDS = ("config_fingerprint", "dataset_fingerprint")
+
     def __init__(self, root: str | os.PathLike, key: str,
                  meta: Mapping[str, Any] | None = None) -> None:
         self.root = Path(root)
         self.key = key
         self.run_dir = self.root / key
         self.run_dir.mkdir(parents=True, exist_ok=True)
-        if not (self.run_dir / MANIFEST_NAME).exists():
-            self._write_manifest({
-                "version": 1,
-                "key": key,
-                "meta": dict(meta or {}),
-                "phases": {},
-            })
+        with self._manifest_lock():
+            if not (self.run_dir / MANIFEST_NAME).exists():
+                self._write_manifest({
+                    "version": 1,
+                    "key": key,
+                    "meta": dict(meta or {}),
+                    "phases": {},
+                })
+                return
+        stored = self.manifest().get("meta", {})
+        for name in self.IDENTITY_FIELDS:
+            mine = (meta or {}).get(name)
+            theirs = stored.get(name)
+            if mine is not None and theirs is not None and mine != theirs:
+                raise CheckpointError(
+                    f"checkpoint {self.run_dir} belongs to a different run: "
+                    f"{name} mismatch (stored {theirs[:12]}..., "
+                    f"current {mine[:12]}...); it will not be resumed"
+                )
 
     @classmethod
     def open(cls, root: str | os.PathLike, config: Any,
-             rng: np.random.Generator) -> "CheckpointStore":
-        """Open (creating if needed) the store for (config, initial rng)."""
-        return cls(
-            root,
-            run_key(config, rng),
-            meta={
-                "config_fingerprint": config_fingerprint(config),
-                "initial_rng": rng_snapshot(rng),
-            },
-        )
+             rng: np.random.Generator,
+             dataset: "TemporalEdgeList | str | None" = None
+             ) -> "CheckpointStore":
+        """Open (creating if needed) the store for (config, dataset, rng).
+
+        ``dataset`` — the input edge list or its precomputed
+        :func:`dataset_fingerprint` — is part of the run identity: it is
+        folded into the directory key *and* verified against the stored
+        manifest, so a resume against a different graph raises
+        :class:`CheckpointError` rather than loading foreign artifacts.
+        """
+        meta = {
+            "config_fingerprint": config_fingerprint(config),
+            "initial_rng": rng_snapshot(rng),
+        }
+        data_fp = _resolve_dataset_fingerprint(dataset)
+        if data_fp is not None:
+            meta["dataset_fingerprint"] = data_fp
+        return cls(root, run_key(config, rng, dataset=data_fp), meta=meta)
 
     # -- manifest ------------------------------------------------------
+    @contextmanager
+    def _manifest_lock(self) -> Iterator[None]:
+        """Advisory inter-process lock for manifest read-modify-writes.
+
+        Each manifest *write* is atomic (temp file + ``os.replace``) but
+        an update is read-modify-write: two concurrent processes sharing
+        one run directory could each read the same manifest and silently
+        drop the other's phase entry.  An ``fcntl.flock`` on a lockfile
+        in the run directory serializes updates; on platforms without
+        ``fcntl`` this degrades to no locking (single-process use only).
+        """
+        if fcntl is None:  # pragma: no cover - non-POSIX platforms
+            yield
+            return
+        with open(self.run_dir / ".manifest.lock", "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
     def manifest(self) -> dict:
         """Load the manifest (raises :class:`CheckpointError` if bad)."""
         path = self.run_dir / MANIFEST_NAME
@@ -235,9 +355,10 @@ class CheckpointStore:
         )
 
     def _record_phase(self, phase: str, entry: Mapping[str, Any]) -> None:
-        manifest = self.manifest()
-        manifest["phases"][phase] = dict(entry)
-        self._write_manifest(manifest)
+        with self._manifest_lock():
+            manifest = self.manifest()
+            manifest["phases"][phase] = dict(entry)
+            self._write_manifest(manifest)
 
     # -- phase queries -------------------------------------------------
     def phases(self) -> dict[str, str]:
@@ -256,9 +377,10 @@ class CheckpointStore:
 
     def invalidate(self, phase: str) -> None:
         """Drop one phase's artifact + manifest entry (for forced recompute)."""
-        manifest = self.manifest()
-        entry = manifest["phases"].pop(phase, None)
-        self._write_manifest(manifest)
+        with self._manifest_lock():
+            manifest = self.manifest()
+            entry = manifest["phases"].pop(phase, None)
+            self._write_manifest(manifest)
         if entry is not None:
             try:
                 os.remove(self.run_dir / entry["file"])

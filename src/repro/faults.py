@@ -62,6 +62,10 @@ KINDS = ("crash", "hang", "delay", "error", "corrupt")
 
 WORKER_SITES = ("walks", "sgns")
 PIPELINE_SITES = ("after-walks", "after-word2vec", "after-task")
+#: Default site of :func:`repro.parallel.supervisor.run_supervised` for
+#: callers that don't name one (used by the supervisor's own tests).
+GENERIC_SITES = ("shards",)
+SITES = WORKER_SITES + PIPELINE_SITES + GENERIC_SITES
 
 
 @dataclass(frozen=True)
@@ -75,6 +79,12 @@ class FaultSpec:
     delay_seconds: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.site not in SITES:
+            # A typo'd site would parse fine and then silently never
+            # fire, making a fault-tolerance test vacuously green.
+            raise ReproError(
+                f"unknown fault site {self.site!r}; options: {', '.join(SITES)}"
+            )
         if self.kind not in KINDS:
             raise ReproError(
                 f"unknown fault kind {self.kind!r}; options: {', '.join(KINDS)}"

@@ -179,17 +179,20 @@ class Pipeline:
             return self.config.faults
         return FaultPlan.from_env()
 
-    def _open_store(self, rng: np.random.Generator) -> CheckpointStore | None:
-        """Open the checkpoint store for this (config, seed) run, if any.
+    def _open_store(self, rng: np.random.Generator,
+                    edges: TemporalEdgeList) -> CheckpointStore | None:
+        """Open the checkpoint store for this (config, dataset, seed) run.
 
         Must be called before ``rng`` is consumed: the run key includes
         the generator's *initial* state, so two runs with the same
-        config and seed share a store and different seeds never collide.
+        config, dataset, and seed share a store while a different seed
+        or a different edge list never collides (a dataset sweep can
+        share one checkpoint root safely).
         """
         if not self.config.checkpoint_dir:
             return None
         return CheckpointStore.open(
-            self.config.checkpoint_dir, self.config, rng
+            self.config.checkpoint_dir, self.config, rng, dataset=edges
         )
 
     # ------------------------------------------------------------------
@@ -207,7 +210,7 @@ class Pipeline:
         ``resume=True``).
         """
         rng = make_rng(seed)
-        store = self._open_store(rng)
+        store = self._open_store(rng, edges)
         embeddings, timings, walk_stats, trainer_stats, corpus, _, _ = (
             self._embed(edges, rng, store)
         )
@@ -292,7 +295,7 @@ class Pipeline:
     ) -> PipelineResult:
         """Shared driver: phases 1-2, then the (checkpointed) task phase."""
         rng = make_rng(seed)
-        store = self._open_store(rng)
+        store = self._open_store(rng, edges)
         (embeddings, timings, walk_stats, trainer_stats, corpus, rng,
          cached) = self._embed(edges, rng, store)
         phase = f"task-{task_name}"
@@ -303,10 +306,15 @@ class Pipeline:
             result = run_fn(embeddings, rng)
             if store is not None:
                 store.save_pickle(phase, result, rng=rng)
+                # Auxiliary artifacts are namespaced per task so running
+                # a second task type against the same store never
+                # overwrites the first task's splits/classifier.
                 if result.splits is not None:
-                    store.save_splits(result.splits, phase="splits")
+                    store.save_splits(result.splits,
+                                      phase=f"splits-{task_name}")
                 if result.model is not None:
-                    store.save_classifier(result.model, phase="classifier")
+                    store.save_classifier(result.model,
+                                          phase=f"classifier-{task_name}")
             self._fault_plan().fire("after-task")
         return self._finish(
             result, timings, embeddings, walk_stats, trainer_stats, corpus,

@@ -14,6 +14,7 @@ import pytest
 from repro.checkpoint import (
     CheckpointStore,
     config_fingerprint,
+    dataset_fingerprint,
     rng_restore,
     rng_snapshot,
     run_key,
@@ -81,6 +82,23 @@ def test_rng_snapshot_is_json_serializable():
     )
 
 
+@pytest.mark.parametrize("bit_generator", ["MT19937", "Philox", "SFC64"])
+def test_rng_snapshot_json_roundtrip_non_default_bit_generators(
+    bit_generator,
+):
+    """MT19937/Philox states hold ndarrays/uint64s; snapshots must still
+    be JSON-clean and restore to an identical stream."""
+    import json
+
+    cls = getattr(np.random, bit_generator)
+    rng = np.random.Generator(cls(np.random.SeedSequence(7)))
+    rng.random(11)  # advance so the state is nontrivial
+    snap = rng_snapshot(rng)
+    rebuilt = json.loads(json.dumps(snap))  # must not raise TypeError
+    expected = rng.random(64)
+    np.testing.assert_array_equal(rng_restore(rebuilt).random(64), expected)
+
+
 # ---------------------------------------------------------------------------
 # Fingerprints and run keys
 # ---------------------------------------------------------------------------
@@ -111,6 +129,38 @@ def test_run_key_depends_on_seed():
     key6 = run_key(cfg, np.random.default_rng(6))
     assert key5 != key6
     assert key5 == run_key(cfg, np.random.default_rng(5))
+
+
+def test_dataset_fingerprint_tracks_graph_contents(email_edges):
+    from repro.graph.edges import TemporalEdgeList
+
+    fp = dataset_fingerprint(email_edges)
+    assert fp == dataset_fingerprint(email_edges)  # deterministic
+    perturbed = TemporalEdgeList(
+        email_edges.src, email_edges.dst, email_edges.timestamps + 1.0,
+        num_nodes=email_edges.num_nodes,
+    )
+    assert fp != dataset_fingerprint(perturbed)
+    widened = TemporalEdgeList(
+        email_edges.src, email_edges.dst, email_edges.timestamps,
+        num_nodes=email_edges.num_nodes + 1,
+    )
+    assert fp != dataset_fingerprint(widened)
+
+
+def test_run_key_depends_on_dataset(email_edges):
+    from repro.graph.edges import TemporalEdgeList
+
+    cfg = small_pipeline_config()
+    with_data = run_key(cfg, np.random.default_rng(5), dataset=email_edges)
+    other = TemporalEdgeList(
+        email_edges.src, email_edges.dst, email_edges.timestamps + 1.0,
+        num_nodes=email_edges.num_nodes,
+    )
+    assert with_data != run_key(cfg, np.random.default_rng(5), dataset=other)
+    assert with_data == run_key(
+        cfg, np.random.default_rng(5), dataset=email_edges
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -294,7 +344,8 @@ def test_resume_after_each_phase_is_bit_identical(
     # Simulate a run that died after the last kept phase by dropping the
     # later artifacts; resume must recompute exactly those.
     rng = np.random.default_rng(5)
-    store = CheckpointStore.open(ck, small_pipeline_config(), rng)
+    store = CheckpointStore.open(ck, small_pipeline_config(), rng,
+                                 dataset=email_edges)
     for phase in ("walks", "embeddings", "task-link-prediction"):
         if phase not in kept_phases:
             store.invalidate(phase)
@@ -320,6 +371,47 @@ def test_resume_with_different_seed_recomputes(tmp_path, email_edges):
     assert other.cached_phases == ()
 
 
+def test_resume_with_different_dataset_recomputes(tmp_path, email_edges):
+    """Same config+seed on a different edge list must not reuse artifacts."""
+    from repro.graph.edges import TemporalEdgeList
+
+    ck = str(tmp_path)
+    Pipeline(
+        small_pipeline_config(checkpoint_dir=ck)
+    ).run_link_prediction(email_edges, seed=5)
+    shuffled = TemporalEdgeList(
+        email_edges.src[::-1].copy(), email_edges.dst[::-1].copy(),
+        email_edges.timestamps[::-1].copy(),
+        num_nodes=email_edges.num_nodes,
+    )
+    other = Pipeline(
+        small_pipeline_config(checkpoint_dir=ck, resume=True)
+    ).run_link_prediction(shuffled, seed=5)
+    assert other.cached_phases == ()
+
+
+def test_open_rejects_identity_mismatch(tmp_path, email_edges):
+    """A run dir whose stored fingerprints disagree with the caller's
+    raises instead of serving another experiment's artifacts."""
+    cfg = small_pipeline_config()
+    rng_state = np.random.default_rng(5)
+    store = CheckpointStore.open(tmp_path, cfg, rng_state,
+                                 dataset=email_edges)
+    with pytest.raises(CheckpointError, match="different run"):
+        CheckpointStore(
+            tmp_path, store.key,
+            meta={"dataset_fingerprint": "0" * 64},
+        )
+    with pytest.raises(CheckpointError, match="different run"):
+        CheckpointStore(
+            tmp_path, store.key,
+            meta={"config_fingerprint": "f" * 64},
+        )
+    # Reopening with the true identity still works.
+    CheckpointStore.open(tmp_path, cfg, np.random.default_rng(5),
+                         dataset=email_edges)
+
+
 def test_resume_with_different_config_recomputes(tmp_path, email_edges):
     ck = str(tmp_path)
     Pipeline(
@@ -340,13 +432,18 @@ def test_task_phase_checkpoints_splits_and_classifier(tmp_path, email_edges):
         small_pipeline_config(checkpoint_dir=ck)
     ).run_link_prediction(email_edges, seed=5)
     store = CheckpointStore.open(ck, small_pipeline_config(),
-                                 np.random.default_rng(5))
-    assert store.has("splits")
-    assert store.has("classifier")
-    loaded = store.load_splits()
+                                 np.random.default_rng(5),
+                                 dataset=email_edges)
+    # Auxiliary artifacts are namespaced per task so a second task type
+    # against the same store cannot clobber them.
+    assert store.has("splits-link-prediction")
+    assert store.has("classifier-link-prediction")
+    loaded = store.load_splits(phase="splits-link-prediction")
     np.testing.assert_array_equal(loaded.train.src,
                                   result.task_result.splits.train.src)
-    restored = store.load_classifier_into(result.task_result.model)
+    restored = store.load_classifier_into(
+        result.task_result.model, phase="classifier-link-prediction"
+    )
     for param, expected in zip(restored.parameters(),
                                result.task_result.model.parameters()):
         np.testing.assert_array_equal(param.data, expected.data)

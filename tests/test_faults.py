@@ -60,6 +60,8 @@ def test_fault_spec_parse_shard():
 @pytest.mark.parametrize("text", [
     "walks",                 # no kind
     "walks:explode",         # unknown kind
+    "walk:crash",            # typo'd site would otherwise never fire
+    "after-sgns:error",      # unknown pipeline site
     "walks:crash:x",         # non-integer shard
     "walks:crash:0:0",       # times < 1
     "walks:delay:0:1:-2",    # negative delay
