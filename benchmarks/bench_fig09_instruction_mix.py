@@ -19,6 +19,7 @@ from repro.hwmodel.profiler import (
     profile_random_walk,
     profile_word2vec,
 )
+from repro.observability import Recorder, use_recorder
 from repro.walk import TemporalWalkEngine, WalkConfig
 
 from conftest import emit
@@ -26,18 +27,30 @@ from conftest import emit
 
 def test_fig09_instruction_mix(benchmark, email_edges):
     graph = TemporalGraph.from_edge_list(email_edges.with_reverse_edges())
+    rec = Recorder()
 
     def run_kernels():
-        engine = TemporalWalkEngine(graph)
-        corpus = engine.run(WalkConfig(), seed=1)
-        sgns = SgnsConfig(dim=8, epochs=2)
-        trainer = BatchedSgnsTrainer(sgns, batch_sentences=1024)
-        trainer.train(corpus, graph.num_nodes, seed=2)
+        with use_recorder(rec):
+            engine = TemporalWalkEngine(graph)
+            corpus = engine.run(WalkConfig(), seed=1)
+            sgns = SgnsConfig(dim=8, epochs=2)
+            trainer = BatchedSgnsTrainer(sgns, batch_sentences=1024)
+            trainer.train(corpus, graph.num_nodes, seed=2)
         return engine.last_stats, trainer.last_stats, sgns
 
     walk_stats, w2v_stats, sgns = benchmark.pedantic(
         run_kernels, rounds=1, iterations=1
     )
+    # The recorder's op counters and the kernels' own stats structs are
+    # two views of the same execution; the profiles below are only
+    # trustworthy if they agree.
+    counters = rec.metrics()["counters"]
+    assert counters["walk.edges_scanned"] == walk_stats.candidates_scanned
+    assert counters["walk.search_iterations"] == walk_stats.search_iterations
+    assert counters["walk.exp_evaluations"] == walk_stats.exp_evaluations
+    assert counters["sgns.pairs"] == w2v_stats.pairs_trained
+    assert counters["sgns.fp_ops"] == w2v_stats.fp_ops
+
     bfs_result = bfs(graph, 0)
 
     classifier_dims = [(16, 32), (32, 1)]

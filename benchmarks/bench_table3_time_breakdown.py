@@ -15,8 +15,6 @@ fed with each rung's measured statistics, scaled 1:100 from the paper's
 ladder (10k nodes, 1k..2M edges).
 """
 
-import time
-
 from repro.bench import ExperimentRecorder, render_table
 from repro.embedding import BatchedSgnsTrainer, SgnsConfig
 from repro.graph import TemporalGraph, generators
@@ -27,6 +25,7 @@ from repro.hwmodel.profiler import (
     profile_random_walk,
     profile_word2vec,
 )
+from repro.observability import Recorder, use_recorder
 from repro.walk import TemporalWalkEngine, WalkConfig
 
 from conftest import emit
@@ -42,17 +41,22 @@ def measure_rung(num_edges: int) -> dict:
     graph = TemporalGraph.from_edge_list(edges)
     engine = TemporalWalkEngine(graph)
 
-    start = time.perf_counter()
-    corpus = engine.run(WalkConfig(), seed=1)
-    rwalk_wall = time.perf_counter() - start
-    walk_stats = engine.last_stats
+    # Wall times come from recorder spans rather than ad-hoc
+    # perf_counter bracketing, so the breakdown here and the spans a
+    # pipeline run emits are the same measurement.
+    rec = Recorder()
+    with use_recorder(rec):
+        with rec.span("rwalk"):
+            corpus = engine.run(WalkConfig(), seed=1)
+        walk_stats = engine.last_stats
 
-    sgns = SgnsConfig(dim=8, epochs=1)
-    trainer = BatchedSgnsTrainer(sgns, batch_sentences=4096)
-    start = time.perf_counter()
-    trainer.train(corpus, graph.num_nodes, seed=2)
-    w2v_wall = time.perf_counter() - start
-    w2v_stats = trainer.last_stats
+        sgns = SgnsConfig(dim=8, epochs=1)
+        trainer = BatchedSgnsTrainer(sgns, batch_sentences=4096)
+        with rec.span("word2vec"):
+            trainer.train(corpus, graph.num_nodes, seed=2)
+        w2v_stats = trainer.last_stats
+    rwalk_wall = rec.span_seconds("rwalk")
+    w2v_wall = rec.span_seconds("word2vec")
 
     # Classifier sample counts follow Fig. 7 (pos+neg per partition).
     train_samples = 2 * int(0.6 * num_edges)

@@ -58,6 +58,7 @@ import numpy as np
 from repro.embedding.embeddings import NodeEmbeddings
 from repro.embedding.trainer import TrainerStats
 from repro.errors import CheckpointError
+from repro.observability import get_recorder
 from repro.nn.module import Module
 from repro.graph.edges import TemporalEdgeList
 from repro.walk.corpus import WalkCorpus
@@ -71,6 +72,7 @@ MANIFEST_NAME = "manifest.json"
 _WALK_COUNTERS = (
     "num_walks", "total_steps", "candidates_scanned",
     "search_iterations", "terminated_early",
+    "exp_evaluations", "cdf_search_iterations",
 )
 _TRAINER_COUNTERS = (
     "pairs_trained", "sentences", "updates", "fp_ops",
@@ -391,37 +393,45 @@ class CheckpointStore:
     def _save_payload(self, phase: str, filename: str, data: bytes,
                       extra: Mapping[str, Any] | None,
                       rng: np.random.Generator | None) -> None:
-        _atomic_write_bytes(self.run_dir / filename, data)
-        entry: dict[str, Any] = {
-            "file": filename,
-            "sha256": _sha256(data),
-            "bytes": len(data),
-            "status": "complete",
-        }
-        if extra:
-            entry["extra"] = dict(extra)
-        if rng is not None:
-            entry["rng"] = rng_snapshot(rng)
-        self._record_phase(phase, entry)
+        rec = get_recorder()
+        with rec.span("checkpoint.save", phase=phase, bytes=len(data)):
+            _atomic_write_bytes(self.run_dir / filename, data)
+            entry: dict[str, Any] = {
+                "file": filename,
+                "sha256": _sha256(data),
+                "bytes": len(data),
+                "status": "complete",
+            }
+            if extra:
+                entry["extra"] = dict(extra)
+            if rng is not None:
+                entry["rng"] = rng_snapshot(rng)
+            self._record_phase(phase, entry)
+        rec.counter("checkpoint.saves")
+        rec.counter("checkpoint.bytes_written", len(data))
 
     def _load_payload(self, phase: str) -> tuple[bytes, dict]:
-        entry = self.manifest()["phases"].get(phase)
-        if entry is None or entry.get("status") != "complete":
-            raise CheckpointError(
-                f"phase {phase!r} is not checkpointed in {self.run_dir}"
-            )
-        path = self.run_dir / entry["file"]
-        try:
-            data = path.read_bytes()
-        except OSError as exc:
-            raise CheckpointError(
-                f"cannot read artifact for phase {phase!r}: {exc}"
-            ) from exc
-        if _sha256(data) != entry["sha256"]:
-            raise CheckpointError(
-                f"artifact for phase {phase!r} failed integrity check "
-                f"({path}); delete the run directory and re-run"
-            )
+        rec = get_recorder()
+        with rec.span("checkpoint.load", phase=phase):
+            entry = self.manifest()["phases"].get(phase)
+            if entry is None or entry.get("status") != "complete":
+                raise CheckpointError(
+                    f"phase {phase!r} is not checkpointed in {self.run_dir}"
+                )
+            path = self.run_dir / entry["file"]
+            try:
+                data = path.read_bytes()
+            except OSError as exc:
+                raise CheckpointError(
+                    f"cannot read artifact for phase {phase!r}: {exc}"
+                ) from exc
+            if _sha256(data) != entry["sha256"]:
+                raise CheckpointError(
+                    f"artifact for phase {phase!r} failed integrity check "
+                    f"({path}); delete the run directory and re-run"
+                )
+        rec.counter("checkpoint.loads")
+        rec.counter("checkpoint.bytes_read", len(data))
         return data, entry
 
     def save_arrays(self, phase: str, arrays: Mapping[str, np.ndarray],
@@ -495,9 +505,11 @@ class CheckpointStore:
                 start_nodes=arrays["start_nodes"],
             )
             counters = entry["extra"]
+            # .get tolerates checkpoints written before a counter existed.
             stats = WalkStats(
                 work_per_start_node=arrays["work_per_start_node"],
-                **{name: int(counters[name]) for name in _WALK_COUNTERS},
+                **{name: int(counters.get(name, 0))
+                   for name in _WALK_COUNTERS},
             )
         except KeyError as exc:
             raise CheckpointError(

@@ -25,13 +25,15 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Sequence
+from contextlib import contextmanager
+from typing import Iterator, Sequence
 
 from repro.bench.tables import render_table
 from repro.embedding.trainer import SgnsConfig
 from repro.errors import ReproError
 from repro.graph import TemporalGraph, compute_stats, generators
 from repro.graph.io import LabeledTemporalDataset, read_wel, write_wel
+from repro.observability import Recorder, get_recorder, use_recorder
 from repro.parallel import SupervisorConfig
 from repro.tasks.link_prediction import LinkPredictionConfig
 from repro.tasks.node_classification import NodeClassificationConfig
@@ -88,7 +90,37 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
     fault.add_argument("--max-retries", type=int, default=2,
                        help="retries per failed worker shard before "
                             "degrading to in-process execution")
+    obs = parser.add_argument_group("observability")
+    obs.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write run counters/gauges/histograms as JSON "
+                          "(see docs/observability.md)")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the span trace as JSONL, one span per "
+                          "line (see docs/observability.md)")
     parser.add_argument("--seed", type=int, default=0)
+
+
+@contextmanager
+def _observability(args: argparse.Namespace) -> Iterator[Recorder | None]:
+    """Install an ambient recorder when --metrics-out/--trace-out ask
+    for one, and flush the requested files on the way out (including on
+    error, so a failed run still leaves a usable partial trace)."""
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace_out", None)
+    if not metrics_out and not trace_out:
+        yield None
+        return
+    recorder = Recorder()
+    try:
+        with use_recorder(recorder):
+            yield recorder
+    finally:
+        if metrics_out:
+            recorder.write_metrics(metrics_out)
+            print(f"wrote metrics: {metrics_out}")
+        if trace_out:
+            recorder.write_trace(trace_out)
+            print(f"wrote trace: {trace_out}")
 
 
 def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
@@ -172,9 +204,10 @@ def cmd_linkpred(args: argparse.Namespace) -> int:
     stats = compute_stats(TemporalGraph.from_edge_list(edges))
     print(f"input: {source} — {stats.num_nodes} nodes, "
           f"{stats.num_edges} temporal edges")
-    result = _pipeline_from_args(args).run_link_prediction(
-        edges, seed=args.seed
-    )
+    with _observability(args):
+        result = _pipeline_from_args(args).run_link_prediction(
+            edges, seed=args.seed
+        )
     if result.cached_phases:
         print("cached phases: " + ", ".join(result.cached_phases))
     print(result.summary())
@@ -191,9 +224,10 @@ def cmd_nodeclass(args: argparse.Namespace) -> int:
         source = f"{args.dataset} (synthetic shape)"
     print(f"input: {source} — {dataset.edges.num_nodes} nodes, "
           f"{len(dataset.edges)} edges, {dataset.num_classes} classes")
-    result = _pipeline_from_args(args).run_node_classification(
-        dataset, seed=args.seed
-    )
+    with _observability(args):
+        result = _pipeline_from_args(args).run_node_classification(
+            dataset, seed=args.seed
+        )
     if result.cached_phases:
         print("cached phases: " + ", ".join(result.cached_phases))
     print(result.summary())
@@ -216,13 +250,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         source = f"{args.dataset} (synthetic shape)"
     print(f"sweeping {args.parameter} over {values} on {source} "
           f"({len(args.seeds.split(','))} seeds)")
-    result = sweep_dataset(
-        dataset, args.parameter, values,
-        seeds=tuple(int(s) for s in args.seeds.split(",")),
-        base_walk=WalkConfig(num_walks_per_node=args.walks,
-                             max_walk_length=args.length, bias=args.bias),
-        base_sgns=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
-    )
+    with _observability(args):
+        result = sweep_dataset(
+            dataset, args.parameter, values,
+            seeds=tuple(int(s) for s in args.seeds.split(",")),
+            base_walk=WalkConfig(num_walks_per_node=args.walks,
+                                 max_walk_length=args.length, bias=args.bias),
+            base_sgns=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
+        )
     print(render_table(result.rows(), title=f"accuracy vs {args.parameter}"))
     print(f"saturation point (1% tolerance): "
           f"{result.saturation_point(0.01)}")
@@ -249,18 +284,22 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     print(f"synthetic ER graph: {graph.num_nodes} nodes, "
           f"{graph.num_edges} edges")
 
-    engine = TemporalWalkEngine(graph)
-    corpus = engine.run(
-        WalkConfig(num_walks_per_node=args.walks,
-                   max_walk_length=args.length, bias=args.bias),
-        seed=args.seed,
-    )
-    walk_stats = engine.last_stats
-    sgns = SgnsConfig(dim=args.dim, epochs=1)
-    trainer = BatchedSgnsTrainer(sgns, batch_sentences=args.batch_sentences
-                                 or 1024)
-    trainer.train(corpus, graph.num_nodes, seed=args.seed + 1)
-    w2v_stats = trainer.last_stats
+    with _observability(args):
+        engine = TemporalWalkEngine(graph)
+        with get_recorder().span("rwalk", workers=1):
+            corpus = engine.run(
+                WalkConfig(num_walks_per_node=args.walks,
+                           max_walk_length=args.length, bias=args.bias),
+                seed=args.seed,
+            )
+        walk_stats = engine.last_stats
+        sgns = SgnsConfig(dim=args.dim, epochs=1)
+        trainer = BatchedSgnsTrainer(sgns,
+                                     batch_sentences=args.batch_sentences
+                                     or 1024)
+        with get_recorder().span("word2vec", workers=1):
+            trainer.train(corpus, graph.num_nodes, seed=args.seed + 1)
+        w2v_stats = trainer.last_stats
     dims = [(2 * args.dim, 32), (32, 1)]
 
     profiles = [

@@ -20,10 +20,15 @@ import time
 
 import numpy as np
 
+from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.embedding.negative import NegativeSampler
 from repro.embedding.skipgram import SkipGramModel, generate_pairs
-from repro.embedding.trainer import SgnsConfig, TrainerStats
+from repro.embedding.trainer import (
+    SgnsConfig,
+    TrainerStats,
+    publish_trainer_stats,
+)
 from repro.embedding.vocab import Vocabulary
 from repro.walk.corpus import WalkCorpus
 
@@ -61,64 +66,92 @@ class BatchedSgnsTrainer:
         )
 
         stats = TrainerStats()
+        rec = get_recorder()
         start = time.perf_counter()
         sentences = [s for s in corpus.sentences(min_length=2)]
         total_batches = cfg.epochs * max(
             1, -(-len(sentences) // self.batch_sentences)
         )
-        batch_index = 0
-        loss_accum = 0.0
-        for _epoch in range(cfg.epochs):
-            for base in range(0, len(sentences), self.batch_sentences):
-                batch = sentences[base: base + self.batch_sentences]
-                centers_parts: list[np.ndarray] = []
-                contexts_parts: list[np.ndarray] = []
-                for sentence in batch:
-                    if keep is not None:
-                        sentence = vocab.subsample_sentence(sentence, keep, rng)
-                        if len(sentence) < 2:
-                            continue
-                    c, o = generate_pairs(
-                        sentence, cfg.window, rng, cfg.dynamic_window
-                    )
-                    if len(c):
-                        centers_parts.append(c)
-                        contexts_parts.append(o)
-                lr = self._lr(batch_index, total_batches)
-                batch_index += 1
-                stats.sentences += len(batch)
-                if not centers_parts:
-                    continue
-                centers = np.concatenate(centers_parts)
-                contexts = np.concatenate(contexts_parts)
-                if cfg.shared_negatives:
-                    shared = sampler.sample(cfg.negatives, rng)
-                    negatives = np.broadcast_to(
-                        shared, (len(centers), cfg.negatives)
-                    ).copy()
-                else:
-                    negatives = sampler.sample_matrix(
-                        len(centers), cfg.negatives, rng
-                    )
-                # All pairs read this snapshot; the scatter-add below is the
-                # stale concurrent update of §V-B.
-                gc, go, gn, loss = model.batch_gradients(centers, contexts, negatives)
-                model.apply_batch(
-                    centers, contexts, negatives, gc, go, gn, lr,
-                    update=cfg.update_mode, cap=cfg.update_cap,
+        # Mutable accumulators shared across the per-epoch spans.
+        acc = {"batch_index": 0, "loss_accum": 0.0, "negatives_drawn": 0}
+        for epoch in range(cfg.epochs):
+            with rec.span("sgns_epoch", epoch=epoch, trainer="batched"):
+                self._train_epoch(
+                    sentences, vocab, sampler, model, keep, rng,
+                    total_batches, stats, acc, rec,
                 )
-                stats.pairs_trained += len(centers)
-                stats.updates += 1
-                stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
-                # Pair-weighted accumulation: mean_loss is per-pair, the
-                # same unit the sequential trainer reports.
-                loss_accum += loss * len(centers)
-                stats.losses.append(loss)
 
         stats.wall_seconds = time.perf_counter() - start
-        stats.mean_loss = loss_accum / max(1, stats.pairs_trained)
+        stats.mean_loss = acc["loss_accum"] / max(1, stats.pairs_trained)
         self.last_stats = stats
+        publish_trainer_stats(stats, negatives_drawn=acc["negatives_drawn"])
         return model
+
+    def _train_epoch(
+        self,
+        sentences: list[np.ndarray],
+        vocab: Vocabulary,
+        sampler: NegativeSampler,
+        model: SkipGramModel,
+        keep: np.ndarray | None,
+        rng: np.random.Generator,
+        total_batches: int,
+        stats: TrainerStats,
+        acc: dict,
+        rec,
+    ) -> None:
+        """One epoch: batch the sentences, one vectorized update each."""
+        cfg = self.config
+        track = rec.enabled
+        for base in range(0, len(sentences), self.batch_sentences):
+            batch = sentences[base: base + self.batch_sentences]
+            centers_parts: list[np.ndarray] = []
+            contexts_parts: list[np.ndarray] = []
+            for sentence in batch:
+                if keep is not None:
+                    sentence = vocab.subsample_sentence(sentence, keep, rng)
+                    if len(sentence) < 2:
+                        continue
+                c, o = generate_pairs(
+                    sentence, cfg.window, rng, cfg.dynamic_window
+                )
+                if len(c):
+                    centers_parts.append(c)
+                    contexts_parts.append(o)
+            lr = self._lr(acc["batch_index"], total_batches)
+            acc["batch_index"] += 1
+            stats.sentences += len(batch)
+            if not centers_parts:
+                continue
+            if track:
+                rec.observe("sgns.lr", lr)
+            centers = np.concatenate(centers_parts)
+            contexts = np.concatenate(contexts_parts)
+            if cfg.shared_negatives:
+                shared = sampler.sample(cfg.negatives, rng)
+                negatives = np.broadcast_to(
+                    shared, (len(centers), cfg.negatives)
+                ).copy()
+                acc["negatives_drawn"] += cfg.negatives
+            else:
+                negatives = sampler.sample_matrix(
+                    len(centers), cfg.negatives, rng
+                )
+                acc["negatives_drawn"] += len(centers) * cfg.negatives
+            # All pairs read this snapshot; the scatter-add below is the
+            # stale concurrent update of §V-B.
+            gc, go, gn, loss = model.batch_gradients(centers, contexts, negatives)
+            model.apply_batch(
+                centers, contexts, negatives, gc, go, gn, lr,
+                update=cfg.update_mode, cap=cfg.update_cap,
+            )
+            stats.pairs_trained += len(centers)
+            stats.updates += 1
+            stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
+            # Pair-weighted accumulation: mean_loss is per-pair, the
+            # same unit the sequential trainer reports.
+            acc["loss_accum"] += loss * len(centers)
+            stats.losses.append(loss)
 
     def _lr(self, batch_index: int, total_batches: int) -> float:
         """Linear decay over batches, floored."""

@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import EmbeddingError
+from repro.observability import Recorder, get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.embedding.negative import NegativeSampler
 from repro.embedding.skipgram import SkipGramModel, generate_pairs
@@ -86,6 +87,28 @@ class TrainerStats:
     losses: list[float] = field(default_factory=list)
 
 
+def publish_trainer_stats(
+    stats: TrainerStats,
+    negatives_drawn: int | None = None,
+    recorder: Recorder | None = None,
+) -> None:
+    """Flush one training run's counters into the (ambient) recorder."""
+    rec = recorder if recorder is not None else get_recorder()
+    if not rec.enabled:
+        return
+    rec.counter("sgns.runs")
+    rec.counter("sgns.pairs", stats.pairs_trained)
+    rec.counter("sgns.sentences", stats.sentences)
+    rec.counter("sgns.updates", stats.updates)
+    rec.counter("sgns.fp_ops", stats.fp_ops)
+    if negatives_drawn is not None:
+        rec.counter("sgns.negatives_drawn", negatives_drawn)
+    if stats.wall_seconds > 0:
+        rec.gauge("sgns.pairs_per_sec",
+                  stats.pairs_trained / stats.wall_seconds)
+    rec.gauge("sgns.mean_loss", stats.mean_loss)
+
+
 class SequentialSgnsTrainer:
     """One-sentence-at-a-time SGNS training."""
 
@@ -114,47 +137,61 @@ class SequentialSgnsTrainer:
         )
 
         stats = TrainerStats()
+        rec = get_recorder()
+        track = rec.enabled
         start = time.perf_counter()
         total_sentences = cfg.epochs * sum(
             1 for _ in corpus.sentences(min_length=2)
         )
         seen = 0
         loss_accum = 0.0
-        for _epoch in range(cfg.epochs):
-            for sentence in corpus.sentences(min_length=2):
-                # The schedule counts every *visited* sentence, matching
-                # the pre-subsample ``total_sentences`` denominator.
-                # (Counting only surviving sentences left ``seen`` far
-                # below the total under subsampling, so the linear decay
-                # never reached its floor and the effective LR was
-                # biased high.)
-                lr = self._lr(seen, total_sentences)
-                seen += 1
-                if keep is not None:
-                    sentence = vocab.subsample_sentence(sentence, keep, rng)
-                    if len(sentence) < 2:
+        negatives_drawn = 0
+        for epoch in range(cfg.epochs):
+            with rec.span("sgns_epoch", epoch=epoch, trainer="sequential"):
+                for sentence in corpus.sentences(min_length=2):
+                    # The schedule counts every *visited* sentence,
+                    # matching the pre-subsample ``total_sentences``
+                    # denominator.  (Counting only surviving sentences
+                    # left ``seen`` far below the total under
+                    # subsampling, so the linear decay never reached its
+                    # floor and the effective LR was biased high.)
+                    lr = self._lr(seen, total_sentences)
+                    seen += 1
+                    if keep is not None:
+                        sentence = vocab.subsample_sentence(sentence, keep, rng)
+                        if len(sentence) < 2:
+                            continue
+                    centers, contexts = generate_pairs(
+                        sentence, cfg.window, rng, cfg.dynamic_window
+                    )
+                    if len(centers) == 0:
                         continue
-                centers, contexts = generate_pairs(
-                    sentence, cfg.window, rng, cfg.dynamic_window
-                )
-                if len(centers) == 0:
-                    continue
-                negatives = sampler.sample_matrix(len(centers), cfg.negatives, rng)
-                gc, go, gn, loss = model.batch_gradients(centers, contexts, negatives)
-                model.apply_batch(
-                    centers, contexts, negatives, gc, go, gn, lr,
-                    update=cfg.update_mode, cap=cfg.update_cap,
-                )
-                stats.pairs_trained += len(centers)
-                stats.sentences += 1
-                stats.updates += 1
-                stats.fp_ops += len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
-                loss_accum += loss * len(centers)
-                stats.losses.append(loss)
+                    negatives = sampler.sample_matrix(
+                        len(centers), cfg.negatives, rng
+                    )
+                    gc, go, gn, loss = model.batch_gradients(
+                        centers, contexts, negatives
+                    )
+                    model.apply_batch(
+                        centers, contexts, negatives, gc, go, gn, lr,
+                        update=cfg.update_mode, cap=cfg.update_cap,
+                    )
+                    if track:
+                        rec.observe("sgns.lr", lr)
+                    stats.pairs_trained += len(centers)
+                    stats.sentences += 1
+                    stats.updates += 1
+                    stats.fp_ops += (
+                        len(centers) * (1 + cfg.negatives) * 4 * cfg.dim
+                    )
+                    negatives_drawn += len(centers) * cfg.negatives
+                    loss_accum += loss * len(centers)
+                    stats.losses.append(loss)
 
         stats.wall_seconds = time.perf_counter() - start
         stats.mean_loss = loss_accum / max(1, stats.pairs_trained)
         self.last_stats = stats
+        publish_trainer_stats(stats, negatives_drawn=negatives_drawn)
         return model
 
     def _lr(self, seen: int, total: int) -> float:

@@ -25,11 +25,17 @@ import numpy as np
 
 from repro.errors import EmbeddingError
 from repro.faults import FaultPlan
+from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.embedding.batched import BatchedSgnsTrainer
 from repro.embedding.negative import NegativeSampler
 from repro.embedding.skipgram import SkipGramModel, generate_pairs
-from repro.embedding.trainer import SequentialSgnsTrainer, SgnsConfig, TrainerStats
+from repro.embedding.trainer import (
+    SequentialSgnsTrainer,
+    SgnsConfig,
+    TrainerStats,
+    publish_trainer_stats,
+)
 from repro.embedding.vocab import Vocabulary
 from repro.parallel.supervisor import (
     ShardReport,
@@ -189,6 +195,7 @@ class ParallelSgnsTrainer:
         )
 
         ctx = _mp_context()
+        rec = get_recorder()
         loss_pair_sum = 0.0
         self.last_shard_reports = []
         for epoch in range(cfg.epochs):
@@ -206,16 +213,18 @@ class ParallelSgnsTrainer:
             # retried with the same seed material, and an incurable
             # shard runs in-process (``_train_shard`` is pure, so the
             # fallback is bit-identical to the worker path).
-            results, reports = run_supervised(
-                _train_shard,
-                jobs,
-                workers=len(shards),
-                supervisor=self.supervisor,
-                serial_fn=_train_shard,
-                site="sgns",
-                fault_plan=self.fault_plan,
-                mp_context=ctx,
-            )
+            with rec.span("sgns_epoch", epoch=epoch, trainer="parallel",
+                          workers=len(shards)):
+                results, reports = run_supervised(
+                    _train_shard,
+                    jobs,
+                    workers=len(shards),
+                    supervisor=self.supervisor,
+                    serial_fn=_train_shard,
+                    site="sgns",
+                    fault_plan=self.fault_plan,
+                    mp_context=ctx,
+                )
             self.last_shard_reports.extend(reports)
             # Parameter averaging: every worker's epoch is stale
             # with respect to the others; the mean is the sync
@@ -233,4 +242,7 @@ class ParallelSgnsTrainer:
         stats.wall_seconds = time.perf_counter() - start
         stats.mean_loss = loss_pair_sum / max(1, stats.pairs_trained)
         self.last_stats = stats
+        publish_trainer_stats(
+            stats, negatives_drawn=stats.pairs_trained * cfg.negatives
+        )
         return model

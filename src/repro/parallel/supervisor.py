@@ -44,6 +44,7 @@ from typing import Callable, Sequence
 
 from repro.errors import WorkerError
 from repro.faults import FaultPlan
+from repro.observability import get_recorder
 
 
 def _mp_context() -> mp.context.BaseContext:
@@ -188,6 +189,7 @@ def run_supervised(
     sup = supervisor or SupervisorConfig()
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
     ctx = mp_context or _mp_context()
+    rec = get_recorder()
     n = len(arg_tuples)
     results: list = [None] * n
     reports = [ShardReport(index=i) for i in range(n)]
@@ -197,15 +199,30 @@ def run_supervised(
         raise WorkerError(f"workers must be >= 1, got {workers}")
 
     pending: deque[int] = deque(range(n))
-    running: dict[int, tuple[mp.process.BaseProcess, float | None, str]] = {}
+    # index -> (process, deadline, payload path, attempt start time);
+    # the start time feeds the per-attempt trace span emitted at reap.
+    running: dict[
+        int, tuple[mp.process.BaseProcess, float | None, str, float]
+    ] = {}
     degraded: list[int] = []
     tmpdir = tempfile.mkdtemp(prefix="repro-supervise-")
+
+    def _attempt_span(index: int, started: float, outcome: str) -> None:
+        rec.record_span(
+            "shard_attempt",
+            time.perf_counter() - started,
+            site=site,
+            shard=index,
+            attempt=reports[index].attempts - 1,
+            outcome=outcome,
+        )
 
     def _settle_failure(index: int, reason: str) -> None:
         reports[index].failures.append(
             f"attempt {reports[index].attempts - 1}: {reason}"
         )
         if reports[index].attempts <= sup.max_retries:
+            rec.counter("supervisor.retries")
             pending.append(index)
         else:
             degraded.append(index)
@@ -229,12 +246,15 @@ def run_supervised(
                     None if sup.shard_timeout is None
                     else time.monotonic() + sup.shard_timeout
                 )
-                running[index] = (proc, deadline, payload_path)
+                running[index] = (
+                    proc, deadline, payload_path, time.perf_counter()
+                )
                 report.attempts += 1
+                rec.counter("supervisor.attempts")
 
             reaped = False
             for index in list(running):
-                proc, deadline, payload_path = running[index]
+                proc, deadline, payload_path, started = running[index]
                 if not proc.is_alive():
                     proc.join()
                     del running[index]
@@ -243,19 +263,23 @@ def run_supervised(
                     if ok:
                         results[index] = value
                         reports[index].outcome = "ok"
+                        _attempt_span(index, started, "ok")
                     else:
+                        _attempt_span(index, started, "error")
                         _settle_failure(index, str(value))
                 elif deadline is not None and time.monotonic() > deadline:
                     _kill(proc)
                     del running[index]
                     reaped = True
+                    rec.counter("supervisor.timeouts")
+                    _attempt_span(index, started, "timeout")
                     _settle_failure(
                         index, f"timed out after {sup.shard_timeout}s"
                     )
             if running and not reaped:
                 time.sleep(sup.poll_interval)
     finally:
-        for proc, _, _ in running.values():
+        for proc, _, _, _ in running.values():
             _kill(proc)
         shutil.rmtree(tmpdir, ignore_errors=True)
 
@@ -272,6 +296,8 @@ def run_supervised(
         for index in degraded:
             # Same arguments, in-process: bit-identical to what the
             # worker would have produced, just not parallel.
-            results[index] = serial_fn(*arg_tuples[index])
+            rec.counter("supervisor.degraded")
+            with rec.span("shard_degraded", site=site, shard=index):
+                results[index] = serial_fn(*arg_tuples[index])
             reports[index].outcome = "degraded"
     return results, reports

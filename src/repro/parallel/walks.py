@@ -33,6 +33,7 @@ import numpy as np
 
 from repro.errors import WalkError
 from repro.faults import FaultPlan
+from repro.observability import NULL_RECORDER, use_recorder
 from repro.rng import SeedLike, make_rng
 from repro.graph.csr import TemporalGraph
 from repro.parallel.shared_graph import SharedCsrGraph, SharedGraphSpec
@@ -44,7 +45,11 @@ from repro.parallel.supervisor import (
 )
 from repro.walk.config import WalkConfig
 from repro.walk.corpus import WalkCorpus
-from repro.walk.engine import TemporalWalkEngine, WalkStats
+from repro.walk.engine import (
+    TemporalWalkEngine,
+    WalkStats,
+    publish_walk_stats,
+)
 
 
 def shard_indices(num_items: int, workers: int) -> list[np.ndarray]:
@@ -74,6 +79,8 @@ def merge_walk_stats(parts: Sequence[WalkStats]) -> WalkStats:
         candidates_scanned=sum(p.candidates_scanned for p in parts),
         search_iterations=sum(p.search_iterations for p in parts),
         terminated_early=sum(p.terminated_early for p in parts),
+        exp_evaluations=sum(p.exp_evaluations for p in parts),
+        cdf_search_iterations=sum(p.cdf_search_iterations for p in parts),
         work_per_start_node=np.zeros_like(parts[0].work_per_start_node),
     )
     for p in parts:
@@ -97,12 +104,15 @@ def _run_shard_engine(
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, WalkStats]:
     """One shard of start nodes through a fresh engine (any process)."""
     engine = TemporalWalkEngine(graph, sampler=sampler)
-    corpus = engine.run(
-        config,
-        seed=np.random.default_rng(seed_seq),
-        start_nodes=shard,
-        start_time=start_time,
-    )
+    # The parent publishes the *merged* stats once; silencing the
+    # per-shard run keeps in-parent degraded shards from double-counting.
+    with use_recorder(NULL_RECORDER):
+        corpus = engine.run(
+            config,
+            seed=np.random.default_rng(seed_seq),
+            start_nodes=shard,
+            start_time=start_time,
+        )
     stats = engine.last_stats
     assert stats is not None
     return corpus.matrix, corpus.lengths, corpus.start_nodes, stats
@@ -208,4 +218,6 @@ def run_parallel_walks(
         np.concatenate(lengths),
         start_nodes=np.concatenate(starts),
     )
-    return corpus, merge_walk_stats(stats)
+    merged = merge_walk_stats(stats)
+    publish_walk_stats(merged)
+    return corpus, merged

@@ -8,7 +8,6 @@ chronologically last 20% of edges.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -19,6 +18,7 @@ from repro.nn.layers import Linear, ReLU
 from repro.nn.losses import BCEWithLogitsLoss
 from repro.nn.metrics import binary_accuracy, roc_auc
 from repro.nn.module import Module, Sequential
+from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.tasks.features import Standardizer, build_link_prediction_features
 from repro.tasks.negative_sampling import sample_negative_edges
@@ -129,33 +129,34 @@ class LinkPredictionTask:
         """
         cfg = self.config
         rng = make_rng(seed)
+        rec = get_recorder()
 
-        prep_start = time.perf_counter()
-        splits = temporal_edge_split(
-            edges,
-            train_fraction=cfg.train_fraction,
-            valid_fraction=cfg.valid_fraction,
-            test_fraction=cfg.test_fraction,
-            seed=rng,
-        )
-        forbidden = edges.edge_key_set()
-        partitions = {}
-        for name, positives in (
-            ("train", splits.train), ("valid", splits.valid), ("test", splits.test)
-        ):
-            negatives = sample_negative_edges(
-                positives, forbidden, edges.num_nodes, seed=rng
+        with rec.span("data_prep", task="link-prediction") as prep_span:
+            splits = temporal_edge_split(
+                edges,
+                train_fraction=cfg.train_fraction,
+                valid_fraction=cfg.valid_fraction,
+                test_fraction=cfg.test_fraction,
+                seed=rng,
             )
-            # Keep later partitions from re-drawing these negatives.
-            forbidden |= negatives.edge_key_set()
-            partitions[name] = build_link_prediction_features(
-                embeddings, positives, negatives
-            )
-        scaler = Standardizer().fit(partitions["train"][0])
-        partitions = {
-            name: (scaler.transform(x), y) for name, (x, y) in partitions.items()
-        }
-        data_prep_seconds = time.perf_counter() - prep_start
+            forbidden = edges.edge_key_set()
+            partitions = {}
+            for name, positives in (
+                ("train", splits.train), ("valid", splits.valid), ("test", splits.test)
+            ):
+                negatives = sample_negative_edges(
+                    positives, forbidden, edges.num_nodes, seed=rng
+                )
+                # Keep later partitions from re-drawing these negatives.
+                forbidden |= negatives.edge_key_set()
+                partitions[name] = build_link_prediction_features(
+                    embeddings, positives, negatives
+                )
+            scaler = Standardizer().fit(partitions["train"][0])
+            partitions = {
+                name: (scaler.transform(x), y) for name, (x, y) in partitions.items()
+            }
+        data_prep_seconds = prep_span.duration
 
         model = build_link_prediction_model(
             feature_dim=2 * embeddings.dim, hidden_dim=cfg.hidden_dim, seed=rng
@@ -166,17 +167,18 @@ class LinkPredictionTask:
             probs = _sigmoid(m.forward(x).reshape(-1))
             return binary_accuracy(probs, y)
 
-        history = train_classifier(
-            model, loss, partitions["train"], partitions["valid"],
-            cfg.training, evaluate_accuracy, seed=rng,
-        )
+        with rec.span("train", task="link-prediction"):
+            history = train_classifier(
+                model, loss, partitions["train"], partitions["valid"],
+                cfg.training, evaluate_accuracy, seed=rng,
+            )
 
-        test_start = time.perf_counter()
-        test_x, test_y = partitions["test"]
-        probs = _sigmoid(model.forward(test_x).reshape(-1))
-        accuracy = binary_accuracy(probs, test_y)
-        auc = roc_auc(probs, test_y)
-        test_seconds = time.perf_counter() - test_start
+        with rec.span("test", task="link-prediction") as test_span:
+            test_x, test_y = partitions["test"]
+            probs = _sigmoid(model.forward(test_x).reshape(-1))
+            accuracy = binary_accuracy(probs, test_y)
+            auc = roc_auc(probs, test_y)
+        test_seconds = test_span.duration
 
         return TaskResult(
             task="link-prediction",

@@ -60,6 +60,12 @@ def sample_negative_edges(
     for _round in range(_MAX_ROUNDS):
         if len(pending) == 0:
             break
+        # Rejected candidates re-derive src from their base positive:
+        # without the reset, a candidate whose previous round corrupted
+        # both endpoints keeps its random src through every later round,
+        # drifting the effective corrupt_both_probability toward 1 and
+        # detaching dst-only negatives from their source edge.
+        src[pending] = positives.src[base_idx[pending]]
         dst[pending] = rng.integers(0, num_nodes, size=len(pending))
         both = rng.random(len(pending)) < corrupt_both_probability
         src[pending[both]] = rng.integers(0, num_nodes, size=int(both.sum()))

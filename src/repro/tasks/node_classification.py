@@ -6,7 +6,6 @@ minimizes negative log likelihood over a stratified random node split.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -17,6 +16,7 @@ from repro.nn.layers import Linear, ReLU
 from repro.nn.losses import CrossEntropyLoss
 from repro.nn.metrics import accuracy
 from repro.nn.module import Module, Sequential
+from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.tasks.features import Standardizer, build_node_classification_features
 from repro.tasks.link_prediction import TaskResult
@@ -76,25 +76,28 @@ class NodeClassificationTask:
         if num_classes < 2:
             raise DataPreparationError("need at least 2 classes")
 
-        prep_start = time.perf_counter()
-        splits = stratified_node_split(
-            labels,
-            train_fraction=cfg.train_fraction,
-            valid_fraction=cfg.valid_fraction,
-            seed=rng,
-        )
-        train_xy = build_node_classification_features(
-            embeddings, splits.train, labels
-        )
-        valid_xy = build_node_classification_features(
-            embeddings, splits.valid, labels
-        )
-        test_xy = build_node_classification_features(embeddings, splits.test, labels)
-        scaler = Standardizer().fit(train_xy[0])
-        train_xy = (scaler.transform(train_xy[0]), train_xy[1])
-        valid_xy = (scaler.transform(valid_xy[0]), valid_xy[1])
-        test_xy = (scaler.transform(test_xy[0]), test_xy[1])
-        data_prep_seconds = time.perf_counter() - prep_start
+        rec = get_recorder()
+        with rec.span("data_prep", task="node-classification") as prep_span:
+            splits = stratified_node_split(
+                labels,
+                train_fraction=cfg.train_fraction,
+                valid_fraction=cfg.valid_fraction,
+                seed=rng,
+            )
+            train_xy = build_node_classification_features(
+                embeddings, splits.train, labels
+            )
+            valid_xy = build_node_classification_features(
+                embeddings, splits.valid, labels
+            )
+            test_xy = build_node_classification_features(
+                embeddings, splits.test, labels
+            )
+            scaler = Standardizer().fit(train_xy[0])
+            train_xy = (scaler.transform(train_xy[0]), train_xy[1])
+            valid_xy = (scaler.transform(valid_xy[0]), valid_xy[1])
+            test_xy = (scaler.transform(test_xy[0]), test_xy[1])
+        data_prep_seconds = prep_span.duration
 
         model = build_node_classification_model(
             embeddings.dim, cfg.hidden_dims, num_classes, seed=rng
@@ -104,14 +107,15 @@ class NodeClassificationTask:
         def evaluate_accuracy(m: Module, x: np.ndarray, y: np.ndarray) -> float:
             return accuracy(np.argmax(m.forward(x), axis=1), y)
 
-        history = train_classifier(
-            model, loss, train_xy, valid_xy, cfg.training,
-            evaluate_accuracy, seed=rng,
-        )
+        with rec.span("train", task="node-classification"):
+            history = train_classifier(
+                model, loss, train_xy, valid_xy, cfg.training,
+                evaluate_accuracy, seed=rng,
+            )
 
-        test_start = time.perf_counter()
-        test_acc = evaluate_accuracy(model, test_xy[0], test_xy[1])
-        test_seconds = time.perf_counter() - test_start
+        with rec.span("test", task="node-classification") as test_span:
+            test_acc = evaluate_accuracy(model, test_xy[0], test_xy[1])
+        test_seconds = test_span.duration
 
         return TaskResult(
             task="node-classification",

@@ -9,7 +9,7 @@ the hardware models consume.
 
 from __future__ import annotations
 
-import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -22,6 +22,7 @@ from repro.faults import FaultPlan
 from repro.graph.csr import TemporalGraph
 from repro.graph.edges import TemporalEdgeList
 from repro.graph.io import LabeledTemporalDataset
+from repro.observability import Recorder, get_recorder, use_recorder
 from repro.parallel.supervisor import SupervisorConfig
 from repro.rng import SeedLike, make_rng
 from repro.tasks.link_prediction import (
@@ -101,7 +102,13 @@ class PipelineConfig:
 
 @dataclass
 class PhaseTimings:
-    """Wall seconds per pipeline phase (Table III's columns)."""
+    """Wall seconds per pipeline phase (Table III's columns).
+
+    Since the observability layer landed, these values are *views over
+    the span trace*: each field equals the duration of the span of the
+    same name (``train`` sums the per-epoch ``train_epoch`` spans, which
+    is what Table III's training/epoch column reports).
+    """
 
     rwalk: float = 0.0
     word2vec: float = 0.0
@@ -109,6 +116,18 @@ class PhaseTimings:
     train: float = 0.0
     test: float = 0.0
     train_epochs: int = 0
+
+    @classmethod
+    def from_recorder(cls, recorder: Recorder) -> "PhaseTimings":
+        """Rebuild phase timings from a recorder's span trace."""
+        return cls(
+            rwalk=recorder.span_seconds("rwalk"),
+            word2vec=recorder.span_seconds("word2vec"),
+            data_prep=recorder.span_seconds("data_prep"),
+            train=recorder.span_seconds("train_epoch"),
+            test=recorder.span_seconds("test"),
+            train_epochs=sum(1 for _ in recorder.spans("train_epoch")),
+        )
 
     @property
     def train_per_epoch(self) -> float:
@@ -167,12 +186,28 @@ class PipelineResult:
 
 
 class Pipeline:
-    """Runs the Fig. 1 pipeline for any of the three downstream tasks."""
+    """Runs the Fig. 1 pipeline for any of the three downstream tasks.
 
-    def __init__(self, config: PipelineConfig | None = None) -> None:
+    ``recorder`` installs a :class:`~repro.observability.Recorder` as
+    the ambient recorder for the duration of each run, so every layer
+    (walk engine, trainers, supervisor, checkpoints, tasks) reports into
+    it; with ``None`` the pipeline observes whatever recorder is already
+    ambient (the free :class:`~repro.observability.NullRecorder` by
+    default).
+    """
+
+    def __init__(self, config: PipelineConfig | None = None,
+                 recorder: Recorder | None = None) -> None:
         self.config = config or PipelineConfig()
+        self.recorder = recorder
 
     # ------------------------------------------------------------------
+    def _observe(self):
+        """Context installing this pipeline's recorder (if any)."""
+        if self.recorder is None:
+            return nullcontext(get_recorder())
+        return use_recorder(self.recorder)
+
     def _fault_plan(self) -> FaultPlan:
         """The active injection plan (explicit config or ambient env)."""
         if self.config.faults is not None:
@@ -209,11 +244,12 @@ class Pipeline:
         they complete (and loaded instead of recomputed under
         ``resume=True``).
         """
-        rng = make_rng(seed)
-        store = self._open_store(rng, edges)
-        embeddings, timings, walk_stats, trainer_stats, corpus, _, _ = (
-            self._embed(edges, rng, store)
-        )
+        with self._observe():
+            rng = make_rng(seed)
+            store = self._open_store(rng, edges)
+            embeddings, timings, walk_stats, trainer_stats, corpus, _, _ = (
+                self._embed(edges, rng, store)
+            )
         return embeddings, timings, walk_stats, trainer_stats, corpus
 
     def _embed(
@@ -236,52 +272,57 @@ class Pipeline:
         cached: list[str] = []
         walk_edges = edges.with_reverse_edges() if cfg.treat_undirected else edges
         graph = TemporalGraph.from_edge_list(walk_edges)
+        rec = get_recorder()
 
         timings = PhaseTimings()
-        start = time.perf_counter()
-        if resume and store.has("walks"):
-            corpus, walk_stats = store.load_walks()
-            rng = store.load_rng("walks")
-            cached.append("walks")
-        else:
-            if cfg.workers > 1:
-                from repro.parallel import run_parallel_walks
+        with rec.span("rwalk", workers=cfg.workers) as span:
+            if resume and store.has("walks"):
+                corpus, walk_stats = store.load_walks()
+                rng = store.load_rng("walks")
+                cached.append("walks")
+                span.annotate(cached=True)
+            else:
+                span.annotate(cached=False)
+                if cfg.workers > 1:
+                    from repro.parallel import run_parallel_walks
 
-                corpus, walk_stats = run_parallel_walks(
-                    graph, cfg.walk, workers=cfg.workers, seed=rng,
-                    sampler=cfg.sampler, supervisor=cfg.supervisor,
+                    corpus, walk_stats = run_parallel_walks(
+                        graph, cfg.walk, workers=cfg.workers, seed=rng,
+                        sampler=cfg.sampler, supervisor=cfg.supervisor,
+                        fault_plan=plan,
+                    )
+                else:
+                    engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
+                    corpus = engine.run(cfg.walk, seed=rng)
+                    assert engine.last_stats is not None
+                    walk_stats = engine.last_stats
+                if store is not None:
+                    store.save_walks(corpus, walk_stats, rng=rng)
+                plan.fire("after-walks")
+        timings.rwalk = span.duration
+
+        with rec.span("word2vec", workers=cfg.workers) as span:
+            if resume and store.has("embeddings"):
+                embeddings, trainer_stats = store.load_embeddings()
+                rng = store.load_rng("embeddings")
+                cached.append("embeddings")
+                span.annotate(cached=True)
+            else:
+                span.annotate(cached=False)
+                embeddings, trainer_stats = train_embeddings(
+                    corpus,
+                    graph.num_nodes,
+                    config=cfg.sgns,
+                    batch_sentences=cfg.batch_sentences,
+                    seed=rng,
+                    workers=cfg.workers,
+                    supervisor=cfg.supervisor,
                     fault_plan=plan,
                 )
-            else:
-                engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
-                corpus = engine.run(cfg.walk, seed=rng)
-                assert engine.last_stats is not None
-                walk_stats = engine.last_stats
-            if store is not None:
-                store.save_walks(corpus, walk_stats, rng=rng)
-            plan.fire("after-walks")
-        timings.rwalk = time.perf_counter() - start
-
-        start = time.perf_counter()
-        if resume and store.has("embeddings"):
-            embeddings, trainer_stats = store.load_embeddings()
-            rng = store.load_rng("embeddings")
-            cached.append("embeddings")
-        else:
-            embeddings, trainer_stats = train_embeddings(
-                corpus,
-                graph.num_nodes,
-                config=cfg.sgns,
-                batch_sentences=cfg.batch_sentences,
-                seed=rng,
-                workers=cfg.workers,
-                supervisor=cfg.supervisor,
-                fault_plan=plan,
-            )
-            if store is not None:
-                store.save_embeddings(embeddings, trainer_stats, rng=rng)
-            plan.fire("after-word2vec")
-        timings.word2vec = time.perf_counter() - start
+                if store is not None:
+                    store.save_embeddings(embeddings, trainer_stats, rng=rng)
+                plan.fire("after-word2vec")
+        timings.word2vec = span.duration
         return (embeddings, timings, walk_stats, trainer_stats, corpus,
                 rng, cached)
 
@@ -294,32 +335,34 @@ class Pipeline:
         seed: SeedLike,
     ) -> PipelineResult:
         """Shared driver: phases 1-2, then the (checkpointed) task phase."""
-        rng = make_rng(seed)
-        store = self._open_store(rng, edges)
-        (embeddings, timings, walk_stats, trainer_stats, corpus, rng,
-         cached) = self._embed(edges, rng, store)
-        phase = f"task-{task_name}"
-        if store is not None and self.config.resume and store.has(phase):
-            result, _ = store.load_pickle(phase)
-            cached.append(phase)
-        else:
-            result = run_fn(embeddings, rng)
-            if store is not None:
-                store.save_pickle(phase, result, rng=rng)
-                # Auxiliary artifacts are namespaced per task so running
-                # a second task type against the same store never
-                # overwrites the first task's splits/classifier.
-                if result.splits is not None:
-                    store.save_splits(result.splits,
-                                      phase=f"splits-{task_name}")
-                if result.model is not None:
-                    store.save_classifier(result.model,
-                                          phase=f"classifier-{task_name}")
-            self._fault_plan().fire("after-task")
-        return self._finish(
-            result, timings, embeddings, walk_stats, trainer_stats, corpus,
-            cached_phases=tuple(cached),
-        )
+        with self._observe():
+            rng = make_rng(seed)
+            store = self._open_store(rng, edges)
+            (embeddings, timings, walk_stats, trainer_stats, corpus, rng,
+             cached) = self._embed(edges, rng, store)
+            phase = f"task-{task_name}"
+            if store is not None and self.config.resume and store.has(phase):
+                result, _ = store.load_pickle(phase)
+                cached.append(phase)
+            else:
+                result = run_fn(embeddings, rng)
+                if store is not None:
+                    store.save_pickle(phase, result, rng=rng)
+                    # Auxiliary artifacts are namespaced per task so
+                    # running a second task type against the same store
+                    # never overwrites the first task's
+                    # splits/classifier.
+                    if result.splits is not None:
+                        store.save_splits(result.splits,
+                                          phase=f"splits-{task_name}")
+                    if result.model is not None:
+                        store.save_classifier(result.model,
+                                              phase=f"classifier-{task_name}")
+                self._fault_plan().fire("after-task")
+            return self._finish(
+                result, timings, embeddings, walk_stats, trainer_stats,
+                corpus, cached_phases=tuple(cached),
+            )
 
     def run_link_prediction(
         self, edges: TemporalEdgeList, seed: SeedLike = None

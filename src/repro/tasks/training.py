@@ -9,7 +9,6 @@ training time is the unit Table III reports.
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,6 +17,7 @@ from repro.errors import TrainingError
 from repro.nn.data import DataLoader
 from repro.nn.module import Module
 from repro.nn.optim import SGD, StepDecay
+from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
 
 
@@ -104,23 +104,29 @@ def train_classifier(
     )
     schedule = StepDecay(optimizer, settings.lr_step, settings.lr_gamma)
     history = TrainHistory()
+    rec = get_recorder()
 
     for epoch in range(settings.epochs):
-        start = time.perf_counter()
-        batch_losses: list[float] = []
-        for features, targets in loader:
-            optimizer.zero_grad()
-            logits = model.forward(features)
-            batch_losses.append(loss.forward(logits, targets))
-            model.backward(loss.backward())
-            optimizer.step()
-        schedule.step()
-        valid_acc = evaluate_accuracy(model, valid_xy[0], valid_xy[1])
-        seconds = time.perf_counter() - start
+        with rec.span("train_epoch", epoch=epoch) as span:
+            # Sample-weighted loss: the final batch is usually smaller
+            # than batch_size, so an unweighted mean of batch losses
+            # would skew train_loss and make it depend on batch_size.
+            loss_sum = 0.0
+            samples = 0
+            for features, targets in loader:
+                optimizer.zero_grad()
+                logits = model.forward(features)
+                loss_sum += float(loss.forward(logits, targets)) * len(targets)
+                samples += len(targets)
+                model.backward(loss.backward())
+                optimizer.step()
+            schedule.step()
+            valid_acc = evaluate_accuracy(model, valid_xy[0], valid_xy[1])
+        seconds = span.duration
         history.records.append(
             EpochRecord(
                 epoch=epoch,
-                train_loss=float(np.mean(batch_losses)) if batch_losses else 0.0,
+                train_loss=loss_sum / samples if samples else 0.0,
                 valid_accuracy=valid_acc,
                 seconds=seconds,
             )
@@ -132,4 +138,5 @@ def train_classifier(
         ):
             history.stopped_early = True
             break
+    rec.counter("train.epochs", len(history.records))
     return history

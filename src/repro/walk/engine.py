@@ -13,8 +13,11 @@ active walks one step per iteration*:
    two exact samplers:
 
    - ``cdf`` (default): per-edge softmax weights are precomputed once as
-     a global prefix-sum array, so each step is an inverse-CDF binary
-     search — O(log M) per walk instead of the paper's O(M) scan;
+     per-source-slice cumulative arrays (max-shifted within each slice,
+     so no timestamp span can overflow ``exp`` and no cross-slice mass
+     can swamp a small slice's prefix sums), so each step is an
+     inverse-CDF binary search — O(log M) per walk instead of the
+     paper's O(M) scan;
    - ``gumbel``: materializes every valid candidate and takes a segmented
      Gumbel-argmax — the paper-faithful O(M) work shape, useful for
      validation and for measuring what the scan costs;
@@ -30,11 +33,13 @@ have touched) that the hardware models in :mod:`repro.hwmodel` consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import NamedTuple
 
 import numpy as np
 
 from repro.errors import WalkError
 from repro.graph.csr import TemporalGraph
+from repro.observability import Recorder, get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.walk.config import WalkConfig
 from repro.walk.corpus import PAD, WalkCorpus
@@ -54,9 +59,13 @@ class WalkStats:
     ``candidates_scanned`` counts the temporal-neighbor edges the paper's
     scan-based kernel touches per step (it drives the memory-instruction
     and softmax fp-op counts of Fig. 9 regardless of which sampler
-    executed), ``search_iterations`` the binary-search branch work, and
-    ``work_per_start_node`` the load-imbalance input of the
-    thread-scaling study (Fig. 10).
+    executed), ``search_iterations`` the binary-search branch work of the
+    valid-range search, ``exp_evaluations`` the transcendental weight
+    evaluations actually executed (``exp`` per edge at CDF-table build,
+    per candidate under the gumbel sampler — the Fig. 9 fp-instruction
+    analog), ``cdf_search_iterations`` the inverse-CDF binary-search
+    work of the ``cdf`` sampler, and ``work_per_start_node`` the
+    load-imbalance input of the thread-scaling study (Fig. 10).
     """
 
     num_walks: int = 0
@@ -64,6 +73,8 @@ class WalkStats:
     candidates_scanned: int = 0
     search_iterations: int = 0
     terminated_early: int = 0
+    exp_evaluations: int = 0
+    cdf_search_iterations: int = 0
     work_per_start_node: np.ndarray = field(
         default_factory=lambda: np.zeros(0, dtype=np.int64)
     )
@@ -76,13 +87,52 @@ class WalkStats:
         return self.candidates_scanned / self.total_steps
 
 
+def publish_walk_stats(stats: WalkStats,
+                       recorder: Recorder | None = None) -> None:
+    """Flush one run's work counters into the (ambient) recorder.
+
+    Called once per engine run (and once per merged parallel run), so
+    the recorder cost is independent of walk count; a
+    :class:`~repro.observability.NullRecorder` makes this free.
+    """
+    rec = recorder if recorder is not None else get_recorder()
+    if not rec.enabled:
+        return
+    rec.counter("walk.runs")
+    rec.counter("walk.num_walks", stats.num_walks)
+    rec.counter("walk.steps", stats.total_steps)
+    rec.counter("walk.edges_scanned", stats.candidates_scanned)
+    rec.counter("walk.search_iterations", stats.search_iterations)
+    rec.counter("walk.cdf_search_iterations", stats.cdf_search_iterations)
+    rec.counter("walk.exp_evaluations", stats.exp_evaluations)
+    rec.counter("walk.terminated_early", stats.terminated_early)
+    if stats.total_steps:
+        rec.observe("walk.candidates_per_step",
+                    stats.candidates_scanned / stats.total_steps)
+
+
+class _StepTable(NamedTuple):
+    """Cached per-source-slice cumulative weights for the ``cdf`` sampler.
+
+    ``cum[e]`` is anchored inside edge ``e``'s source slice in the
+    direction of increasing weight (see :meth:`_step_table`); ``end``
+    holds the value of the cumulative at each slice's end; ``owner``
+    maps an edge to its source node.
+    """
+
+    cum: np.ndarray
+    end: np.ndarray
+    owner: np.ndarray
+
+
 class TemporalWalkEngine:
     """Runs Algorithm 1 over a :class:`TemporalGraph`.
 
     ``sampler`` selects the step sampler (see module docstring).  The
-    engine caches one weight prefix-sum array per (bias, temperature)
-    pair, so repeated runs on the same graph reuse it.  ``last_stats``
-    holds the work counters of the most recent :meth:`run`.
+    engine caches one per-slice cumulative-weight table per
+    (bias, temperature) pair, so repeated runs on the same graph reuse
+    it.  ``last_stats`` holds the work counters of the most recent
+    :meth:`run`.
     """
 
     def __init__(self, graph: TemporalGraph, sampler: str = "cdf") -> None:
@@ -93,7 +143,8 @@ class TemporalWalkEngine:
         self.graph = graph
         self.sampler = sampler
         self.last_stats: WalkStats | None = None
-        self._cdf_cache: dict[tuple[str, float], np.ndarray] = {}
+        self._step_tables: dict[tuple[str, float], _StepTable] = {}
+        self._edge_cdf_cache: dict[tuple[str, float], np.ndarray] = {}
 
     # ------------------------------------------------------------------
     def run(
@@ -151,6 +202,7 @@ class TemporalWalkEngine:
             rng, stats, first_step=1,
         )
         self.last_stats = stats
+        publish_walk_stats(stats)
         return WalkCorpus(matrix, lengths, start_nodes=starts)
 
     # ------------------------------------------------------------------
@@ -182,11 +234,16 @@ class TemporalWalkEngine:
         if temperature is None:
             temperature = graph.time_span() or 1.0
 
+        stats = WalkStats(
+            num_walks=num_walks,
+            work_per_start_node=np.zeros(graph.num_nodes, dtype=np.int64),
+        )
+
         # Sample initial edges from the bias distribution over all edges.
         if config.bias == "uniform":
             edge_ids = rng.integers(0, graph.num_edges, size=num_walks)
         elif config.bias in ("softmax-late", "softmax-recency"):
-            cdf = self._weight_cdf(config.bias, temperature)
+            cdf = self._edge_cdf(config.bias, temperature, stats)
             target = rng.random(num_walks) * cdf[-1]
             edge_ids = np.clip(
                 np.searchsorted(cdf, target, side="right") - 1,
@@ -212,16 +269,13 @@ class TemporalWalkEngine:
             cur = graph.dst[edge_ids].copy()
             cur_time = graph.ts[edge_ids].copy()
 
-        stats = WalkStats(
-            num_walks=num_walks,
-            work_per_start_node=np.zeros(graph.num_nodes, dtype=np.int64),
-        )
         stats.total_steps += num_walks if config.max_walk_length >= 2 else 0
         self._advance(
             matrix, lengths, starts, cur, cur_time, config, temperature,
             rng, stats, first_step=2,
         )
         self.last_stats = stats
+        publish_walk_stats(stats)
         return WalkCorpus(matrix, lengths, start_nodes=starts)
 
     # ------------------------------------------------------------------
@@ -263,11 +317,11 @@ class TemporalWalkEngine:
 
             if self.sampler == "cdf":
                 chosen_edges = self._sample_step_cdf(
-                    lo, counts, config.bias, temperature, rng
+                    lo, counts, config.bias, temperature, rng, stats
                 )
             else:
                 chosen_edges = self._sample_step_gumbel(
-                    lo, counts, config.bias, temperature, rng
+                    lo, counts, config.bias, temperature, rng, stats
                 )
             next_nodes = graph.dst[chosen_edges]
             next_times = graph.ts[chosen_edges]
@@ -353,33 +407,137 @@ class TemporalWalkEngine:
         return np.minimum(lo, hi), hi, iters + more
 
     # ------------------------------------------------------------------
-    # Fast exact sampler: inverse CDF over precomputed weight prefix sums
+    # Fast exact sampler: inverse CDF over per-slice cumulative weights
     # ------------------------------------------------------------------
-    def _weight_cdf(self, bias: str, temperature: float) -> np.ndarray:
-        """Global prefix sums of per-edge softmax weights.
-
-        For the timestamp biases, the unnormalized weight of edge ``e``
-        is ``exp(±(ts_e - ts_min) / temperature)`` — shifting by the
-        global minimum keeps magnitudes in a safe range and cancels in
-        the per-segment normalization.  ``cdf`` has length ``E + 1`` with
-        ``cdf[0] = 0``; the weight mass of edge range ``[lo, hi)`` is
-        ``cdf[hi] - cdf[lo]``.
-        """
-        key = (bias, float(temperature))
-        cached = self._cdf_cache.get(key)
-        if cached is not None:
-            return cached
+    def _softmax_scores(self, bias: str, temperature: float) -> np.ndarray:
+        """Per-edge log-weights ``±ts / temperature`` for a softmax bias."""
         ts = self.graph.ts
         if bias == "softmax-late":
-            weights = np.exp((ts - (ts.min() if len(ts) else 0.0)) / temperature)
-        elif bias == "softmax-recency":
-            weights = np.exp(-(ts - (ts.min() if len(ts) else 0.0)) / temperature)
+            return ts / temperature
+        if bias == "softmax-recency":
+            return -ts / temperature
+        raise WalkError(f"no CDF weights for bias {bias!r}")
+
+    def _step_table(
+        self, bias: str, temperature: float, stats: WalkStats
+    ) -> _StepTable:
+        """Per-source-slice anchored cumulative softmax weights.
+
+        Each slice's weights are shifted by the slice maximum before
+        ``exp`` — ``w = exp(score - max(score within slice))`` lies in
+        ``(0, 1]`` for every edge, so no timestamp span can overflow,
+        and every slice carries mass >= 1 so no slice is swamped by its
+        neighbors' totals.  The cumulative array is anchored *per slice*
+        in the direction of increasing weight:
+
+        - ``softmax-late`` (weights grow along the time-sorted slice):
+          ``cum[e]`` is the exclusive prefix sum from the slice start and
+          ``end[v]`` is the slice total, so the mass of range
+          ``[lo, hi)`` is ``cum_at(hi) - cum[lo]`` with large terms
+          entering the subtraction only near the large-weight end;
+        - ``softmax-recency`` (weights shrink along the slice):
+          ``cum[e] = -(sum of w[e:slice_end])`` — a negative, increasing
+          suffix anchor with ``end[v] = 0`` — so small deep-slice masses
+          are differences of *small* numbers rather than of two huge
+          prefix sums (the catastrophic cancellation in the old global
+          CDF).
+
+        The global accumulation runs in extended precision before the
+        per-slice anchor is subtracted, keeping the float64 result's
+        error at the slice scale instead of the graph scale.
+        """
+        key = (bias, float(temperature))
+        cached = self._step_tables.get(key)
+        if cached is not None:
+            return cached
+        graph = self.graph
+        indptr = graph.indptr
+        num_edges = graph.num_edges
+        deg = np.diff(indptr)
+        owner = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), deg)
+        score = self._softmax_scores(bias, temperature)
+        slice_max = np.zeros(graph.num_nodes, dtype=np.float64)
+        nonempty = deg > 0
+        if num_edges:
+            slice_max[nonempty] = np.maximum.reduceat(
+                score, indptr[:-1][nonempty]
+            )
+        weights = np.exp(score - slice_max[owner])
+        stats.exp_evaluations += num_edges
+        end = np.zeros(graph.num_nodes, dtype=np.float64)
+        if bias == "softmax-late":
+            acc = np.zeros(num_edges + 1, dtype=np.longdouble)
+            np.cumsum(weights, dtype=np.longdouble, out=acc[1:])
+            cum = np.asarray(
+                acc[:num_edges] - acc[indptr[owner]], dtype=np.float64
+            )
+            end[nonempty] = np.asarray(
+                acc[indptr[1:][nonempty]] - acc[indptr[:-1][nonempty]],
+                dtype=np.float64,
+            )
         else:
-            raise WalkError(f"no CDF weights for bias {bias!r}")
-        cdf = np.zeros(len(ts) + 1, dtype=np.float64)
+            suffix = np.zeros(num_edges + 1, dtype=np.longdouble)
+            np.cumsum(weights[::-1], dtype=np.longdouble, out=suffix[1:])
+            suffix = suffix[::-1]  # suffix[e] = sum of weights[e:]
+            cum = np.asarray(
+                suffix[indptr[owner + 1]] - suffix[:num_edges],
+                dtype=np.float64,
+            )
+        table = _StepTable(cum=cum, end=end, owner=owner)
+        self._step_tables[key] = table
+        return table
+
+    def _edge_cdf(
+        self, bias: str, temperature: float, stats: WalkStats
+    ) -> np.ndarray:
+        """Global CDF over *all* edges for initial-edge sampling.
+
+        Unlike the per-slice step table this intentionally ranks edges
+        across the whole graph (CTDNE draws a walk's first edge from a
+        global distribution), so it shifts by the global score maximum:
+        weights stay in ``(0, 1]`` and the prefix sum cannot overflow.
+        Edges far below the maximum underflow to weight zero, which
+        matches the true global softmax to float64 resolution.
+        """
+        key = (bias, float(temperature))
+        cached = self._edge_cdf_cache.get(key)
+        if cached is not None:
+            return cached
+        score = self._softmax_scores(bias, temperature)
+        shift = score.max() if len(score) else 0.0
+        weights = np.exp(score - shift)
+        stats.exp_evaluations += len(score)
+        cdf = np.zeros(len(score) + 1, dtype=np.float64)
         np.cumsum(weights, out=cdf[1:])
-        self._cdf_cache[key] = cdf
+        self._edge_cdf_cache[key] = cdf
         return cdf
+
+    def _first_gt(
+        self,
+        values: np.ndarray,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        targets: np.ndarray,
+    ) -> tuple[np.ndarray, int]:
+        """First index per range whose value exceeds its target.
+
+        Vectorized binary search over ``values`` restricted to
+        ``[lo, hi)`` per walk; returns ``hi`` where no value qualifies,
+        plus the iteration count (the ``cdf`` sampler's work counter).
+        """
+        lo = lo.copy()
+        hi = hi.copy()
+        iters = 0
+        searching = lo < hi
+        while searching.any():
+            iters += 1
+            mid = (lo + hi) >> 1
+            go_right = np.zeros(len(lo), dtype=bool)
+            go_right[searching] = values[mid[searching]] <= targets[searching]
+            lo = np.where(searching & go_right, mid + 1, lo)
+            hi = np.where(searching & ~go_right, mid, hi)
+            searching = lo < hi
+        return lo, iters
 
     def _sample_step_cdf(
         self,
@@ -388,6 +546,7 @@ class TemporalWalkEngine:
         bias: str,
         temperature: float,
         rng: np.random.Generator,
+        stats: WalkStats,
     ) -> np.ndarray:
         """Draw one edge per walk in O(log M) without touching candidates."""
         hi = lo + counts
@@ -404,11 +563,31 @@ class TemporalWalkEngine:
             j = np.floor((2.0 * n + 1.0 - np.sqrt(disc)) / 2.0).astype(np.int64)
             j = np.clip(j, 0, counts - 1)
             return lo + j
-        cdf = self._weight_cdf(bias, temperature)
-        mass_lo = cdf[lo]
-        target = mass_lo + rng.random(len(lo)) * (cdf[hi] - mass_lo)
-        edges = np.searchsorted(cdf, target, side="right") - 1
-        return np.clip(edges, lo, hi - 1)
+        table = self._step_table(bias, temperature, stats)
+        owners = table.owner[lo]
+        slice_end = self.graph.indptr[owners + 1]
+        lo_val = table.cum[lo]
+        # cum_at(hi): within the slice it is cum[hi]; at the slice end it
+        # is the anchored end value (slice total for late, 0 for recency).
+        hi_val = np.where(
+            hi < slice_end,
+            table.cum[np.minimum(hi, len(table.cum) - 1)],
+            table.end[owners],
+        )
+        mass = hi_val - lo_val
+        target = lo_val + rng.random(len(lo)) * mass
+        # Strict > skips zero-weight (underflown) edges at the low end of
+        # a range, so such edges are never selected.
+        idx, iters = self._first_gt(table.cum, lo + 1, hi, target)
+        stats.cdf_search_iterations += iters
+        chosen = idx - 1
+        if bias == "softmax-recency":
+            # A fully-underflown sub-range (possible only when a time
+            # window cuts off the slice maximum) concentrates its true
+            # mass on the earliest edge for recency; the search's
+            # no-value-qualifies fallback (latest) is correct for late.
+            chosen = np.where(mass > 0, chosen, lo)
+        return chosen
 
     # ------------------------------------------------------------------
     # Paper-faithful sampler: materialize candidates, segmented Gumbel-max
@@ -420,9 +599,13 @@ class TemporalWalkEngine:
         bias: str,
         temperature: float,
         rng: np.random.Generator,
+        stats: WalkStats,
     ) -> np.ndarray:
         """Draw one edge per walk by scanning all valid candidates (O(M))."""
         total = int(counts.sum())
+        # Gumbel noise costs transcendental evaluations per candidate —
+        # the per-step weight-evaluation work of the paper's O(M) kernel.
+        stats.exp_evaluations += total
         seg_starts = np.zeros(len(counts), dtype=np.int64)
         np.cumsum(counts[:-1], out=seg_starts[1:])
         within_rank = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, counts)

@@ -102,6 +102,44 @@ class TestNodeclass:
         assert "node-classification" in capsys.readouterr().out
 
 
+class TestObservabilityFlags:
+    def test_linkpred_writes_metrics_and_trace(self, tmp_path, capsys):
+        from repro.observability import validate_pipeline_observability
+
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.jsonl"
+        code = main(["linkpred", "--dataset", "ia-email", *FAST,
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"wrote metrics: {metrics}" in out
+        assert f"wrote trace: {trace}" in out
+        result = validate_pipeline_observability(metrics, trace)
+        counters = result["metrics"]["counters"]
+        assert counters["sgns.pairs"] > 0
+        assert counters["train.epochs"] == 3
+        names = {row["name"] for row in result["spans"]}
+        assert "train_epoch" in names and "sgns_epoch" in names
+
+    def test_characterize_records_kernel_counters(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "metrics.json"
+        code = main(["characterize", "--nodes", "500", "--edges", "4000",
+                     *FAST, "--metrics-out", str(metrics)])
+        assert code == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["walk.edges_scanned"] > 0
+        assert counters["sgns.fp_ops"] > 0
+
+    def test_no_flags_write_nothing(self, tmp_path, capsys):
+        code = main(["linkpred", "--dataset", "ia-email", *FAST])
+        assert code == 0
+        assert "wrote metrics" not in capsys.readouterr().out
+        assert list(tmp_path.iterdir()) == []
+
+
 class TestSweep:
     def test_sweep_named_dataset(self, capsys):
         code = main(["sweep", "--dataset", "ia-email",

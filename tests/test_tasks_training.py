@@ -105,6 +105,27 @@ class TestTrainClassifier:
         assert (a.records[-1].valid_accuracy
                 == b.records[-1].valid_accuracy)
 
+    def test_train_loss_invariant_to_batch_size(self):
+        # Regression: train_loss was the unweighted mean of batch
+        # losses, so the smaller final batch was over-weighted and the
+        # reported loss changed with batch_size.  With a vanishing
+        # learning rate the weights never move, so the sample-weighted
+        # epoch loss must be the full-dataset mean loss for any
+        # batching.
+        train, valid = separable_data()
+        losses = []
+        for batch_size in (32, 64, 100, 128):
+            model = Sequential(Linear(4, 4, seed=1), ReLU(),
+                               Linear(4, 1, seed=2))
+            history = train_classifier(
+                model, BCEWithLogitsLoss(), train, valid,
+                TrainSettings(epochs=1, batch_size=batch_size,
+                              learning_rate=1e-12, momentum=0.0),
+                evaluate, seed=3,
+            )
+            losses.append(history.final_train_loss)
+        assert np.allclose(losses, losses[0], atol=1e-9)
+
     def test_empty_history_defaults(self):
         history = TrainHistory()
         assert history.epochs_run == 0

@@ -165,3 +165,45 @@ class TestSamplerEquivalence:
         corpus = TemporalWalkEngine(g).run(cfg, seed=10, start_nodes=np.array([0]))
         freq = np.bincount(corpus.matrix[:, 1], minlength=4)[1:] / 20000
         assert np.allclose(freq, expected, atol=0.02)
+
+
+class TestWideSpanNumericalStability:
+    """Regression: CDF sampling on graphs with wide timestamp spans.
+
+    The CDF sampler used to exponentiate globally referenced scores —
+    ``exp((ts - ts_min) / T)`` — so a graph whose timestamps span ~1e6
+    with ``temperature=1`` overflowed every softmax-late weight to inf
+    (and underflowed every softmax-recency weight to zero), corrupting
+    the per-source CDF.  The fix shifts scores by each source slice's
+    maximum before exponentiating, which leaves the softmax unchanged.
+    """
+
+    def _wide_graph(self):
+        # Node 0's out-edges sit ~1e6 above the graph's earliest edge,
+        # so global referencing makes the exponent argument huge while
+        # per-slice referencing keeps it within [-3, 0].
+        ts = 1e6 + np.array([0.0, 1.0, 2.0, 3.0])
+        edges = TemporalEdgeList(
+            [0, 0, 0, 0, 5], [1, 2, 3, 4, 6],
+            np.concatenate([ts, [0.0]]),
+        )
+        return TemporalGraph.from_edge_list(edges), ts
+
+    @pytest.mark.parametrize("bias", ["softmax-late", "softmax-recency"])
+    def test_cdf_matches_analytic_and_gumbel(self, bias):
+        g, ts = self._wide_graph()
+        cfg = WalkConfig(num_walks_per_node=8000, max_walk_length=2,
+                         bias=bias, temperature=1.0)
+        freq = {}
+        for sampler in ("cdf", "gumbel"):
+            with np.errstate(over="raise"):
+                corpus = TemporalWalkEngine(g, sampler=sampler).run(
+                    cfg, seed=11, start_nodes=np.array([0])
+                )
+            counts = np.bincount(corpus.matrix[:, 1], minlength=5)[1:5]
+            freq[sampler] = counts / counts.sum()
+        score = ts if bias == "softmax-late" else -ts
+        expected = np.exp(score - score.max())
+        expected /= expected.sum()
+        assert np.allclose(freq["cdf"], expected, atol=0.03)
+        assert np.allclose(freq["cdf"], freq["gumbel"], atol=0.03)
