@@ -14,7 +14,11 @@ the equivalent front door:
 - ``repro nodeclass``   — end-to-end node classification on a labeled
   ``.npz`` bundle or a named dataset shape;
 - ``repro characterize``— the hardware study (instruction mixes, GPU
-  stalls, thread scaling) on a synthetic ER graph.
+  stalls, thread scaling) on a synthetic ER graph;
+- ``repro serve-sim``   — the online serving simulation: build
+  embeddings, stand up the in-process serving frontend
+  (:mod:`repro.serving`), drive it with a closed-loop load generator,
+  optionally appending edge batches + incremental updates mid-run.
 
 Every command takes ``--seed`` and the pipeline hyperparameters the
 artifact exposes (walks, walk length, dimension, epochs...).  Run
@@ -344,6 +348,128 @@ def cmd_characterize(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve_sim(args: argparse.Namespace) -> int:
+    """``repro serve-sim``: closed-loop online serving simulation."""
+    import threading
+    import time as time_mod
+
+    import numpy as np
+
+    from repro.graph import DynamicTemporalGraph
+    from repro.serving import (
+        EmbeddingStore,
+        ServingConfig,
+        ServingFrontend,
+        run_load,
+    )
+    from repro.tasks.incremental import IncrementalEmbedder
+
+    if args.input:
+        edges = read_wel(args.input)
+        source = args.input
+    else:
+        edges = generators.erdos_renyi_temporal(args.nodes, args.edges,
+                                                seed=args.seed)
+        source = f"ER {args.nodes}x{args.edges} (synthetic)"
+    ordered = edges.sorted_by_time()
+
+    # Hold back a tail of the stream to replay as live appends.
+    batches = []
+    if args.update_batches > 0:
+        cut = int(0.7 * len(ordered))
+        step = max(1, (len(ordered) - cut) // args.update_batches)
+        initial = ordered.take(np.arange(cut))
+        for i in range(args.update_batches):
+            stop = (cut + (i + 1) * step if i < args.update_batches - 1
+                    else len(ordered))
+            batches.append(np.arange(cut + i * step, stop))
+        batches = [ordered.take(index) for index in batches]
+    else:
+        initial = ordered
+
+    dynamic = DynamicTemporalGraph(initial)
+    store = EmbeddingStore()
+    embedder = IncrementalEmbedder(
+        dynamic,
+        walk_config=WalkConfig(num_walks_per_node=args.walks,
+                               max_walk_length=args.length, bias=args.bias),
+        sgns_config=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
+        seed=args.seed,
+        store=store,
+    )
+    with _observability(args) as obs_recorder:
+        recorder = obs_recorder if obs_recorder is not None else Recorder()
+        with use_recorder(recorder):
+            build_start = time_mod.perf_counter()
+            embedder.rebuild()
+            build_seconds = time_mod.perf_counter() - build_start
+            print(f"input: {source} — {dynamic.num_nodes} nodes, "
+                  f"{dynamic.num_edges} edges; initial embeddings in "
+                  f"{build_seconds:.2f}s (generation {dynamic.generation})")
+
+            config = ServingConfig(
+                max_batch_size=args.max_batch_size,
+                max_delay=args.max_delay_ms / 1e3,
+                default_k=args.k,
+                cache_size=args.cache_size,
+            )
+            writer_error: list[BaseException] = []
+
+            def ingest() -> None:
+                try:
+                    for batch in batches:
+                        time_mod.sleep(args.update_interval)
+                        dynamic.append(batch)
+                        report = embedder.update()
+                        print(f"  ingest: generation {report.generation}, "
+                              f"{report.affected_nodes} affected nodes, "
+                              f"{report.seconds:.2f}s")
+                except BaseException as exc:  # surfaced after the run
+                    writer_error.append(exc)
+
+            with ServingFrontend(store, config) as frontend:
+                writer = threading.Thread(target=ingest, daemon=True,
+                                          name="serve-sim-ingest")
+                writer.start()
+                report = run_load(
+                    frontend,
+                    num_requests=args.requests,
+                    clients=args.clients,
+                    topk_fraction=args.topk_fraction,
+                    k=args.k,
+                    seed=args.seed,
+                )
+                writer.join()
+            if writer_error:
+                raise writer_error[0]
+
+            counters = recorder.counters
+            hits = counters.get("serving.index.cache_hits", 0)
+            misses = counters.get("serving.index.cache_misses", 0)
+            batch_hist = recorder.histograms.get("serving.batch.size")
+            print()
+            print(render_table([report.as_row()],
+                               title="Closed-loop load (client side)"))
+            print()
+            print(render_table(
+                [{
+                    "publishes": int(
+                        counters.get("serving.store.publishes", 0)),
+                    "served generation": int(store.generation),
+                    "cache hit rate": (
+                        round(hits / (hits + misses), 3)
+                        if hits + misses else 0.0
+                    ),
+                    "mean batch": (round(batch_hist.mean, 2)
+                                   if batch_hist else 0.0),
+                    "gemm rows": int(
+                        counters.get("serving.index.gemm_rows", 0)),
+                }],
+                title="Serving internals (recorder)",
+            ))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -417,6 +543,61 @@ def build_parser() -> argparse.ArgumentParser:
     hw.add_argument("--edges", type=int, default=400_000)
     _add_pipeline_arguments(hw)
     hw.set_defaults(func=cmd_characterize)
+
+    serve = sub.add_parser(
+        "serve-sim",
+        help="online serving simulation (embedding store + micro-batched "
+             "frontend under closed-loop load)",
+    )
+    serve.add_argument("--input", default=None,
+                       help=".wel temporal graph (omit for synthetic ER)")
+    serve.add_argument("--nodes", type=int, default=2_000,
+                       help="ER nodes when --input is omitted")
+    serve.add_argument("--edges", type=int, default=20_000,
+                       help="ER edges when --input is omitted")
+    emb = serve.add_argument_group("embedding hyperparameters")
+    emb.add_argument("--walks", type=int, default=5,
+                     help="random walks per node (K)")
+    emb.add_argument("--length", type=int, default=6,
+                     help="maximum walk length in nodes (L)")
+    emb.add_argument("--bias", default="softmax-recency",
+                     choices=["uniform", "softmax-late",
+                              "softmax-recency", "linear"],
+                     help="Eq. 1 transition bias")
+    emb.add_argument("--dim", type=int, default=8,
+                     help="embedding dimension (d)")
+    emb.add_argument("--w2v-epochs", type=int, default=2,
+                     help="word2vec epochs")
+    load = serve.add_argument_group("serving and load")
+    load.add_argument("--clients", type=int, default=8,
+                      help="closed-loop client threads")
+    load.add_argument("--requests", type=int, default=5_000,
+                      help="total requests across all clients")
+    load.add_argument("--topk-fraction", type=float, default=0.5,
+                      help="fraction of requests that are top-k (rest "
+                           "are link scores)")
+    load.add_argument("--k", type=int, default=10,
+                      help="recommendations per top-k request")
+    load.add_argument("--max-batch-size", type=int, default=64,
+                      help="micro-batch size cap (1 = single-request "
+                           "baseline)")
+    load.add_argument("--max-delay-ms", type=float, default=2.0,
+                      help="micro-batch max wait in milliseconds")
+    load.add_argument("--cache-size", type=int, default=4096,
+                      help="top-k LRU cache entries (0 disables)")
+    load.add_argument("--update-batches", type=int, default=0,
+                      help="hold back 30%% of the stream and replay it "
+                           "as this many live edge batches + incremental "
+                           "updates during the load run")
+    load.add_argument("--update-interval", type=float, default=0.05,
+                      help="seconds between live edge batches")
+    obs = serve.add_argument_group("observability")
+    obs.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write run counters/gauges/histograms as JSON")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the span trace as JSONL")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.set_defaults(func=cmd_serve_sim)
 
     return parser
 

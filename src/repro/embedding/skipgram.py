@@ -47,21 +47,28 @@ def generate_pairs(
     n = len(sentence)
     if n < 2:
         return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
-    centers: list[int] = []
-    contexts: list[int] = []
     if dynamic_window:
         spans = rng.integers(1, window + 1, size=n)
     else:
-        spans = np.full(n, window)
-    for i in range(n):
-        b = int(spans[i])
-        lo = max(0, i - b)
-        hi = min(n, i + b + 1)
-        for j in range(lo, hi):
-            if j != i:
-                centers.append(int(sentence[i]))
-                contexts.append(int(sentence[j]))
-    return (np.asarray(centers, dtype=np.int64), np.asarray(contexts, dtype=np.int64))
+        spans = np.full(n, window, dtype=np.int64)
+    # Vectorized construction of the (center, context) stream in the
+    # exact order of the natural double loop: centers ascend, and each
+    # center's contexts ascend over [lo, hi) skipping the center itself.
+    idx = np.arange(n, dtype=np.int64)
+    lo = np.maximum(0, idx - spans)
+    hi = np.minimum(n, idx + spans + 1)
+    counts = hi - lo - 1  # the center position is excluded
+    total = int(counts.sum())
+    if total == 0:
+        return (np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+    center_idx = np.repeat(idx, counts)
+    offsets = np.zeros(n, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    context_idx = np.repeat(lo, counts) + within
+    context_idx += context_idx >= center_idx  # hop over the center
+    sent = np.ascontiguousarray(sentence, dtype=np.int64)
+    return (sent[center_idx], sent[context_idx])
 
 
 class SkipGramModel:

@@ -56,6 +56,15 @@ class CheckpointError(ReproError):
     """Raised for unreadable, corrupt, or mismatched checkpoint state."""
 
 
+class ServingError(ReproError):
+    """Raised for invalid online-serving state or configuration.
+
+    Covers the :mod:`repro.serving` layer: reading from an empty
+    embedding store, publishing an older generation over a newer one,
+    submitting to a closed batch scheduler, and malformed queries.
+    """
+
+
 class FaultInjected(ReproError):
     """Raised by the fault-injection layer (:mod:`repro.faults`).
 

@@ -14,9 +14,19 @@ evolving-graph substrate for that scenario:
   only those instead of the whole graph (the incremental alternative to
   re-running everything, used by the incremental-update example and
   bench).
+
+The structure is thread-safe for the online-serving topology
+(:mod:`repro.serving`): one ingest thread appending batches while
+serving threads read ``graph()`` / ``generation``.  All mutating and
+snapshot-building operations serialize on an internal lock, and
+:meth:`subscribe` registers generation-bump callbacks (fired after the
+lock is released, so a callback may re-enter the graph freely).
 """
 
 from __future__ import annotations
+
+import threading
+from typing import Callable
 
 import numpy as np
 
@@ -39,6 +49,8 @@ class DynamicTemporalGraph:
         self._edges = edges
         self._snapshot: TemporalGraph | None = None
         self._generation = 0
+        self._lock = threading.RLock()
+        self._subscribers: list[Callable[[int], None]] = []
         # Edge count at each generation marker, for affected_nodes().
         self._marker_edge_counts: dict[int, int] = {0: len(edges)}
 
@@ -59,6 +71,15 @@ class DynamicTemporalGraph:
         return self._generation
 
     # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[int], None]) -> None:
+        """Register ``callback(new_generation)`` to run after appends.
+
+        Callbacks fire outside the internal lock in registration order;
+        the serving layer uses this to kick incremental refreshes.
+        """
+        with self._lock:
+            self._subscribers.append(callback)
+
     def append(self, new_edges: TemporalEdgeList) -> int:
         """Append a batch of edges; returns the new generation marker.
 
@@ -69,19 +90,27 @@ class DynamicTemporalGraph:
         """
         if len(new_edges) == 0:
             return self._generation
-        self._edges = TemporalEdgeList.concatenate([self._edges, new_edges])
-        self._snapshot = None
-        self._generation += 1
-        self._marker_edge_counts[self._generation] = len(self._edges)
-        return self._generation
+        with self._lock:
+            self._edges = TemporalEdgeList.concatenate(
+                [self._edges, new_edges]
+            )
+            self._snapshot = None
+            self._generation += 1
+            generation = self._generation
+            self._marker_edge_counts[generation] = len(self._edges)
+            subscribers = list(self._subscribers)
+        for callback in subscribers:
+            callback(generation)
+        return generation
 
     def graph(self) -> TemporalGraph:
         """Current CSR snapshot (rebuilt lazily after appends)."""
-        if self._snapshot is None or (
-            self._snapshot.num_nodes != self._edges.num_nodes
-        ):
-            self._snapshot = TemporalGraph.from_edge_list(self._edges)
-        return self._snapshot
+        with self._lock:
+            if self._snapshot is None or (
+                self._snapshot.num_nodes != self._edges.num_nodes
+            ):
+                self._snapshot = TemporalGraph.from_edge_list(self._edges)
+            return self._snapshot
 
     def edge_list(self) -> TemporalEdgeList:
         """The full edge stream accumulated so far."""
@@ -90,10 +119,12 @@ class DynamicTemporalGraph:
     # ------------------------------------------------------------------
     def edges_since(self, marker: int) -> TemporalEdgeList:
         """Edges appended after generation ``marker``."""
-        if marker not in self._marker_edge_counts:
-            raise GraphError(f"unknown generation marker {marker}")
-        start = self._marker_edge_counts[marker]
-        return self._edges.take(np.arange(start, len(self._edges)))
+        with self._lock:
+            if marker not in self._marker_edge_counts:
+                raise GraphError(f"unknown generation marker {marker}")
+            start = self._marker_edge_counts[marker]
+            edges = self._edges
+        return edges.take(np.arange(start, len(edges)))
 
     def affected_nodes(self, marker: int) -> np.ndarray:
         """Nodes whose temporal neighborhood changed since ``marker``.

@@ -1,0 +1,43 @@
+"""Online serving layer: versioned embeddings, micro-batching, top-k.
+
+This package is the query half of the §VII-B deployment loop.  The
+ingest half already exists (:class:`~repro.graph.dynamic
+.DynamicTemporalGraph` plus :class:`~repro.tasks.incremental
+.IncrementalEmbedder`); serving adds:
+
+- :class:`EmbeddingStore` — versioned, atomically-swapped embedding
+  snapshots keyed by graph generation (readers never block a swap and
+  read consistent-but-stale data until they re-fetch);
+- :class:`BatchScheduler` — micro-batching of requests under
+  ``max_batch_size`` / ``max_delay`` knobs, amortizing per-request
+  overhead the way Fig. 5's sentence batching amortizes kernel
+  launches;
+- :class:`RecommendationIndex` — blocked top-k over the embedding
+  matrix with a per-``(node, k)`` LRU cache invalidated by snapshot
+  version bump;
+- :class:`ServingFrontend` — the thread-safe query surface (link
+  scores + top-k) client threads call;
+- :func:`run_load` — a closed-loop load generator for the ``serve-sim``
+  CLI subcommand and ``bench_serving_throughput``.
+
+See ``docs/serving.md`` for architecture, staleness semantics, and the
+metric catalog.
+"""
+
+from repro.serving.batching import BatchFuture, BatchScheduler
+from repro.serving.frontend import ServingConfig, ServingFrontend
+from repro.serving.index import RecommendationIndex
+from repro.serving.loadgen import LoadReport, run_load
+from repro.serving.store import EmbeddingSnapshot, EmbeddingStore
+
+__all__ = [
+    "BatchFuture",
+    "BatchScheduler",
+    "EmbeddingSnapshot",
+    "EmbeddingStore",
+    "LoadReport",
+    "RecommendationIndex",
+    "ServingConfig",
+    "ServingFrontend",
+    "run_load",
+]

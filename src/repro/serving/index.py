@@ -1,0 +1,229 @@
+"""Blocked top-k recommendation index with a generation-keyed LRU cache.
+
+Top-k over the embedding matrix is the serving analogue of the paper's
+similarity-driven downstream tasks: "who should node ``u`` connect to
+next" is ``argmax_v f(u) . f(v)`` (§IV-B edge scoring without the
+classifier head).  :class:`RecommendationIndex` evaluates it in blocks
+of rows — bounded peak memory regardless of graph size, the same reason
+the walk kernel processes CSR slices — and memoizes per-``(node, k)``
+results in an LRU cache.
+
+Cache entries are valid for exactly one
+:class:`~repro.serving.store.EmbeddingSnapshot` *version*: the first
+query after a publish observes the version bump and drops the whole
+cache, so a stale top-k can never be served once new embeddings are
+published (the freshness contract the serving tests pin down).
+
+Work accounting: ``serving.index.gemm_rows`` counts row-dot-products
+evaluated; a warm cache hit adds exactly zero to it.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.observability import get_recorder
+from repro.serving.store import EmbeddingSnapshot, EmbeddingStore
+
+METRIC_CHOICES = ("dot", "cosine")
+
+#: One cached result: (ids desc by score, scores) — both read-only.
+TopK = tuple[np.ndarray, np.ndarray]
+
+
+class RecommendationIndex:
+    """Cached blocked top-k over the currently served embeddings."""
+
+    def __init__(
+        self,
+        store: EmbeddingStore,
+        cache_size: int = 4096,
+        block_size: int = 8192,
+        metric: str = "dot",
+    ) -> None:
+        if cache_size < 0:
+            raise ServingError(f"cache_size must be >= 0, got {cache_size}")
+        if block_size < 1:
+            raise ServingError(f"block_size must be >= 1, got {block_size}")
+        if metric not in METRIC_CHOICES:
+            raise ServingError(
+                f"unknown metric {metric!r}; options: {list(METRIC_CHOICES)}"
+            )
+        self.store = store
+        self.cache_size = cache_size
+        self.block_size = block_size
+        self.metric = metric
+        self._lock = threading.Lock()
+        self._cache: OrderedDict[tuple[int, int], TopK] = OrderedDict()
+        self._cache_version: int = -1
+
+    # ------------------------------------------------------------------
+    # Cache plumbing
+    # ------------------------------------------------------------------
+    def _sync_version(self, snapshot: EmbeddingSnapshot) -> None:
+        """Drop every entry computed against an older snapshot.
+
+        Caller must hold the lock.  Runs on the query path, so the
+        first read after a publish — not the publish itself — pays the
+        O(1) clear; publishes stay wait-free.
+        """
+        if self._cache_version != snapshot.version:
+            self._cache.clear()
+            self._cache_version = snapshot.version
+
+    def cached(self, node: int, k: int) -> TopK | None:
+        """Return the cached result for ``(node, k)`` or None.
+
+        Only results computed against the *current* snapshot version
+        qualify; a hit refreshes LRU recency and counts as
+        ``serving.index.cache_hits``.
+        """
+        snapshot = self.store.snapshot()
+        with self._lock:
+            self._sync_version(snapshot)
+            hit = self._cache.get((node, k))
+            if hit is None:
+                return None
+            self._cache.move_to_end((node, k))
+        get_recorder().counter("serving.index.cache_hits")
+        return hit
+
+    def _fill(self, snapshot: EmbeddingSnapshot, node: int, k: int,
+              result: TopK) -> None:
+        with self._lock:
+            if self._cache_version != snapshot.version or self.cache_size == 0:
+                return
+            self._cache[(node, k)] = result
+            self._cache.move_to_end((node, k))
+            while len(self._cache) > self.cache_size:
+                self._cache.popitem(last=False)
+                get_recorder().counter("serving.index.cache_evictions")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cache)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def top_k(self, node: int, k: int) -> TopK:
+        """Top-``k`` nodes for ``node`` (self excluded), best first."""
+        hit = self.cached(node, k)
+        if hit is not None:
+            return hit
+        return self.top_k_batch([(node, k)])[0]
+
+    def top_k_batch(self, requests: list[tuple[int, int]]) -> list[TopK]:
+        """Serve many ``(node, k)`` requests with shared block scans.
+
+        Cache hits are answered in place; the remaining distinct
+        requests of each ``k`` share one blocked pass over the matrix,
+        which is what makes micro-batched top-k amortize.
+        """
+        snapshot = self.store.snapshot()
+        rec = get_recorder()
+        results: dict[int, TopK] = {}
+        misses: dict[int, list[int]] = {}
+        for i, (node, k) in enumerate(requests):
+            self._validate(snapshot, node, k)
+            hit = self.cached(node, k)
+            if hit is not None:
+                results[i] = hit
+            else:
+                misses.setdefault(k, []).append(i)
+        for k, indices in misses.items():
+            nodes = []
+            for i in indices:
+                node = requests[i][0]
+                if node not in nodes:
+                    nodes.append(node)
+            rec.counter("serving.index.cache_misses", len(nodes))
+            ids, scores = self._compute_many(
+                snapshot, np.asarray(nodes, dtype=np.int64), k
+            )
+            computed: dict[int, TopK] = {}
+            for column, node in enumerate(nodes):
+                result = (ids[:, column].copy(), scores[:, column].copy())
+                result[0].setflags(write=False)
+                result[1].setflags(write=False)
+                computed[node] = result
+                self._fill(snapshot, node, k, result)
+            for i in indices:
+                results[i] = computed[requests[i][0]]
+        return [results[i] for i in range(len(requests))]
+
+    def _validate(self, snapshot: EmbeddingSnapshot, node: int,
+                  k: int) -> None:
+        if not 0 <= node < snapshot.num_nodes:
+            raise ServingError(
+                f"node {node} out of range [0, {snapshot.num_nodes})"
+            )
+        if k < 1:
+            raise ServingError(f"k must be >= 1, got {k}")
+
+    # ------------------------------------------------------------------
+    def _compute_many(self, snapshot: EmbeddingSnapshot,
+                      nodes: np.ndarray, k: int
+                      ) -> tuple[np.ndarray, np.ndarray]:
+        """Blocked top-k for ``m`` distinct query nodes at once.
+
+        Returns ``(ids, scores)`` of shape ``(k_eff, m)`` with each
+        column sorted best-first (ties broken by lower id).  Peak
+        memory is O(block_size * m) however large the matrix is.
+        """
+        rec = get_recorder()
+        matrix = snapshot.matrix
+        n = snapshot.num_nodes
+        m = len(nodes)
+        k_eff = min(k, n - 1)
+        if k_eff <= 0:
+            empty = np.empty((0, m), dtype=np.int64)
+            return empty, np.empty((0, m), dtype=np.float64)
+        queries = matrix[nodes].T  # (d, m)
+        if self.metric == "cosine":
+            qnorm = np.where(snapshot.norms[nodes] == 0.0, 1.0,
+                             snapshot.norms[nodes])
+        cand_ids: list[np.ndarray] = []
+        cand_scores: list[np.ndarray] = []
+        for start in range(0, n, self.block_size):
+            stop = min(n, start + self.block_size)
+            block_scores = matrix[start:stop] @ queries  # (bs, m)
+            rec.counter("serving.index.gemm_rows", (stop - start) * m)
+            if self.metric == "cosine":
+                norms = np.where(snapshot.norms[start:stop] == 0.0, 1.0,
+                                 snapshot.norms[start:stop])
+                block_scores /= norms[:, None] * qnorm[None, :]
+            # Self-exclusion: a query node inside this block never
+            # recommends itself.
+            inside = (nodes >= start) & (nodes < stop)
+            block_scores[nodes[inside] - start, np.flatnonzero(inside)] = (
+                -np.inf
+            )
+            bs = stop - start
+            take = min(k_eff, bs)
+            if take < bs:
+                part = np.argpartition(block_scores, bs - take,
+                                       axis=0)[bs - take:]
+            else:
+                part = np.broadcast_to(
+                    np.arange(bs, dtype=np.int64)[:, None], (bs, m)
+                )
+            cand_ids.append(part + start)
+            cand_scores.append(
+                np.take_along_axis(block_scores, part, axis=0)
+            )
+        pool_ids = np.concatenate(cand_ids, axis=0)
+        pool_scores = np.concatenate(cand_scores, axis=0)
+        out_ids = np.empty((k_eff, m), dtype=np.int64)
+        out_scores = np.empty((k_eff, m), dtype=np.float64)
+        for column in range(m):
+            order = np.lexsort(
+                (pool_ids[:, column], -pool_scores[:, column])
+            )[:k_eff]
+            out_ids[:, column] = pool_ids[order, column]
+            out_scores[:, column] = pool_scores[order, column]
+        return out_ids, out_scores

@@ -1,0 +1,159 @@
+"""Closed-loop load generator for the serving frontend.
+
+Drives :class:`~repro.serving.frontend.ServingFrontend` the way the
+``serve-sim`` CLI and the serving bench need: ``clients`` threads each
+issue their next request as soon as the previous one completes
+(closed-loop, so offered load adapts to achieved latency), with a
+two-tier popularity model — a small hot set absorbs most top-k traffic,
+which is what makes the LRU result cache earn its keep, exactly like
+the skewed access patterns of a production recommender.
+
+The report carries achieved QPS and client-side latency percentiles;
+the richer breakdown (batch sizes, cache hits, GEMM rows, per-type
+latency histograms) lands in the ambient recorder.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.rng import SeedLike, make_rng
+from repro.serving.frontend import ServingFrontend
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """One load-generation run's client-side measurements."""
+
+    requests: int
+    errors: int
+    seconds: float
+    qps: float
+    score_requests: int
+    topk_requests: int
+    mean_latency_ms: float
+    p50_ms: float
+    p95_ms: float
+    p99_ms: float
+    max_ms: float
+
+    def as_row(self) -> dict[str, float | int]:
+        """Dict form for table rendering."""
+        return {
+            "requests": self.requests,
+            "qps": round(self.qps, 1),
+            "mean ms": round(self.mean_latency_ms, 3),
+            "p50 ms": round(self.p50_ms, 3),
+            "p95 ms": round(self.p95_ms, 3),
+            "p99 ms": round(self.p99_ms, 3),
+            "errors": self.errors,
+        }
+
+
+def run_load(
+    frontend: ServingFrontend,
+    num_requests: int = 2000,
+    clients: int = 4,
+    topk_fraction: float = 0.5,
+    k: int | None = None,
+    hot_fraction: float = 0.8,
+    hot_nodes: int = 64,
+    seed: SeedLike = None,
+) -> LoadReport:
+    """Run a closed-loop load test; returns the client-side report.
+
+    ``num_requests`` is split evenly across ``clients`` threads.
+    ``topk_fraction`` of requests are top-k recommendations, the rest
+    link scores.  ``hot_fraction`` of query nodes come from a hot set
+    of ``hot_nodes`` ids (cache-friendly skew); the rest are uniform.
+    """
+    if num_requests < 1:
+        raise ServingError(f"num_requests must be >= 1, got {num_requests}")
+    if clients < 1:
+        raise ServingError(f"clients must be >= 1, got {clients}")
+    if not 0.0 <= topk_fraction <= 1.0:
+        raise ServingError(
+            f"topk_fraction must be in [0, 1], got {topk_fraction}"
+        )
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ServingError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}"
+        )
+    num_nodes = frontend.store.snapshot().num_nodes
+    rng = make_rng(seed)
+    hot = rng.permutation(num_nodes)[:max(1, min(hot_nodes, num_nodes))]
+
+    def draw_nodes(count: int) -> np.ndarray:
+        use_hot = rng.random(count) < hot_fraction
+        nodes = rng.integers(0, num_nodes, size=count)
+        nodes[use_hot] = hot[rng.integers(0, len(hot),
+                                          size=int(use_hot.sum()))]
+        return nodes
+
+    # Pregenerate every client's request tape so the measured loop does
+    # nothing but issue requests and read the clock.
+    per_client = -(-num_requests // clients)
+    tapes = []
+    for _ in range(clients):
+        is_topk = rng.random(per_client) < topk_fraction
+        nodes = draw_nodes(per_client)
+        peers = draw_nodes(per_client)
+        tapes.append((is_topk, nodes, peers))
+
+    latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors = [0] * clients
+    counts = [[0, 0] for _ in range(clients)]  # [score, topk]
+    barrier = threading.Barrier(clients + 1)
+
+    def client(idx: int) -> None:
+        is_topk, nodes, peers = tapes[idx]
+        local_lat = latencies[idx]
+        barrier.wait()
+        for i in range(per_client):
+            start = time.monotonic()
+            try:
+                if is_topk[i]:
+                    frontend.top_k(int(nodes[i]), k)
+                    counts[idx][1] += 1
+                else:
+                    frontend.score_link(int(nodes[i]), int(peers[i]))
+                    counts[idx][0] += 1
+            except ServingError:
+                errors[idx] += 1
+            local_lat.append(time.monotonic() - start)
+
+    threads = [
+        threading.Thread(target=client, args=(idx,), daemon=True,
+                         name=f"loadgen-{idx}")
+        for idx in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    wall_start = time.monotonic()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - wall_start
+
+    lat_ms = np.asarray(
+        [value for client_lat in latencies for value in client_lat]
+    ) * 1e3
+    total = int(lat_ms.size)
+    return LoadReport(
+        requests=total,
+        errors=int(sum(errors)),
+        seconds=wall,
+        qps=total / wall if wall > 0 else 0.0,
+        score_requests=int(sum(c[0] for c in counts)),
+        topk_requests=int(sum(c[1] for c in counts)),
+        mean_latency_ms=float(lat_ms.mean()) if total else 0.0,
+        p50_ms=float(np.percentile(lat_ms, 50)) if total else 0.0,
+        p95_ms=float(np.percentile(lat_ms, 95)) if total else 0.0,
+        p99_ms=float(np.percentile(lat_ms, 99)) if total else 0.0,
+        max_ms=float(lat_ms.max()) if total else 0.0,
+    )

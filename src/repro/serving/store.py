@@ -1,0 +1,182 @@
+"""Versioned embedding snapshots with atomic swap semantics.
+
+The deployment story of §VII-B ends at "re-run the pipeline"; a serving
+system additionally needs the *result* of each run available to query
+threads while the next run is in flight.  :class:`EmbeddingStore` is
+that handoff point:
+
+- :meth:`EmbeddingStore.publish` installs an immutable
+  :class:`EmbeddingSnapshot` (a read-only copy of the embedding matrix
+  plus precomputed row norms) under a single reference assignment — the
+  swap is atomic, writers never wait for readers;
+- :meth:`EmbeddingStore.snapshot` hands readers the current snapshot.
+  A reader that holds on to a snapshot keeps reading *consistent but
+  stale* embeddings until it re-fetches — readers never block a swap
+  and never observe a half-written matrix;
+- snapshots are keyed by the source
+  :class:`~repro.graph.dynamic.DynamicTemporalGraph` generation plus a
+  store-local monotone ``version`` (every publish bumps the version,
+  even a re-publish of the same generation after more training).
+
+:class:`~repro.tasks.incremental.IncrementalEmbedder` publishes here
+after every ``rebuild()``/``update()`` when constructed with a
+``store=``, which is the ingest half of the online loop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.observability import get_recorder
+
+
+class EmbeddingSnapshot:
+    """One immutable published embedding matrix.
+
+    ``matrix`` and ``norms`` are read-only arrays (``writeable=False``);
+    ``generation`` is the graph generation the embeddings were trained
+    through, ``version`` the store-local publish counter, and
+    ``published_at`` a monotonic timestamp (for staleness gauges).
+    """
+
+    __slots__ = ("matrix", "norms", "generation", "version", "published_at")
+
+    def __init__(self, matrix: np.ndarray, norms: np.ndarray,
+                 generation: int, version: int, published_at: float) -> None:
+        self.matrix = matrix
+        self.norms = norms
+        self.generation = generation
+        self.version = version
+        self.published_at = published_at
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of embedded nodes."""
+        return self.matrix.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Embedding dimensionality."""
+        return self.matrix.shape[1]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"EmbeddingSnapshot(num_nodes={self.num_nodes}, "
+                f"dim={self.dim}, generation={self.generation}, "
+                f"version={self.version})")
+
+
+class EmbeddingStore:
+    """Atomically-swapped, versioned embedding snapshots."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._publish_cv = threading.Condition(self._lock)
+        self._current: EmbeddingSnapshot | None = None
+        self._version = 0
+        self._subscribers: list[Callable[[EmbeddingSnapshot], None]] = []
+
+    # ------------------------------------------------------------------
+    def publish(self, matrix: np.ndarray, generation: int
+                ) -> EmbeddingSnapshot:
+        """Install a new snapshot; returns it.
+
+        The matrix is copied (so the trainer may keep mutating its own
+        buffer) and frozen.  Publishing a generation older than the
+        current snapshot's raises :class:`ServingError` — concurrent
+        trainers must hand results over in generation order; equal
+        generations are fine (continued training on an unchanged graph).
+        """
+        frozen = np.array(matrix, dtype=np.float64, copy=True, order="C")
+        if frozen.ndim != 2 or frozen.shape[0] < 1:
+            raise ServingError(
+                "published embeddings must be a non-empty 2-D matrix, got "
+                f"shape {frozen.shape}"
+            )
+        norms = np.linalg.norm(frozen, axis=1)
+        frozen.setflags(write=False)
+        norms.setflags(write=False)
+        with self._lock:
+            current = self._current
+            if current is not None and generation < current.generation:
+                raise ServingError(
+                    f"stale publish: generation {generation} is older than "
+                    f"the served generation {current.generation}"
+                )
+            self._version += 1
+            snapshot = EmbeddingSnapshot(
+                frozen, norms, int(generation), self._version,
+                time.monotonic(),
+            )
+            # The swap: one reference assignment, atomic under the GIL.
+            # Readers holding the old snapshot keep a consistent view.
+            self._current = snapshot
+            subscribers = list(self._subscribers)
+            self._publish_cv.notify_all()
+        rec = get_recorder()
+        rec.counter("serving.store.publishes")
+        rec.gauge("serving.store.generation", snapshot.generation)
+        rec.gauge("serving.store.version", snapshot.version)
+        for callback in subscribers:
+            callback(snapshot)
+        return snapshot
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> EmbeddingSnapshot:
+        """The currently served snapshot (never blocks on a publisher)."""
+        snapshot = self._current
+        if snapshot is None:
+            raise ServingError(
+                "no embeddings published yet; run the embedder (e.g. "
+                "IncrementalEmbedder.rebuild with store=) first"
+            )
+        return snapshot
+
+    @property
+    def empty(self) -> bool:
+        """True until the first :meth:`publish`."""
+        return self._current is None
+
+    @property
+    def version(self) -> int:
+        """Version of the current snapshot (0 while empty)."""
+        snapshot = self._current
+        return snapshot.version if snapshot is not None else 0
+
+    @property
+    def generation(self) -> int:
+        """Generation of the current snapshot (-1 while empty)."""
+        snapshot = self._current
+        return snapshot.generation if snapshot is not None else -1
+
+    # ------------------------------------------------------------------
+    def subscribe(self, callback: Callable[[EmbeddingSnapshot], None]
+                  ) -> None:
+        """Run ``callback(snapshot)`` after every publish (writer thread,
+        outside the store lock)."""
+        with self._lock:
+            self._subscribers.append(callback)
+
+    def wait_for_generation(self, generation: int,
+                            timeout: float | None = None) -> bool:
+        """Block until a snapshot with ``generation`` or newer is served.
+
+        Returns False on timeout.  Used by tests and by load generators
+        that must observe a post-append publish before asserting
+        freshness.
+        """
+        deadline = (time.monotonic() + timeout) if timeout is not None else None
+        with self._publish_cv:
+            while (self._current is None
+                   or self._current.generation < generation):
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return False
+                self._publish_cv.wait(remaining)
+            return True

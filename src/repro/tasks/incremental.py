@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -24,10 +25,14 @@ from repro.embedding.embeddings import NodeEmbeddings
 from repro.embedding.skipgram import SkipGramModel
 from repro.embedding.trainer import SgnsConfig
 from repro.errors import EmbeddingError
+from repro.graph.csr import TemporalGraph
 from repro.graph.dynamic import DynamicTemporalGraph
 from repro.rng import SeedLike, make_rng
 from repro.walk.config import WalkConfig
 from repro.walk.engine import TemporalWalkEngine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serving.store import EmbeddingStore
 
 
 @dataclass
@@ -51,15 +56,47 @@ class IncrementalEmbedder:
         sgns_config: SgnsConfig | None = None,
         batch_sentences: int = 1024,
         seed: SeedLike = None,
+        store: "EmbeddingStore | None" = None,
     ) -> None:
         self.dynamic = dynamic
         self.walk_config = walk_config or WalkConfig()
         self.sgns_config = sgns_config or SgnsConfig()
         self.batch_sentences = batch_sentences
+        self.store = store
         self._rng = make_rng(seed)
         self._model: SkipGramModel | None = None
         self._synced_generation: int | None = None
+        self._engine: TemporalWalkEngine | None = None
+        self._engine_generation: int | None = None
         self.reports: list[UpdateReport] = []
+
+    # ------------------------------------------------------------------
+    def _walk_engine(self, graph: TemporalGraph) -> TemporalWalkEngine:
+        """Engine cached per graph generation.
+
+        A fresh :class:`TemporalWalkEngine` rebuilds the O(E) softmax
+        step table (plus its ``exp`` work) on first use; constructing
+        one per update made that the dominant avoidable cost of the
+        serving ingest path.  The engine — and with it every cached
+        step table — is reused until :class:`DynamicTemporalGraph`
+        bumps its generation.
+        """
+        generation = self.dynamic.generation
+        if (
+            self._engine is None
+            or self._engine_generation != generation
+            or self._engine.graph is not graph
+        ):
+            self._engine = TemporalWalkEngine(graph)
+            self._engine_generation = generation
+        return self._engine
+
+    def _publish(self) -> None:
+        """Push the current embeddings into the serving store, if any."""
+        if self.store is not None and self._model is not None:
+            self.store.publish(
+                self._model.w_in, generation=self.dynamic.generation
+            )
 
     # ------------------------------------------------------------------
     @property
@@ -74,13 +111,14 @@ class IncrementalEmbedder:
         """Full pipeline phases 1-2 from scratch (the baseline path)."""
         start = time.perf_counter()
         graph = self.dynamic.graph()
-        engine = TemporalWalkEngine(graph)
+        engine = self._walk_engine(graph)
         corpus = engine.run(self.walk_config, seed=self._rng)
         trainer = BatchedSgnsTrainer(
             self.sgns_config, batch_sentences=self.batch_sentences
         )
         self._model = trainer.train(corpus, graph.num_nodes, seed=self._rng)
         self._synced_generation = self.dynamic.generation
+        self._publish()
         report = UpdateReport(
             generation=self.dynamic.generation,
             affected_nodes=graph.num_nodes,
@@ -108,6 +146,7 @@ class IncrementalEmbedder:
 
         if len(affected) == 0:
             self._synced_generation = self.dynamic.generation
+            self._publish()
             report = UpdateReport(
                 generation=self.dynamic.generation,
                 affected_nodes=0, walks_generated=0,
@@ -116,7 +155,7 @@ class IncrementalEmbedder:
             self.reports.append(report)
             return report
 
-        engine = TemporalWalkEngine(graph)
+        engine = self._walk_engine(graph)
         corpus = engine.run(
             self.walk_config, seed=self._rng, start_nodes=affected
         )
@@ -127,6 +166,7 @@ class IncrementalEmbedder:
             corpus, graph.num_nodes, seed=self._rng, model=self._model
         )
         self._synced_generation = self.dynamic.generation
+        self._publish()
         report = UpdateReport(
             generation=self.dynamic.generation,
             affected_nodes=len(affected),

@@ -145,6 +145,36 @@ class TemporalWalkEngine:
         self.last_stats: WalkStats | None = None
         self._step_tables: dict[tuple[str, float], _StepTable] = {}
         self._edge_cdf_cache: dict[tuple[str, float], np.ndarray] = {}
+        self._owner: np.ndarray | None = None
+        self._linear_order: np.ndarray | None = None
+
+    def _edge_owner(self) -> np.ndarray:
+        """Edge -> source-node map, computed once per engine.
+
+        Shared by the step tables and the edge-start path; the graph is
+        immutable for the engine's lifetime, so one O(E) ``np.repeat``
+        serves every run.
+        """
+        if self._owner is None:
+            self._owner = np.repeat(
+                np.arange(self.graph.num_nodes, dtype=np.int64),
+                np.diff(self.graph.indptr),
+            )
+        return self._owner
+
+    def _linear_edge_order(self) -> np.ndarray:
+        """Edge ids sorted by timestamp ascending (global linear ranking).
+
+        Rank 0 is the globally earliest edge — the "soonest" edge from
+        the edge-start clock of ``-inf`` — matching the within-slice rank
+        ordering of :meth:`_sample_step_cdf`'s linear branch.  Stable so
+        ties keep CSR order.
+        """
+        if self._linear_order is None:
+            self._linear_order = np.argsort(
+                self.graph.ts, kind="stable"
+            ).astype(np.int64)
+        return self._linear_order
 
     # ------------------------------------------------------------------
     def run(
@@ -249,14 +279,22 @@ class TemporalWalkEngine:
                 np.searchsorted(cdf, target, side="right") - 1,
                 0, graph.num_edges - 1,
             )
-        else:  # linear has no global edge ranking; fall back to uniform
-            edge_ids = rng.integers(0, graph.num_edges, size=num_walks)
+        else:  # linear: closed-form rank draw over the global time order
+            # Same quadratic inversion as _sample_step_cdf's linear
+            # branch with n = |E|: rank j (0 = earliest timestamp, the
+            # soonest edge from the -inf start clock) has weight n - j.
+            order = self._linear_edge_order()
+            n = float(graph.num_edges)
+            total = n * (n + 1.0) / 2.0
+            target = rng.random(num_walks) * total
+            disc = (2.0 * n + 1.0) ** 2 - 8.0 * target
+            j = np.floor(
+                (2.0 * n + 1.0 - np.sqrt(disc)) / 2.0
+            ).astype(np.int64)
+            j = np.clip(j, 0, graph.num_edges - 1)
+            edge_ids = order[j]
 
-        src = np.repeat(
-            np.arange(graph.num_nodes, dtype=np.int64),
-            np.diff(graph.indptr),
-        )
-        starts = src[edge_ids]
+        starts = self._edge_owner()[edge_ids]
         matrix = np.full((num_walks, config.max_walk_length), PAD,
                          dtype=np.int64)
         matrix[:, 0] = starts
@@ -264,12 +302,26 @@ class TemporalWalkEngine:
         cur = starts.copy()
         cur_time = np.full(num_walks, -np.inf)
         if config.max_walk_length >= 2:
+            # Book the initial hop's scan-model work exactly as run()
+            # books its first hop: the kernel positions at the start
+            # node with clock -inf and scans its whole temporally valid
+            # slice.  Without this the hop lands in total_steps only,
+            # skewing mean_candidates_per_step and the hwmodel inputs
+            # for edge-start corpora.
+            lo0, hi0, iters0 = self._valid_range(
+                starts, cur_time, config.allow_equal,
+                config.time_window, config.direction,
+            )
+            counts0 = hi0 - lo0
+            stats.search_iterations += iters0
+            stats.candidates_scanned += int(counts0.sum())
+            np.add.at(stats.work_per_start_node, starts, counts0)
+            stats.total_steps += num_walks
+
             matrix[:, 1] = graph.dst[edge_ids]
             lengths[:] = 2
             cur = graph.dst[edge_ids].copy()
             cur_time = graph.ts[edge_ids].copy()
-
-        stats.total_steps += num_walks if config.max_walk_length >= 2 else 0
         self._advance(
             matrix, lengths, starts, cur, cur_time, config, temperature,
             rng, stats, first_step=2,
@@ -454,7 +506,7 @@ class TemporalWalkEngine:
         indptr = graph.indptr
         num_edges = graph.num_edges
         deg = np.diff(indptr)
-        owner = np.repeat(np.arange(graph.num_nodes, dtype=np.int64), deg)
+        owner = self._edge_owner()
         score = self._softmax_scores(bias, temperature)
         slice_max = np.zeros(graph.num_nodes, dtype=np.float64)
         nonempty = deg > 0

@@ -165,3 +165,31 @@ class TestCharacterize:
         assert "instruction mix" in out
         assert "GPU kernels" in out
         assert "thread scaling" in out
+
+
+class TestServeSim:
+    def test_closed_loop_run_with_live_updates(self, capsys):
+        code = main(["serve-sim", "--nodes", "200", "--edges", "1500",
+                     "--requests", "300", "--clients", "2",
+                     "--update-batches", "1", "--update-interval", "0.01",
+                     "--walks", "2", "--length", "4", "--dim", "4",
+                     "--w2v-epochs", "1", "--seed", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop load" in out
+        assert "Serving internals" in out
+        assert "ingest: generation 1" in out
+
+    def test_metrics_export(self, tmp_path, capsys):
+        metrics = tmp_path / "serve_metrics.json"
+        code = main(["serve-sim", "--nodes", "150", "--edges", "1000",
+                     "--requests", "200", "--clients", "2",
+                     "--walks", "2", "--length", "4", "--dim", "4",
+                     "--w2v-epochs", "1", "--seed", "2",
+                     "--metrics-out", str(metrics)])
+        assert code == 0
+        import json
+
+        recorded = json.loads(metrics.read_text())
+        assert recorded["counters"]["serving.store.publishes"] == 1
+        assert "serving.latency.score_s" in recorded["histograms"]

@@ -1,0 +1,475 @@
+"""Tests for the online serving layer (:mod:`repro.serving`).
+
+Pins down the four contracts the serving design note promises:
+
+- snapshot-swap atomicity: readers racing a publisher only ever see
+  whole snapshots (never a half-written matrix), and a held snapshot
+  stays internally consistent while newer ones land;
+- freshness: once a post-``append()`` publish lands, no stale cached
+  top-k is ever served again (the LRU is keyed by snapshot version);
+- micro-batch flushing on all three triggers (size, delay, close) with
+  exception propagation to every future of a failed batch;
+- recorder instrumentation: the documented ``serving.*`` counters and
+  histograms actually appear under load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import TimeoutError as FutureTimeoutError
+
+import numpy as np
+import pytest
+
+from repro.embedding.trainer import SgnsConfig
+from repro.errors import ServingError
+from repro.graph.dynamic import DynamicTemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.observability import Recorder, use_recorder
+from repro.serving import (
+    BatchFuture,
+    BatchScheduler,
+    EmbeddingStore,
+    RecommendationIndex,
+    ServingConfig,
+    ServingFrontend,
+    run_load,
+)
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.walk.config import WalkConfig
+
+pytestmark = pytest.mark.serving
+
+
+def make_store(matrix: np.ndarray, generation: int = 0) -> EmbeddingStore:
+    store = EmbeddingStore()
+    store.publish(matrix, generation=generation)
+    return store
+
+
+def brute_force_topk(matrix: np.ndarray, node: int, k: int,
+                     metric: str = "dot") -> tuple[np.ndarray, np.ndarray]:
+    scores = matrix @ matrix[node]
+    if metric == "cosine":
+        norms = np.linalg.norm(matrix, axis=1)
+        norms = np.where(norms == 0.0, 1.0, norms)
+        scores = scores / (norms * norms[node])
+    scores[node] = -np.inf
+    order = np.lexsort((np.arange(len(scores)), -scores))
+    k_eff = min(k, len(scores) - 1)
+    return order[:k_eff], scores[order[:k_eff]]
+
+
+# ---------------------------------------------------------------------------
+# EmbeddingStore
+# ---------------------------------------------------------------------------
+class TestEmbeddingStore:
+    def test_publish_copies_and_freezes(self):
+        source = np.ones((4, 3))
+        store = make_store(source, generation=0)
+        snapshot = store.snapshot()
+        source[:] = 99.0  # trainer keeps mutating its buffer
+        assert np.all(snapshot.matrix == 1.0)
+        assert not snapshot.matrix.flags.writeable
+        assert not snapshot.norms.flags.writeable
+        np.testing.assert_allclose(snapshot.norms, np.sqrt(3.0))
+        assert snapshot.num_nodes == 4 and snapshot.dim == 3
+
+    def test_empty_store_raises_until_first_publish(self):
+        store = EmbeddingStore()
+        assert store.empty
+        assert store.version == 0 and store.generation == -1
+        with pytest.raises(ServingError, match="no embeddings published"):
+            store.snapshot()
+        store.publish(np.ones((2, 2)), generation=5)
+        assert not store.empty
+        assert store.version == 1 and store.generation == 5
+
+    def test_stale_generation_rejected_equal_allowed(self):
+        store = make_store(np.ones((2, 2)), generation=3)
+        with pytest.raises(ServingError, match="stale publish"):
+            store.publish(np.ones((2, 2)), generation=2)
+        # Equal generation = continued training on an unchanged graph.
+        snapshot = store.publish(np.zeros((2, 2)), generation=3)
+        assert snapshot.version == 2
+
+    def test_rejects_non_matrix(self):
+        store = EmbeddingStore()
+        with pytest.raises(ServingError, match="2-D"):
+            store.publish(np.ones(4), generation=0)
+
+    def test_swap_is_atomic_under_concurrent_readers(self):
+        """Readers racing publishes only ever see whole snapshots.
+
+        Every published matrix is constant-valued, so a torn read would
+        show up as a snapshot whose entries disagree with each other or
+        with its precomputed norms.
+        """
+        store = make_store(np.zeros((50, 8)))
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def reader():
+            while not stop.is_set():
+                snapshot = store.snapshot()
+                matrix = snapshot.matrix
+                value = matrix[0, 0]
+                if not np.all(matrix == value):
+                    failures.append("torn matrix")
+                expected = np.sqrt(8.0) * abs(value)
+                if not np.allclose(snapshot.norms, expected):
+                    failures.append("norms from a different matrix")
+
+        readers = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in readers:
+            thread.start()
+        for version in range(1, 120):
+            store.publish(np.full((50, 8), float(version)),
+                          generation=version)
+        stop.set()
+        for thread in readers:
+            thread.join()
+        assert not failures
+        assert store.version == 120
+
+    def test_held_snapshot_stays_consistent_after_swap(self):
+        store = make_store(np.full((3, 2), 1.0), generation=0)
+        held = store.snapshot()
+        store.publish(np.full((3, 2), 2.0), generation=1)
+        # Stale-read semantics: the old reference still sees old data.
+        assert np.all(held.matrix == 1.0)
+        assert np.all(store.snapshot().matrix == 2.0)
+
+    def test_wait_for_generation(self):
+        store = make_store(np.ones((2, 2)), generation=0)
+        assert store.wait_for_generation(0, timeout=0.1)
+        assert not store.wait_for_generation(1, timeout=0.05)
+        publisher = threading.Timer(
+            0.05, lambda: store.publish(np.ones((2, 2)), generation=1))
+        publisher.start()
+        try:
+            assert store.wait_for_generation(1, timeout=5.0)
+        finally:
+            publisher.join()
+
+    def test_subscribe_and_publish_counter(self):
+        recorder = Recorder()
+        seen: list[int] = []
+        with use_recorder(recorder):
+            store = EmbeddingStore()
+            store.subscribe(lambda snapshot: seen.append(snapshot.version))
+            store.publish(np.ones((2, 2)), generation=0)
+            store.publish(np.ones((2, 2)), generation=1)
+        assert seen == [1, 2]
+        assert recorder.counters["serving.store.publishes"] == 2
+        assert recorder.gauges["serving.store.generation"] == 1
+
+
+# ---------------------------------------------------------------------------
+# BatchScheduler
+# ---------------------------------------------------------------------------
+class TestBatchScheduler:
+    def test_flush_on_size_trigger(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with BatchScheduler(lambda batch: [x * 2 for x in batch],
+                                max_batch_size=4, max_delay=30.0) as sched:
+                futures = [sched.submit(i) for i in range(4)]
+                assert [f.result(timeout=5.0) for f in futures] == [0, 2, 4, 6]
+        assert recorder.counters.get("serving.batch.flush_size", 0) >= 1
+        assert recorder.counters.get("serving.batch.flush_delay", 0) == 0
+        assert recorder.histograms["serving.batch.size"].max == 4
+
+    def test_flush_on_delay_trigger(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with BatchScheduler(lambda batch: [x + 1 for x in batch],
+                                max_batch_size=100,
+                                max_delay=0.03) as sched:
+                start = time.monotonic()
+                future_a = sched.submit(1)
+                future_b = sched.submit(2)
+                assert future_a.result(timeout=5.0) == 2
+                assert future_b.result(timeout=5.0) == 3
+                elapsed = time.monotonic() - start
+        # The batch could not fill, so it waited out max_delay.
+        assert elapsed >= 0.03
+        assert recorder.counters.get("serving.batch.flush_delay", 0) >= 1
+        assert recorder.counters.get("serving.batch.flush_size", 0) == 0
+
+    def test_flush_on_close_trigger(self):
+        recorder = Recorder()
+        with use_recorder(recorder):
+            sched = BatchScheduler(lambda batch: list(batch),
+                                   max_batch_size=100, max_delay=30.0)
+            sched.start()
+            future = sched.submit("payload")
+            sched.close()
+        assert future.result(timeout=0) == "payload"
+        assert recorder.counters.get("serving.batch.flush_close", 0) >= 1
+
+    def test_process_exception_fails_whole_batch_but_not_scheduler(self):
+        calls = []
+
+        def process(batch):
+            calls.append(list(batch))
+            if len(calls) == 1:
+                raise ValueError("boom")
+            return [x for x in batch]
+
+        with BatchScheduler(process, max_batch_size=2,
+                            max_delay=30.0) as sched:
+            futures = [sched.submit(i) for i in range(2)]
+            for future in futures:
+                with pytest.raises(ValueError, match="boom"):
+                    future.result(timeout=5.0)
+            # The scheduler survives a failed batch.
+            ok = [sched.submit(i) for i in (5, 6)]
+            assert [f.result(timeout=5.0) for f in ok] == [5, 6]
+
+    def test_result_count_mismatch_is_serving_error(self):
+        with BatchScheduler(lambda batch: [0],  # wrong length for 2
+                            max_batch_size=2, max_delay=30.0) as sched:
+            futures = [sched.submit(i) for i in range(2)]
+            for future in futures:
+                with pytest.raises(ServingError, match="results for"):
+                    future.result(timeout=5.0)
+
+    def test_submit_lifecycle_errors(self):
+        sched = BatchScheduler(lambda batch: batch)
+        with pytest.raises(ServingError, match="not started"):
+            sched.submit(1)
+        sched.start()
+        sched.close()
+        with pytest.raises(ServingError, match="closed"):
+            sched.submit(1)
+        with pytest.raises(ServingError, match="closed"):
+            sched.start()
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError, match="max_batch_size"):
+            BatchScheduler(lambda batch: batch, max_batch_size=0)
+        with pytest.raises(ServingError, match="max_delay"):
+            BatchScheduler(lambda batch: batch, max_delay=-1.0)
+
+    def test_batch_future_timeout_and_resolved(self):
+        pending = BatchFuture(threading.Condition())
+        assert not pending.done()
+        with pytest.raises(FutureTimeoutError):
+            pending.result(timeout=0.01)
+        done = BatchFuture.resolved("value")
+        assert done.done()
+        assert done.result(timeout=0) == "value"
+
+
+# ---------------------------------------------------------------------------
+# RecommendationIndex
+# ---------------------------------------------------------------------------
+class TestRecommendationIndex:
+    @pytest.mark.parametrize("metric", ["dot", "cosine"])
+    def test_matches_brute_force_across_blocks(self, rng, metric):
+        matrix = rng.standard_normal((37, 6))
+        store = make_store(matrix)
+        # block_size=10 forces multiple blocks incl. a ragged last one.
+        index = RecommendationIndex(store, block_size=10, metric=metric)
+        for node in (0, 9, 10, 36):
+            ids, scores = index.top_k(node, 5)
+            expected_ids, expected_scores = brute_force_topk(
+                matrix, node, 5, metric)
+            np.testing.assert_array_equal(ids, expected_ids)
+            np.testing.assert_allclose(scores, expected_scores)
+            assert node not in ids  # self-exclusion
+
+    def test_k_capped_at_catalog_minus_self(self, rng):
+        matrix = rng.standard_normal((5, 3))
+        index = RecommendationIndex(make_store(matrix))
+        ids, scores = index.top_k(2, 100)
+        assert len(ids) == 4 and len(scores) == 4
+
+    def test_cache_hit_skips_gemm(self, rng):
+        matrix = rng.standard_normal((30, 4))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            index = RecommendationIndex(make_store(matrix))
+            cold = index.top_k(3, 5)
+            gemm_after_cold = recorder.counters["serving.index.gemm_rows"]
+            assert recorder.counters["serving.index.cache_misses"] == 1
+            warm = index.top_k(3, 5)
+            assert recorder.counters["serving.index.gemm_rows"] == (
+                gemm_after_cold
+            )
+            assert recorder.counters["serving.index.cache_hits"] == 1
+        np.testing.assert_array_equal(cold[0], warm[0])
+        # Different k is a different cache entry.
+        with use_recorder(recorder):
+            index.top_k(3, 4)
+            assert recorder.counters["serving.index.cache_misses"] == 2
+
+    def test_cache_invalidated_by_version_bump(self, rng):
+        first = rng.standard_normal((20, 4))
+        second = rng.standard_normal((20, 4))
+        store = make_store(first, generation=0)
+        index = RecommendationIndex(store)
+        index.top_k(1, 3)  # warm
+        assert index.cached(1, 3) is not None
+        store.publish(second, generation=1)
+        # The first post-publish read drops every stale entry.
+        assert index.cached(1, 3) is None
+        ids, scores = index.top_k(1, 3)
+        expected_ids, expected_scores = brute_force_topk(second, 1, 3)
+        np.testing.assert_array_equal(ids, expected_ids)
+        np.testing.assert_allclose(scores, expected_scores)
+
+    def test_lru_eviction(self, rng):
+        matrix = rng.standard_normal((20, 4))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            index = RecommendationIndex(make_store(matrix), cache_size=2)
+            index.top_k(0, 3)
+            index.top_k(1, 3)
+            index.top_k(2, 3)  # evicts node 0
+            assert len(index) == 2
+            assert recorder.counters["serving.index.cache_evictions"] == 1
+            assert index.cached(0, 3) is None
+            assert index.cached(2, 3) is not None
+
+    def test_batch_dedupes_repeated_nodes(self, rng):
+        matrix = rng.standard_normal((25, 4))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            index = RecommendationIndex(make_store(matrix))
+            results = index.top_k_batch([(7, 3), (7, 3), (8, 3)])
+            assert recorder.counters["serving.index.cache_misses"] == 2
+        np.testing.assert_array_equal(results[0][0], results[1][0])
+        expected_ids, _ = brute_force_topk(matrix, 8, 3)
+        np.testing.assert_array_equal(results[2][0], expected_ids)
+
+    def test_validation(self, rng):
+        index = RecommendationIndex(make_store(rng.standard_normal((5, 2))))
+        with pytest.raises(ServingError, match="out of range"):
+            index.top_k(5, 2)
+        with pytest.raises(ServingError, match="k must be"):
+            index.top_k(0, 0)
+        with pytest.raises(ServingError, match="cache_size"):
+            RecommendationIndex(EmbeddingStore(), cache_size=-1)
+        with pytest.raises(ServingError, match="metric"):
+            RecommendationIndex(EmbeddingStore(), metric="euclid")
+
+
+# ---------------------------------------------------------------------------
+# ServingFrontend + freshness end-to-end
+# ---------------------------------------------------------------------------
+FAST_CONFIG = ServingConfig(max_batch_size=8, max_delay=0.002)
+
+
+class TestServingFrontend:
+    def test_score_link_matches_dot(self, rng):
+        matrix = rng.standard_normal((12, 5))
+        with ServingFrontend(make_store(matrix), FAST_CONFIG) as frontend:
+            score = frontend.score_link(3, 7, timeout=5.0)
+        assert score == pytest.approx(float(matrix[3] @ matrix[7]))
+
+    def test_score_link_out_of_range(self, rng):
+        matrix = rng.standard_normal((4, 3))
+        with ServingFrontend(make_store(matrix), FAST_CONFIG) as frontend:
+            with pytest.raises(ServingError, match="out of range"):
+                frontend.score_link(0, 4, timeout=5.0)
+
+    def test_top_k_and_default_k(self, rng):
+        matrix = rng.standard_normal((15, 4))
+        config = ServingConfig(max_batch_size=8, max_delay=0.002,
+                               default_k=3)
+        with ServingFrontend(make_store(matrix), config) as frontend:
+            ids, scores = frontend.top_k(2, timeout=5.0)
+            assert len(ids) == 3
+            expected_ids, _ = brute_force_topk(matrix, 2, 3)
+            np.testing.assert_array_equal(ids, expected_ids)
+
+    def test_config_validation(self):
+        with pytest.raises(ServingError, match="max_batch_size"):
+            ServingConfig(max_batch_size=0)
+        with pytest.raises(ServingError, match="default_k"):
+            ServingConfig(default_k=0)
+        with pytest.raises(ServingError, match="metric"):
+            ServingConfig(metric="hamming")
+
+    def test_no_stale_topk_after_append_and_publish(self, rng):
+        """The ISSUE freshness contract, end to end.
+
+        Warm the top-k cache on generation 0, append an edge batch,
+        run the incremental update (which publishes), and verify the
+        next top-k reflects the new snapshot — never the cached one.
+        """
+        src = rng.integers(0, 30, size=200)
+        dst = rng.integers(0, 30, size=200)
+        ts = np.sort(rng.random(200))
+        edges = TemporalEdgeList(src[:150], dst[:150], ts[:150],
+                                 num_nodes=30)
+        batch = TemporalEdgeList(src[150:], dst[150:], ts[150:],
+                                 num_nodes=30)
+        dynamic = DynamicTemporalGraph(edges)
+        store = EmbeddingStore()
+        embedder = IncrementalEmbedder(
+            dynamic,
+            walk_config=WalkConfig(num_walks_per_node=2, max_walk_length=4),
+            sgns_config=SgnsConfig(dim=4, epochs=1),
+            seed=11,
+            store=store,
+        )
+        embedder.rebuild()
+        with ServingFrontend(store, FAST_CONFIG) as frontend:
+            stale_ids, stale_scores = frontend.top_k(0, 5, timeout=5.0)
+            assert frontend.index.cached(0, 5) is not None
+            version_before = store.version
+
+            dynamic.append(batch)
+            embedder.update()  # publishes the post-append snapshot
+
+            assert store.version > version_before
+            assert store.generation == dynamic.generation == 1
+            fresh_ids, fresh_scores = frontend.top_k(0, 5, timeout=5.0)
+            expected_ids, expected_scores = brute_force_topk(
+                np.asarray(store.snapshot().matrix), 0, 5)
+            np.testing.assert_array_equal(fresh_ids, expected_ids)
+            np.testing.assert_allclose(fresh_scores, expected_scores)
+
+    def test_concurrent_load_and_metric_presence(self, rng):
+        matrix = rng.standard_normal((60, 6))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with ServingFrontend(make_store(matrix), FAST_CONFIG) as frontend:
+                report = run_load(frontend, num_requests=400, clients=4,
+                                  topk_fraction=0.5, k=5, seed=3)
+        assert report.requests >= 400
+        assert report.errors == 0
+        assert report.score_requests + report.topk_requests == (
+            report.requests
+        )
+        assert report.qps > 0 and report.p99_ms >= report.p50_ms >= 0
+        # The documented metric catalog actually shows up under load.
+        for counter in ("serving.requests.score", "serving.requests.topk",
+                        "serving.index.cache_misses",
+                        "serving.index.gemm_rows",
+                        "serving.store.publishes"):
+            assert recorder.counters.get(counter, 0) > 0, counter
+        for histogram in ("serving.latency.score_s",
+                          "serving.latency.topk_s", "serving.batch.size",
+                          "serving.batch.wait_s"):
+            assert recorder.histograms[histogram].count > 0, histogram
+        flushes = sum(
+            value for name, value in recorder.counters.items()
+            if name.startswith("serving.batch.flush_")
+        )
+        assert flushes > 0
+        assert report.as_row()["errors"] == 0
+
+    def test_run_load_validation(self, rng):
+        matrix = rng.standard_normal((5, 2))
+        with ServingFrontend(make_store(matrix), FAST_CONFIG) as frontend:
+            with pytest.raises(ServingError, match="num_requests"):
+                run_load(frontend, num_requests=0)
+            with pytest.raises(ServingError, match="clients"):
+                run_load(frontend, clients=0)
+            with pytest.raises(ServingError, match="topk_fraction"):
+                run_load(frontend, topk_fraction=1.5)

@@ -101,6 +101,65 @@ class TestIncrementalEmbedder:
         assert report.affected_nodes == 0
         assert report.walks_generated == 0
 
+    def test_engine_cached_per_generation(self, evolving, monkeypatch):
+        """Regression: rebuild()/update() constructed a fresh
+        TemporalWalkEngine (and its O(E) step table) per call; the
+        engine must now be reused until the graph generation bumps."""
+        import repro.tasks.incremental as incremental_mod
+        from repro.walk.engine import TemporalWalkEngine
+
+        constructions = []
+
+        class CountingEngine(TemporalWalkEngine):
+            def __init__(self, graph, sampler="cdf"):
+                constructions.append(graph)
+                super().__init__(graph, sampler)
+
+        monkeypatch.setattr(incremental_mod, "TemporalWalkEngine",
+                            CountingEngine)
+        initial, tail = evolving
+        dynamic, embedder = self.make(initial)
+        embedder.rebuild()
+        embedder.update()   # no append: generation unchanged, no walks
+        embedder.rebuild()  # same generation: engine must be reused
+        assert len(constructions) == 1
+        dynamic.append(tail)
+        embedder.update()   # generation bumped: one new engine
+        embedder.update()   # unchanged again
+        assert len(constructions) == 2
+
+    def test_cached_engine_is_bit_identical_to_fresh(self, evolving,
+                                                     monkeypatch):
+        """Caching must not change a single bit of the output: the same
+        rebuild/append/update sequence with an always-fresh engine and
+        with the cached engine produces identical embeddings."""
+        from repro.tasks.incremental import IncrementalEmbedder
+        from repro.walk.engine import TemporalWalkEngine
+
+        initial, tail = evolving
+
+        def run(fresh_engines: bool):
+            dynamic = DynamicTemporalGraph(initial)
+            embedder = IncrementalEmbedder(
+                dynamic,
+                walk_config=WalkConfig(num_walks_per_node=6,
+                                       max_walk_length=6),
+                sgns_config=SgnsConfig(dim=8, epochs=3),
+                seed=7,
+            )
+            if fresh_engines:
+                embedder._walk_engine = (  # the pre-fix behavior
+                    lambda graph: TemporalWalkEngine(graph)
+                )
+            embedder.rebuild()
+            dynamic.append(tail)
+            embedder.update()
+            embedder.update()
+            return embedder.embeddings.matrix
+
+        assert np.array_equal(run(fresh_engines=True),
+                              run(fresh_engines=False))
+
     def test_incremental_embeddings_stay_useful(self, evolving):
         # After appending the tail, incrementally updated embeddings
         # should still separate co-walkers from random pairs.

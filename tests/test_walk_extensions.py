@@ -108,7 +108,102 @@ class TestEdgeStarts:
 
     def test_length_one_cap(self, tiny_graph):
         config = WalkConfig(num_walks_per_node=1, max_walk_length=1)
-        corpus = TemporalWalkEngine(tiny_graph).run_from_edges(
-            config, num_walks=10, seed=7
-        )
+        engine = TemporalWalkEngine(tiny_graph)
+        corpus = engine.run_from_edges(config, num_walks=10, seed=7)
         assert np.all(corpus.lengths == 1)
+        # No hop taken: no scan work may be booked either.
+        assert engine.last_stats.total_steps == 0
+        assert engine.last_stats.candidates_scanned == 0
+
+
+class TestEdgeStartCounters:
+    """Regression: the initial hop must be booked into every counter.
+
+    Pre-fix, ``run_from_edges`` added the initial hop to ``total_steps``
+    but never to ``candidates_scanned`` / ``work_per_start_node`` /
+    ``search_iterations``, skewing ``mean_candidates_per_step`` and the
+    hwmodel (Fig. 9-10) inputs for edge-start corpora.
+    """
+
+    def test_initial_hop_scan_work_booked(self, tiny_graph):
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=2)
+        engine = TemporalWalkEngine(tiny_graph)
+        corpus = engine.run_from_edges(config, num_walks=64, seed=8)
+        stats = engine.last_stats
+        # At clock -inf the whole slice of each start node is valid.
+        degrees = np.diff(tiny_graph.indptr)
+        starts = corpus.start_nodes
+        assert stats.total_steps == 64
+        assert stats.candidates_scanned == int(degrees[starts].sum())
+        expected_work = np.zeros(tiny_graph.num_nodes, dtype=np.int64)
+        np.add.at(expected_work, starts, degrees[starts])
+        assert np.array_equal(stats.work_per_start_node, expected_work)
+        assert stats.search_iterations > 0
+        assert stats.mean_candidates_per_step > 0
+
+    def test_edge_start_matches_node_start_accounting(self, email_graph):
+        """One-hop edge-start runs book exactly what node-start runs
+        book from the same multiset of start nodes."""
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=2)
+        edge_engine = TemporalWalkEngine(email_graph)
+        corpus = edge_engine.run_from_edges(config, num_walks=200, seed=9)
+        edge_stats = edge_engine.last_stats
+
+        node_engine = TemporalWalkEngine(email_graph)
+        node_engine.run(config, seed=10, start_nodes=corpus.start_nodes)
+        node_stats = node_engine.last_stats
+
+        assert edge_stats.total_steps == node_stats.total_steps
+        assert edge_stats.candidates_scanned == node_stats.candidates_scanned
+        assert edge_stats.search_iterations == node_stats.search_iterations
+        assert np.array_equal(edge_stats.work_per_start_node,
+                              node_stats.work_per_start_node)
+
+    def test_owner_array_reused_across_calls(self, tiny_graph):
+        engine = TemporalWalkEngine(tiny_graph)
+        owner = engine._edge_owner()
+        assert engine._edge_owner() is owner
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=3)
+        engine.run_from_edges(config, num_walks=10, seed=11)
+        assert engine._edge_owner() is owner
+
+
+class TestLinearInitialEdgeBias:
+    """Regression: ``bias='linear'`` silently fell back to uniform
+    initial-edge sampling; it now draws from the global rank-linear
+    distribution (weight n - rank, rank 0 = earliest timestamp)."""
+
+    def test_linear_prefers_early_initial_edges(self):
+        edges = TemporalEdgeList([0, 1], [1, 0], [0.05, 0.95])
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=2,
+                            bias="linear")
+        corpus = TemporalWalkEngine(graph).run_from_edges(
+            config, num_walks=6000, seed=12
+        )
+        # Weights 2:1 for the early edge (src 0) -> share ~= 2/3.
+        early_share = np.mean(corpus.matrix[:, 0] == 0)
+        assert 0.62 < early_share < 0.71
+
+    def test_linear_rank_distribution_matches_closed_form(self):
+        # 4 single-edge sources; ranks by time map 1:1 to sources.
+        edges = TemporalEdgeList(
+            [0, 1, 2, 3], [1, 2, 3, 0], [0.1, 0.2, 0.3, 0.4]
+        )
+        graph = TemporalGraph.from_edge_list(edges)
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=2,
+                            bias="linear")
+        corpus = TemporalWalkEngine(graph).run_from_edges(
+            config, num_walks=20000, seed=13
+        )
+        shares = np.bincount(corpus.matrix[:, 0], minlength=4) / 20000
+        expected = np.array([4, 3, 2, 1]) / 10.0
+        assert np.allclose(shares, expected, atol=0.02)
+
+    def test_linear_walks_stay_temporally_valid(self, tiny_graph):
+        config = WalkConfig(num_walks_per_node=1, max_walk_length=5,
+                            bias="linear")
+        corpus = TemporalWalkEngine(tiny_graph).run_from_edges(
+            config, num_walks=100, seed=14
+        )
+        assert corpus.validate_temporal_order(tiny_graph)
