@@ -1,0 +1,238 @@
+"""Extension bench — durable streaming ingest: WAL cost, recovery, staleness.
+
+The streaming layer (:mod:`repro.stream`) makes three claims this bench
+measures:
+
+1. **WAL cost** — log-ahead durability (append + per-batch fsync before
+   the in-memory apply) taxes ingest throughput; ``sync=False`` and
+   no-WAL quantify the tax under each backpressure policy with a
+   bounded queue.
+2. **Recovery** — ``replay()`` reconstructs the full acknowledged
+   stream, and its wall-clock cost scales with log size (the restart
+   budget a deployment must plan for).
+3. **Staleness trade-off** — the three refresh policies (every-n,
+   staleness, affected-fraction) trade refresh work for embedding
+   freshness; the curve reports refresh count/seconds against the
+   link-prediction AUC the *published* (possibly stale) embeddings
+   achieve at end of stream.
+
+Saved to ``bench_results/stream_ingest.json``.
+"""
+
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import SgnsConfig
+from repro.graph import DynamicTemporalGraph, generators
+from repro.graph.edges import TemporalEdgeList
+from repro.stream import (
+    AffectedFraction,
+    EveryNEdges,
+    IngestQueue,
+    MaxStaleness,
+    StreamController,
+    WriteAheadLog,
+    replay,
+)
+from repro.tasks import LinkPredictionTask
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.tasks.link_prediction import LinkPredictionConfig
+from repro.tasks.training import TrainSettings
+from repro.walk import WalkConfig
+
+from conftest import emit
+
+POLICIES = ("block", "drop_oldest", "reject")
+WAL_MODES = ("wal-sync", "wal-nosync", "no-wal")
+
+INGEST_BATCHES = 100
+INGEST_BATCH_EDGES = 250
+QUEUE_EDGES = 5_000
+
+RECOVERY_SIZES = (2_000, 8_000, 32_000)
+
+STALENESS_BATCHES = 8
+
+
+def _ingest_batches(rng, count, size, num_nodes=3_000):
+    return [
+        TemporalEdgeList(
+            rng.integers(0, num_nodes, size=size),
+            rng.integers(0, num_nodes, size=size),
+            rng.random(size),
+            num_nodes=num_nodes,
+        )
+        for _ in range(count)
+    ]
+
+
+def _throughput_run(policy: str, wal_mode: str, tmp: Path) -> dict:
+    """Drain INGEST_BATCHES through the controller; edges/sec applied."""
+    rng = np.random.default_rng(11)
+    batches = _ingest_batches(rng, INGEST_BATCHES, INGEST_BATCH_EDGES)
+    wal = None
+    if wal_mode != "no-wal":
+        wal = WriteAheadLog(tmp / f"{policy}-{wal_mode}",
+                            sync=(wal_mode == "wal-sync"))
+    queue = IngestQueue(max_edges=QUEUE_EDGES, policy=policy)
+    controller = StreamController(DynamicTemporalGraph(), queue, wal=wal,
+                                  idle_poll=0.002)
+    start = time.perf_counter()
+    with controller:
+        for batch in batches:
+            queue.put(batch, timeout=30.0)
+    seconds = time.perf_counter() - start
+    stats = controller.stats
+    return {
+        "policy": policy,
+        "wal": wal_mode,
+        "batches": stats.batches_applied,
+        "edges": stats.edges_applied,
+        "dropped": queue.dropped_edges,
+        "rejected": queue.rejected_batches,
+        "edges/s": round(stats.edges_applied / seconds, 0),
+        "seconds": round(seconds, 3),
+    }
+
+
+def _recovery_run(num_edges: int, tmp: Path) -> dict:
+    """Write a log of ``num_edges``, then time a cold replay."""
+    rng = np.random.default_rng(13)
+    wal_dir = tmp / f"recovery-{num_edges}"
+    batches = _ingest_batches(rng, num_edges // INGEST_BATCH_EDGES,
+                              INGEST_BATCH_EDGES)
+    with WriteAheadLog(wal_dir, segment_max_bytes=256 * 1024) as wal:
+        for batch in batches:
+            wal.append(batch)
+    result = replay(wal_dir)
+    assert result.total_edges == num_edges
+    # Bit-identical reconstruction of the acknowledged stream.
+    expected = TemporalEdgeList.concatenate(batches)
+    got = result.edge_list()
+    assert np.array_equal(got.src, expected.src)
+    assert np.array_equal(got.timestamps, expected.timestamps)
+    wal_bytes = sum(p.stat().st_size for p in wal_dir.iterdir())
+    return {
+        "log edges": num_edges,
+        "log MiB": round(wal_bytes / 2**20, 2),
+        "segments": result.segments,
+        "replay s": round(result.seconds, 4),
+        "edges/s": round(num_edges / result.seconds, 0)
+        if result.seconds > 0 else float("inf"),
+    }
+
+
+def _staleness_run(policy, edges, cut) -> dict:
+    """Stream the 40% tail under ``policy``; AUC of published embeddings."""
+    initial = edges.take(np.arange(cut))
+    step = (len(edges) - cut) // STALENESS_BATCHES
+    batches = [
+        edges.take(np.arange(cut + i * step,
+                             cut + (i + 1) * step
+                             if i < STALENESS_BATCHES - 1 else len(edges)))
+        for i in range(STALENESS_BATCHES)
+    ]
+    dynamic = DynamicTemporalGraph(initial)
+    embedder = IncrementalEmbedder(
+        dynamic,
+        walk_config=WalkConfig(num_walks_per_node=6, max_walk_length=6),
+        sgns_config=SgnsConfig(dim=8, epochs=3),
+        seed=17,
+    )
+    embedder.rebuild()
+    queue = IngestQueue(max_edges=100_000)
+    controller = StreamController(
+        dynamic, queue, embedder=embedder, policy=policy,
+        idle_poll=0.01, final_refresh=False,
+    )
+    with controller:
+        for batch in batches:
+            queue.put(batch)
+            time.sleep(0.03)  # paced stream: wall-clock policies can fire
+    stats = controller.stats
+
+    # Score the embeddings as published (possibly stale): restrict the
+    # evaluation stream to nodes the last refresh actually covered.
+    emb = embedder.embeddings
+    full = dynamic.edge_list()
+    known = (full.src < emb.num_nodes) & (full.dst < emb.num_nodes)
+    eval_edges = TemporalEdgeList(
+        full.src[known], full.dst[known], full.timestamps[known],
+        num_nodes=emb.num_nodes,
+    )
+    task = LinkPredictionTask(LinkPredictionConfig(
+        training=TrainSettings(epochs=12, learning_rate=0.05)))
+    auc = task.run(emb, eval_edges, seed=19).auc
+    return {
+        "policy": policy.name,
+        "refreshes": stats.refreshes,
+        "refresh s": round(stats.refresh_seconds, 2),
+        "stale edges": controller.pending_edges,
+        "lp auc": round(auc, 4),
+    }
+
+
+def test_stream_ingest(benchmark):
+    with tempfile.TemporaryDirectory(prefix="bench-stream-") as tmp_name:
+        tmp = Path(tmp_name)
+        benchmark.pedantic(
+            lambda: _throughput_run("block", "no-wal", tmp / "warmup"),
+            rounds=1, iterations=1,
+        )
+
+        # 1. WAL cost x backpressure policy.
+        throughput_rows = [
+            _throughput_run(policy, wal_mode, tmp)
+            for policy in POLICIES
+            for wal_mode in WAL_MODES
+        ]
+        emit("")
+        emit(render_table(
+            throughput_rows,
+            title="Streaming ingest throughput (WAL durability x "
+                  "backpressure policy)",
+        ))
+        for row in throughput_rows:
+            # The block policy never sheds load; shedding policies may.
+            if row["policy"] == "block":
+                assert row["edges"] == INGEST_BATCHES * INGEST_BATCH_EDGES
+                assert row["dropped"] == 0 and row["rejected"] == 0
+            assert row["edges"] > 0
+
+        # 2. Recovery time vs log size.
+        recovery_rows = [_recovery_run(size, tmp) for size in RECOVERY_SIZES]
+        emit("")
+        emit(render_table(recovery_rows,
+                          title="WAL recovery: replay time vs log size"))
+
+    # 3. Accuracy vs refresh cost across the three policies.
+    edges = generators.ia_email_like(scale=0.008, seed=23).sorted_by_time()
+    cut = int(0.6 * len(edges))
+    tail = len(edges) - cut
+    staleness_rows = [
+        _staleness_run(policy, edges, cut)
+        for policy in (
+            EveryNEdges(max(1, tail // 4)),
+            MaxStaleness(0.05),
+            AffectedFraction(0.05),
+        )
+    ]
+    emit("")
+    emit(render_table(
+        staleness_rows,
+        title="Continuous refresh: accuracy vs staleness by policy",
+    ))
+    for row in staleness_rows:
+        assert row["refreshes"] >= 1, f"{row['policy']} never refreshed"
+        assert row["lp auc"] > 0.5, f"{row['policy']} embeddings useless"
+
+    recorder = ExperimentRecorder("stream_ingest")
+    recorder.add("throughput", throughput_rows)
+    recorder.add("recovery", recovery_rows)
+    recorder.add("staleness", staleness_rows)
+    path = recorder.save()
+    emit(f"saved: {path}")

@@ -18,7 +18,14 @@ the equivalent front door:
 - ``repro serve-sim``   — the online serving simulation: build
   embeddings, stand up the in-process serving frontend
   (:mod:`repro.serving`), drive it with a closed-loop load generator,
-  optionally appending edge batches + incremental updates mid-run.
+  optionally appending edge batches + incremental updates mid-run;
+- ``repro stream-sim``  — the durable streaming-ingest simulation: a
+  generator thread feeds edge batches through a bounded ingest queue
+  into the :class:`~repro.stream.controller.StreamController` (WAL
+  append, then graph apply, then policy-driven embedding refresh)
+  while the serving frontend takes query load; ``--replay-only``
+  recovers and reports a previous run's WAL, which is how the CI
+  stream-smoke job verifies crash recovery.
 
 Every command takes ``--seed`` and the pipeline hyperparameters the
 artifact exposes (walks, walk length, dimension, epochs...).  Run
@@ -470,6 +477,167 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_stream_sim(args: argparse.Namespace) -> int:
+    """``repro stream-sim``: durable streaming ingest under query load."""
+    import threading
+    import time as time_mod
+
+    import numpy as np
+
+    from repro.faults import FaultPlan
+    from repro.graph import DynamicTemporalGraph
+    from repro.serving import (
+        EmbeddingStore,
+        ServingConfig,
+        ServingFrontend,
+        run_load,
+    )
+    from repro.stream import (
+        AffectedFraction,
+        EveryNEdges,
+        IngestQueue,
+        MaxStaleness,
+        StreamController,
+        WriteAheadLog,
+    )
+    from repro.tasks.incremental import IncrementalEmbedder
+
+    if args.replay_only:
+        dynamic, result = StreamController.recover(args.wal_dir)
+        print(render_table(
+            [{
+                "segments": result.segments,
+                "batches": len(result.batches),
+                "edges": result.total_edges,
+                "nodes": dynamic.num_nodes,
+                "generation": dynamic.generation,
+                "truncated bytes": result.truncated_bytes,
+                "replay s": round(result.seconds, 4),
+            }],
+            title=f"recovered from WAL {args.wal_dir}",
+        ))
+        return 0
+
+    if args.input:
+        edges = read_wel(args.input)
+        source = args.input
+    else:
+        edges = generators.erdos_renyi_temporal(args.nodes, args.edges,
+                                                seed=args.seed)
+        source = f"ER {args.nodes}x{args.edges} (synthetic)"
+    ordered = edges.sorted_by_time()
+
+    # 60% of the stream seeds the initial graph; the tail arrives live.
+    cut = int(0.6 * len(ordered))
+    initial = ordered.take(np.arange(cut))
+    step = max(1, (len(ordered) - cut) // args.batches)
+    batches = []
+    for i in range(args.batches):
+        stop = (cut + (i + 1) * step if i < args.batches - 1
+                else len(ordered))
+        if stop > cut + i * step:
+            batches.append(ordered.take(np.arange(cut + i * step, stop)))
+
+    if args.refresh_policy == "every-n":
+        policy = EveryNEdges(args.refresh_edges)
+    elif args.refresh_policy == "staleness":
+        policy = MaxStaleness(args.staleness_seconds)
+    else:
+        policy = AffectedFraction(args.affected_fraction)
+
+    fault_plan = FaultPlan.from_env()
+    with _observability(args) as obs_recorder:
+        recorder = obs_recorder if obs_recorder is not None else Recorder()
+        with use_recorder(recorder):
+            # The initial graph is WAL-logged too (as the first batch),
+            # so --replay-only reconstructs the *entire* graph and the
+            # recovered generation sequence matches the live one.
+            wal = WriteAheadLog(args.wal_dir,
+                                segment_max_bytes=args.wal_segment_bytes,
+                                sync=not args.no_wal_sync,
+                                fault_plan=fault_plan)
+            dynamic = DynamicTemporalGraph()
+            if len(initial):
+                wal.append(initial)
+                dynamic.append(initial)
+            store = EmbeddingStore()
+            embedder = IncrementalEmbedder(
+                dynamic,
+                walk_config=WalkConfig(num_walks_per_node=args.walks,
+                                       max_walk_length=args.length,
+                                       bias=args.bias),
+                sgns_config=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
+                seed=args.seed,
+                store=store,
+            )
+            build_start = time_mod.perf_counter()
+            embedder.rebuild()
+            print(f"input: {source} — {dynamic.num_nodes} nodes, "
+                  f"{dynamic.num_edges} edges initial; embeddings in "
+                  f"{time_mod.perf_counter() - build_start:.2f}s; "
+                  f"{len(batches)} live batches to stream")
+
+            queue = IngestQueue(
+                max_edges=args.queue_edges,
+                policy=args.backpressure,
+                rate_limit=args.rate_limit,
+            )
+            controller = StreamController(
+                dynamic, queue, wal=wal, embedder=embedder, policy=policy,
+                fault_plan=fault_plan,
+            )
+
+            def produce() -> None:
+                for edge_batch in batches:
+                    if args.batch_interval > 0:
+                        time_mod.sleep(args.batch_interval)
+                    queue.put(edge_batch)
+
+            config = ServingConfig(
+                max_batch_size=args.max_batch_size,
+                max_delay=args.max_delay_ms / 1e3,
+                default_k=args.k,
+                cache_size=args.cache_size,
+            )
+            with controller:
+                with ServingFrontend(store, config) as frontend:
+                    producer = threading.Thread(target=produce, daemon=True,
+                                                name="stream-sim-producer")
+                    producer.start()
+                    report = run_load(
+                        frontend,
+                        num_requests=args.requests,
+                        clients=args.clients,
+                        topk_fraction=args.topk_fraction,
+                        k=args.k,
+                        seed=args.seed,
+                    )
+                    producer.join()
+            stats = controller.stats
+
+            counters = recorder.counters
+            print()
+            print(render_table([report.as_row()],
+                               title="Closed-loop load (client side)"))
+            print()
+            print(render_table(
+                [{
+                    "batches": stats.batches_applied,
+                    "edges": stats.edges_applied,
+                    "refreshes": stats.refreshes,
+                    "refresh s": round(stats.refresh_seconds, 2),
+                    "dropped": queue.dropped_batches,
+                    "rejected": queue.rejected_batches,
+                    "wal bytes": int(counters.get("stream.wal.bytes", 0)),
+                    "segments": wal.segment_count,
+                    "generation": dynamic.generation,
+                }],
+                title=f"Streaming ingest ({args.backpressure} backpressure, "
+                      f"{policy.name} refresh)",
+            ))
+    return 0
+
+
 # ---------------------------------------------------------------------------
 # Parser
 # ---------------------------------------------------------------------------
@@ -598,6 +766,87 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the span trace as JSONL")
     serve.add_argument("--seed", type=int, default=0)
     serve.set_defaults(func=cmd_serve_sim)
+
+    stream = sub.add_parser(
+        "stream-sim",
+        help="durable streaming-ingest simulation (WAL + bounded queue + "
+             "policy-driven refresh under closed-loop query load)",
+    )
+    stream.add_argument("--wal-dir", required=True,
+                        help="write-ahead-log directory (created if missing; "
+                             "an existing log is repaired and continued)")
+    stream.add_argument("--replay-only", action="store_true",
+                        help="recover and report the WAL contents, then exit "
+                             "(crash-recovery verification; no load run)")
+    stream.add_argument("--input", default=None,
+                        help=".wel temporal graph (omit for synthetic ER)")
+    stream.add_argument("--nodes", type=int, default=2_000,
+                        help="ER nodes when --input is omitted")
+    stream.add_argument("--edges", type=int, default=20_000,
+                        help="ER edges when --input is omitted")
+    emb = stream.add_argument_group("embedding hyperparameters")
+    emb.add_argument("--walks", type=int, default=5,
+                     help="random walks per node (K)")
+    emb.add_argument("--length", type=int, default=6,
+                     help="maximum walk length in nodes (L)")
+    emb.add_argument("--bias", default="softmax-recency",
+                     choices=["uniform", "softmax-late",
+                              "softmax-recency", "linear"],
+                     help="Eq. 1 transition bias")
+    emb.add_argument("--dim", type=int, default=8,
+                     help="embedding dimension (d)")
+    emb.add_argument("--w2v-epochs", type=int, default=2,
+                     help="word2vec epochs")
+    ingest = stream.add_argument_group("ingest: WAL, queue, refresh")
+    ingest.add_argument("--wal-segment-bytes", type=int, default=256 * 1024,
+                        help="WAL segment rotation threshold")
+    ingest.add_argument("--no-wal-sync", action="store_true",
+                        help="skip the per-batch fsync (faster, loses the "
+                             "power-failure guarantee)")
+    ingest.add_argument("--backpressure", default="block",
+                        choices=["block", "drop_oldest", "reject"],
+                        help="ingest-queue overflow policy")
+    ingest.add_argument("--queue-edges", type=int, default=50_000,
+                        help="ingest queue bound, in edges")
+    ingest.add_argument("--rate-limit", type=float, default=None,
+                        help="token-bucket producer limit in edges/second "
+                             "(default: unlimited)")
+    ingest.add_argument("--refresh-policy", default="every-n",
+                        choices=["every-n", "staleness", "affected"],
+                        help="when to refresh embeddings")
+    ingest.add_argument("--refresh-edges", type=int, default=1000,
+                        help="every-n: edges per refresh")
+    ingest.add_argument("--staleness-seconds", type=float, default=0.5,
+                        help="staleness: max wall-clock age of pending edges")
+    ingest.add_argument("--affected-fraction", type=float, default=0.1,
+                        help="affected: touched-node fraction per refresh")
+    ingest.add_argument("--batches", type=int, default=8,
+                        help="live batches the generator streams (40%% of "
+                             "the input is held back for them)")
+    ingest.add_argument("--batch-interval", type=float, default=0.02,
+                        help="seconds between generated batches")
+    load = stream.add_argument_group("serving and load")
+    load.add_argument("--clients", type=int, default=4,
+                      help="closed-loop client threads")
+    load.add_argument("--requests", type=int, default=2_000,
+                      help="total requests across all clients")
+    load.add_argument("--topk-fraction", type=float, default=0.5,
+                      help="fraction of requests that are top-k")
+    load.add_argument("--k", type=int, default=10,
+                      help="recommendations per top-k request")
+    load.add_argument("--max-batch-size", type=int, default=64,
+                      help="micro-batch size cap")
+    load.add_argument("--max-delay-ms", type=float, default=2.0,
+                      help="micro-batch max wait in milliseconds")
+    load.add_argument("--cache-size", type=int, default=4096,
+                      help="top-k LRU cache entries (0 disables)")
+    obs = stream.add_argument_group("observability")
+    obs.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write run counters/gauges/histograms as JSON")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the span trace as JSONL")
+    stream.add_argument("--seed", type=int, default=0)
+    stream.set_defaults(func=cmd_stream_sim)
 
     return parser
 

@@ -65,6 +65,16 @@ class ServingError(ReproError):
     """
 
 
+class StreamError(ReproError):
+    """Raised for invalid streaming-ingest state or configuration.
+
+    Covers the :mod:`repro.stream` layer: malformed or corrupted
+    write-ahead-log segments (outside the recoverable torn-tail case),
+    appending to a closed log or queue, and misconfigured backpressure
+    or refresh policies.
+    """
+
+
 class FaultInjected(ReproError):
     """Raised by the fault-injection layer (:mod:`repro.faults`).
 

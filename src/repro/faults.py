@@ -65,7 +65,16 @@ PIPELINE_SITES = ("after-walks", "after-word2vec", "after-task")
 #: Default site of :func:`repro.parallel.supervisor.run_supervised` for
 #: callers that don't name one (used by the supervisor's own tests).
 GENERIC_SITES = ("shards",)
-SITES = WORKER_SITES + PIPELINE_SITES + GENERIC_SITES
+#: Streaming-ingest sites (:mod:`repro.stream`), fired with the batch
+#: index as the shard: ``stream.wal.write`` fires halfway through the
+#: batch's edge records (a crash there leaves a torn segment tail);
+#: ``stream.wal.fsync`` fires after the records are written but before
+#: the commit record + fsync acknowledge the batch (a crash there loses
+#: exactly the in-flight batch); ``stream.controller.drain`` fires when
+#: the controller picks a batch off the ingest queue, before any write.
+STREAM_SITES = ("stream.wal.write", "stream.wal.fsync",
+                "stream.controller.drain")
+SITES = WORKER_SITES + PIPELINE_SITES + GENERIC_SITES + STREAM_SITES
 
 
 @dataclass(frozen=True)

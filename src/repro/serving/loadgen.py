@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ServingError
+from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
 from repro.serving.frontend import ServingFrontend
 
@@ -127,6 +128,8 @@ def run_load(
                 errors[idx] += 1
             local_lat.append(time.monotonic() - start)
 
+    rec = get_recorder()
+
     threads = [
         threading.Thread(target=client, args=(idx,), daemon=True,
                          name=f"loadgen-{idx}")
@@ -144,6 +147,13 @@ def run_load(
         [value for client_lat in latencies for value in client_lat]
     ) * 1e3
     total = int(lat_ms.size)
+    # Client-side view for the ambient recorder, so serve-sim/stream-sim
+    # metric exports carry achieved latency next to the server-side
+    # serving.* internals (no-op under the NullRecorder).
+    for value in lat_ms:
+        rec.observe("loadgen.latency_ms", float(value))
+    if errors:
+        rec.counter("loadgen.errors", int(sum(errors)))
     return LoadReport(
         requests=total,
         errors=int(sum(errors)),

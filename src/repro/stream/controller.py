@@ -1,0 +1,286 @@
+"""The stream controller: queue → WAL → graph → policy-driven refresh.
+
+:class:`StreamController` is the consumer end of the durable ingest
+topology.  One daemon thread drains the :class:`~repro.stream.queue
+.IngestQueue` and, per batch, enforces **log-ahead ordering**: the
+batch is appended to the :class:`~repro.stream.wal.WriteAheadLog`
+(fsync-on-batch) *before* it is applied to the in-memory
+:class:`~repro.graph.dynamic.DynamicTemporalGraph` — so every edge a
+reader can observe is already durable, and a crash at any point leaves
+the WAL holding a prefix of what the graph held (never the reverse).
+
+After each applied batch (and on idle ticks, for wall-clock policies)
+the controller consults its :class:`~repro.stream.policies
+.RefreshPolicy`; a trigger runs
+:meth:`~repro.tasks.incremental.IncrementalEmbedder.update`, which
+re-walks affected nodes, fine-tunes the skip-gram model, and publishes
+to the serving store.  :meth:`recover` rebuilds the graph — generation
+markers included — from a WAL directory at startup, which is the other
+half of the crash-safety contract (asserted bit-identically by the
+fault-injection suite via the ``stream.controller.drain`` /
+``stream.wal.*`` sites).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import StreamError
+from repro.faults import FaultPlan
+from repro.graph.dynamic import DynamicTemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.observability import get_recorder
+from repro.stream.policies import EveryNEdges, PendingState, RefreshPolicy
+from repro.stream.queue import IngestQueue
+from repro.stream.wal import ReplayResult, WriteAheadLog, replay
+from repro.tasks.incremental import IncrementalEmbedder
+
+
+@dataclass
+class ControllerStats:
+    """Counters the controller maintains alongside recorder metrics."""
+
+    batches_applied: int = 0
+    edges_applied: int = 0
+    batches_failed: int = 0
+    refreshes: int = 0
+    refresh_seconds: float = 0.0
+    errors: list[str] = field(default_factory=list)
+
+
+class StreamController:
+    """Drains an ingest queue into WAL + graph, refreshing by policy."""
+
+    def __init__(
+        self,
+        dynamic: DynamicTemporalGraph,
+        queue: IngestQueue,
+        wal: WriteAheadLog | None = None,
+        embedder: IncrementalEmbedder | None = None,
+        policy: RefreshPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_retries: int = 2,
+        idle_poll: float = 0.05,
+        final_refresh: bool = True,
+    ) -> None:
+        if max_retries < 0:
+            raise StreamError(f"max_retries must be >= 0, got {max_retries}")
+        if idle_poll <= 0:
+            raise StreamError(f"idle_poll must be > 0, got {idle_poll}")
+        self.dynamic = dynamic
+        self.queue = queue
+        self.wal = wal
+        self.embedder = embedder
+        self.policy = policy or EveryNEdges()
+        self.final_refresh = final_refresh
+        self._fault_plan = fault_plan or FaultPlan()
+        self._max_retries = int(max_retries)
+        self._idle_poll = float(idle_poll)
+        self.stats = ControllerStats()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._batch_seq = 0
+        self._pending_edges = 0
+        self._pending_nodes: set[int] = set()
+        self._last_refresh = time.monotonic()
+        self._first_pending: float | None = None
+        self._failure: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    @property
+    def failure(self) -> BaseException | None:
+        """Exception that killed the drain loop, if any."""
+        return self._failure
+
+    @property
+    def pending_edges(self) -> int:
+        """Edges applied to the graph but not yet covered by a refresh.
+
+        After a ``final_refresh=False`` shutdown this is the residual
+        staleness the serving embeddings carry (what the accuracy-vs-
+        staleness bench reports)."""
+        return self._pending_edges
+
+    def start(self) -> "StreamController":
+        if self._thread is not None:
+            raise StreamError("StreamController already started")
+        self.dynamic.subscribe(self._on_generation)
+        self._thread = threading.Thread(
+            target=self._run, name="stream-controller", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _on_generation(self, generation: int) -> None:
+        """Generation-bump subscriber (detached again by :meth:`stop`)."""
+        get_recorder().gauge("stream.graph.generation", generation)
+
+    def stop(self, drain: bool = True, timeout: float | None = None) -> None:
+        """Stop the drain loop; with ``drain``, apply queued batches first.
+
+        Closes the queue (so producers stop), joins the thread, runs a
+        final refresh over any pending edges (when ``final_refresh``),
+        and closes the WAL.  Re-raises a drain-loop failure so callers
+        can't mistake a dead controller for a clean shutdown.
+        """
+        self.queue.close()
+        if not drain:
+            self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout)
+            self.dynamic.unsubscribe(self._on_generation)
+            if thread.is_alive():
+                raise StreamError(
+                    "stream controller did not stop within the timeout"
+                )
+        if self.wal is not None:
+            self.wal.close()
+        if self._failure is not None:
+            raise self._failure
+
+    def __enter__(self) -> "StreamController":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        # Don't mask an in-flight exception with a shutdown failure.
+        if exc_info[0] is None:
+            self.stop()
+        else:
+            try:
+                self.stop()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        rec = get_recorder()
+        try:
+            while True:
+                batch = self.queue.get(timeout=self._idle_poll)
+                if batch is None:
+                    if self._stop.is_set() or self.queue.closed:
+                        break
+                    # Idle tick: wall-clock policies may still trigger.
+                    if self._pending_edges and self._should_refresh():
+                        self._refresh()
+                    continue
+                self._apply(batch, rec)
+                if self._stop.is_set():
+                    break
+            if (self.final_refresh and self.embedder is not None
+                    and self._pending_edges):
+                self._refresh()
+        except BaseException as exc:  # surfaced by stop()
+            self._failure = exc
+            self.stats.errors.append(repr(exc))
+
+    def _apply(self, batch: TemporalEdgeList, rec) -> None:
+        """WAL-then-graph application of one batch, with bounded retries."""
+        # Arrival index, not batches_applied: a dropped batch must not
+        # make its successor re-match the same fault shard.
+        batch_index = self._batch_seq
+        self._batch_seq += 1
+        attempt = 0
+        while True:
+            try:
+                self._fault_plan.fire("stream.controller.drain",
+                                      shard=batch_index, attempt=attempt)
+                if self.wal is not None:
+                    self.wal.append(batch)
+                break
+            except StreamError:
+                raise
+            except Exception as exc:
+                attempt += 1
+                rec.counter("stream.controller.retries")
+                if attempt > self._max_retries:
+                    self.stats.batches_failed += 1
+                    self.stats.errors.append(repr(exc))
+                    rec.counter("stream.controller.failed_batches")
+                    return
+        self.dynamic.append(batch)
+        self.stats.batches_applied += 1
+        self.stats.edges_applied += len(batch)
+        rec.counter("stream.controller.batches")
+        rec.counter("stream.controller.edges", len(batch))
+        if self._first_pending is None:
+            self._first_pending = time.monotonic()
+        self._pending_edges += len(batch)
+        self._pending_nodes.update(batch.src.tolist())
+        self._pending_nodes.update(batch.dst.tolist())
+        if self._should_refresh():
+            self._refresh()
+
+    def _pending_state(self) -> PendingState:
+        now = time.monotonic()
+        return PendingState(
+            edges=self._pending_edges,
+            affected_nodes=len(self._pending_nodes),
+            num_nodes=self.dynamic.num_nodes,
+            seconds_since_refresh=now - self._last_refresh,
+            seconds_since_first_pending=(
+                now - self._first_pending
+                if self._first_pending is not None else 0.0
+            ),
+        )
+
+    def _should_refresh(self) -> bool:
+        if self.embedder is None:
+            return False
+        return self.policy.should_refresh(self._pending_state())
+
+    def _refresh(self) -> None:
+        rec = get_recorder()
+        state = self._pending_state()
+        with rec.span("stream.refresh", policy=self.policy.name,
+                      pending_edges=state.edges,
+                      affected_nodes=state.affected_nodes):
+            report = self.embedder.update()
+        self.stats.refreshes += 1
+        self.stats.refresh_seconds += report.seconds
+        rec.counter(f"stream.refresh.triggers.{self.policy.name}")
+        rec.observe("stream.refresh.seconds", report.seconds)
+        rec.observe("stream.refresh.pending_edges", state.edges)
+        rec.gauge("stream.refresh.generation", report.generation)
+        self._pending_edges = 0
+        self._pending_nodes.clear()
+        self._first_pending = None
+        self._last_refresh = time.monotonic()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def recover(
+        wal_dir: str,
+        initial: TemporalEdgeList | None = None,
+        coalesce: bool = False,
+    ) -> tuple[DynamicTemporalGraph, ReplayResult]:
+        """Rebuild a graph (with usable generation markers) from a WAL.
+
+        ``initial`` is the pre-stream seed graph (edges that were never
+        WAL-logged because they predate the stream); committed batches
+        replay on top of it.  By default each acknowledged batch becomes
+        one generation bump — reproducing the marker sequence the
+        crashed process handed to its :class:`IncrementalEmbedder` — so
+        a recovered embedder can resume incremental updates against any
+        replayed marker.  ``coalesce=True`` applies the whole log as one
+        append (one marker), which is O(edges) instead of
+        O(edges × batches) for very long logs.
+        """
+        result = replay(wal_dir)
+        dynamic = DynamicTemporalGraph(initial)
+        with get_recorder().span("stream.recover",
+                                 batches=len(result.batches),
+                                 edges=result.total_edges):
+            if coalesce and result.batches:
+                dynamic.append(result.edge_list())
+            else:
+                for batch in result.batches:
+                    dynamic.append(batch)
+        return dynamic, result

@@ -1,0 +1,120 @@
+"""Pluggable policies deciding *when* continuous ingest refreshes embeddings.
+
+§VII-B observes that "an entire pipeline needs to run to account for
+new nodes/connections" — but never says *when*.  Refresh too eagerly
+and ingest throughput collapses into walk+SGNS work; too lazily and the
+served embeddings go stale.  The controller consults one of these
+policies after every applied batch (and on idle ticks, for wall-clock
+policies); each captures a different operational stance, and
+``bench_stream_ingest`` measures the staleness/cost trade-off across
+all three:
+
+- :class:`EveryNEdges` — refresh each time N edges accumulate (work-
+  proportional: refresh cost amortized over a fixed amount of change);
+- :class:`MaxStaleness` — refresh when the oldest unapplied edge is
+  older than a wall-clock budget (latency-SLO stance: bounded staleness
+  regardless of load);
+- :class:`AffectedFraction` — refresh when the touched node set exceeds
+  a fraction of the graph (impact-proportional: many edges into few hot
+  nodes defer longer than a few edges scattered widely, since
+  :meth:`~repro.tasks.incremental.IncrementalEmbedder.update` cost
+  scales with affected nodes).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import StreamError
+
+
+@dataclass
+class PendingState:
+    """What has accumulated since the last refresh (policy input)."""
+
+    edges: int                #: edges applied to the graph, not yet embedded
+    affected_nodes: int       #: distinct nodes those edges touch
+    num_nodes: int            #: current graph node count
+    seconds_since_refresh: float  #: wall clock since the last refresh
+    seconds_since_first_pending: float  #: age of the oldest unapplied edge
+
+
+class RefreshPolicy:
+    """Decides whether accumulated pending work warrants a refresh."""
+
+    #: Short identifier used in metrics (``stream.refresh.triggers.<name>``)
+    #: and CLI/bench labels.
+    name = "base"
+
+    def should_refresh(self, pending: PendingState) -> bool:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class EveryNEdges(RefreshPolicy):
+    """Refresh once ``n`` edges have accumulated since the last refresh."""
+
+    name = "every-n"
+
+    def __init__(self, n: int = 1000) -> None:
+        if n < 1:
+            raise StreamError(f"EveryNEdges requires n >= 1, got {n}")
+        self.n = int(n)
+
+    def should_refresh(self, pending: PendingState) -> bool:
+        return pending.edges >= self.n
+
+    def __repr__(self) -> str:
+        return f"EveryNEdges(n={self.n})"
+
+
+class MaxStaleness(RefreshPolicy):
+    """Refresh when pending edges have waited ``seconds`` of wall clock.
+
+    Idle periods never trigger (no pending edges → nothing is stale).
+    The controller evaluates this on idle ticks too, so the bound holds
+    even when arrivals stop right after a batch.
+    """
+
+    name = "staleness"
+
+    def __init__(self, seconds: float = 1.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if seconds <= 0:
+            raise StreamError(
+                f"MaxStaleness requires seconds > 0, got {seconds}"
+            )
+        self.seconds = float(seconds)
+        self.clock = clock
+
+    def should_refresh(self, pending: PendingState) -> bool:
+        return (pending.edges > 0
+                and pending.seconds_since_first_pending >= self.seconds)
+
+    def __repr__(self) -> str:
+        return f"MaxStaleness(seconds={self.seconds})"
+
+
+class AffectedFraction(RefreshPolicy):
+    """Refresh when pending edges touch ``fraction`` of all nodes."""
+
+    name = "affected"
+
+    def __init__(self, fraction: float = 0.1) -> None:
+        if not 0.0 < fraction <= 1.0:
+            raise StreamError(
+                f"AffectedFraction requires 0 < fraction <= 1, got {fraction}"
+            )
+        self.fraction = float(fraction)
+
+    def should_refresh(self, pending: PendingState) -> bool:
+        if pending.num_nodes == 0:
+            return False
+        return (pending.affected_nodes / pending.num_nodes) >= self.fraction
+
+    def __repr__(self) -> str:
+        return f"AffectedFraction(fraction={self.fraction})"

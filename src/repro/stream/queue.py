@@ -1,0 +1,238 @@
+"""Bounded ingest queue with configurable backpressure.
+
+The streaming topology puts a producer (edge arrivals) and a consumer
+(the :class:`~repro.stream.controller.StreamController` drain thread)
+on opposite sides of this queue.  Without a bound, a producer that
+outruns WAL fsyncs + incremental refreshes grows the pending-batch list
+until the process OOMs; :class:`IngestQueue` bounds the queue in
+*edges* (the unit that actually costs memory) and applies one of three
+policies when an arriving batch would overflow it:
+
+``block``
+    The producer waits until the consumer frees room (classic
+    flow-control; arrival order and completeness preserved, producer
+    latency absorbs the pressure).
+``drop_oldest``
+    Evict queued batches oldest-first until the new batch fits (the
+    freshest data wins — right for workloads where a newer edge
+    supersedes an older one's effect on embeddings; loss is counted).
+``reject``
+    Refuse the new batch (``put`` returns ``False``), pushing the retry
+    decision to the producer (the load-shedding stance).
+
+Independently of the bound, an optional token-bucket rate limiter
+smooths producers to ``rate_limit`` edges/second with bursts up to
+``burst`` — so a hot producer is paced *before* it slams the queue.
+
+All mutations are lock-protected; ``put`` and ``get`` may be called
+from any thread.  Depth, drops, rejections, blocked waits, and throttle
+time are reported through :mod:`repro.observability` as ``stream.queue.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+from repro.errors import StreamError
+from repro.graph.edges import TemporalEdgeList
+from repro.observability import get_recorder
+
+POLICIES = ("block", "drop_oldest", "reject")
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, capacity ``burst``.
+
+    ``acquire(n)`` blocks until ``n`` tokens are available and returns
+    the seconds slept.  Requests larger than ``burst`` are allowed —
+    they simply drain the bucket negative and pay the full wait — so a
+    single oversized batch throttles rather than deadlocks.
+    """
+
+    def __init__(self, rate: float, burst: float | None = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        if rate <= 0:
+            raise StreamError(f"token bucket rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else self.rate
+        if self.burst <= 0:
+            raise StreamError(f"token bucket burst must be > 0, got {burst}")
+        self._clock = clock
+        self._sleep = sleep
+        self._tokens = self.burst
+        self._last = clock()
+        self._lock = threading.Lock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        self._tokens = min(
+            self.burst, self._tokens + (now - self._last) * self.rate
+        )
+        self._last = now
+
+    def acquire(self, tokens: float) -> float:
+        """Take ``tokens``, sleeping as needed; returns seconds slept."""
+        waited = 0.0
+        with self._lock:
+            self._refill()
+            self._tokens -= tokens
+            deficit = -self._tokens
+        if deficit > 0:
+            wait = deficit / self.rate
+            self._sleep(wait)
+            waited = wait
+        return waited
+
+
+class IngestQueue:
+    """Bounded FIFO of edge batches between producers and the controller."""
+
+    def __init__(
+        self,
+        max_edges: int = 100_000,
+        policy: str = "block",
+        rate_limit: float | None = None,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_edges < 1:
+            raise StreamError(f"max_edges must be >= 1, got {max_edges}")
+        if policy not in POLICIES:
+            raise StreamError(
+                f"unknown backpressure policy {policy!r}; "
+                f"options: {', '.join(POLICIES)}"
+            )
+        self.max_edges = int(max_edges)
+        self.policy = policy
+        self._limiter = (
+            TokenBucket(rate_limit, burst, clock=clock)
+            if rate_limit is not None else None
+        )
+        self._batches: deque[TemporalEdgeList] = deque()
+        self._depth_edges = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+        self._closed = False
+        self.dropped_batches = 0
+        self.dropped_edges = 0
+        self.rejected_batches = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def depth_edges(self) -> int:
+        """Edges currently queued."""
+        with self._lock:
+            return self._depth_edges
+
+    @property
+    def depth_batches(self) -> int:
+        """Batches currently queued."""
+        with self._lock:
+            return len(self._batches)
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    # ------------------------------------------------------------------
+    def put(self, edges: TemporalEdgeList,
+            timeout: float | None = None) -> bool:
+        """Enqueue one batch; returns True when it was accepted.
+
+        Under ``reject`` (or a ``block`` timeout) an overflowing batch
+        returns False and is counted; under ``drop_oldest`` the put
+        always succeeds, at the price of evicting queued batches.  A
+        batch larger than ``max_edges`` can never fit alongside others:
+        ``drop_oldest`` admits it alone (bounding memory at one batch),
+        the other policies refuse it.
+        """
+        if len(edges) == 0:
+            return True
+        rec = get_recorder()
+        if self._limiter is not None:
+            throttled = self._limiter.acquire(len(edges))
+            if throttled > 0:
+                rec.counter("stream.queue.throttled_puts")
+                rec.observe("stream.queue.throttle_seconds", throttled)
+        with self._lock:
+            if self._closed:
+                raise StreamError("put on a closed IngestQueue")
+            if self.policy == "drop_oldest":
+                while (self._batches
+                       and self._depth_edges + len(edges) > self.max_edges):
+                    victim = self._batches.popleft()
+                    self._depth_edges -= len(victim)
+                    self.dropped_batches += 1
+                    self.dropped_edges += len(victim)
+                    rec.counter("stream.queue.dropped_batches")
+                    rec.counter("stream.queue.dropped_edges", len(victim))
+            elif self._depth_edges + len(edges) > self.max_edges:
+                if self.policy == "reject":
+                    self.rejected_batches += 1
+                    rec.counter("stream.queue.rejected_batches")
+                    rec.counter("stream.queue.rejected_edges", len(edges))
+                    return False
+                # block: wait for the consumer to free room.
+                rec.counter("stream.queue.blocked_puts")
+                block_start = time.monotonic()
+                deadline = (
+                    block_start + timeout if timeout is not None else None
+                )
+                while (not self._closed and len(edges) <= self.max_edges
+                       and self._depth_edges + len(edges) > self.max_edges):
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                    self._not_full.wait(remaining)
+                rec.observe("stream.queue.block_seconds",
+                            time.monotonic() - block_start)
+                if self._closed:
+                    raise StreamError("put on a closed IngestQueue")
+                if self._depth_edges + len(edges) > self.max_edges:
+                    self.rejected_batches += 1
+                    rec.counter("stream.queue.rejected_batches")
+                    rec.counter("stream.queue.rejected_edges", len(edges))
+                    return False
+            self._batches.append(edges)
+            self._depth_edges += len(edges)
+            rec.gauge("stream.queue.depth_edges", self._depth_edges)
+            rec.gauge("stream.queue.depth_batches", len(self._batches))
+            self._not_empty.notify()
+        return True
+
+    def get(self, timeout: float | None = None) -> TemporalEdgeList | None:
+        """Dequeue the oldest batch; None on timeout or drained-and-closed."""
+        deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        with self._lock:
+            while not self._batches:
+                if self._closed:
+                    return None
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                self._not_empty.wait(remaining)
+            batch = self._batches.popleft()
+            self._depth_edges -= len(batch)
+            rec = get_recorder()
+            rec.gauge("stream.queue.depth_edges", self._depth_edges)
+            rec.gauge("stream.queue.depth_batches", len(self._batches))
+            self._not_full.notify_all()
+            return batch
+
+    def close(self) -> None:
+        """Refuse further puts; queued batches remain drainable."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

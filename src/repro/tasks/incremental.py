@@ -98,6 +98,17 @@ class IncrementalEmbedder:
                 self._model.w_in, generation=self.dynamic.generation
             )
 
+    def _sync_to(self, generation: int) -> None:
+        """Advance the synced marker, releasing the consumed one.
+
+        Without the release, a long-running ingest loop would pin one
+        marker entry per update in the dynamic graph forever.
+        """
+        previous = self._synced_generation
+        self._synced_generation = generation
+        if previous is not None and previous != generation:
+            self.dynamic.release_marker(previous)
+
     # ------------------------------------------------------------------
     @property
     def embeddings(self) -> NodeEmbeddings:
@@ -117,7 +128,7 @@ class IncrementalEmbedder:
             self.sgns_config, batch_sentences=self.batch_sentences
         )
         self._model = trainer.train(corpus, graph.num_nodes, seed=self._rng)
-        self._synced_generation = self.dynamic.generation
+        self._sync_to(self.dynamic.generation)
         self._publish()
         report = UpdateReport(
             generation=self.dynamic.generation,
@@ -145,7 +156,7 @@ class IncrementalEmbedder:
         self._model.grow(graph.num_nodes, seed=self._rng)
 
         if len(affected) == 0:
-            self._synced_generation = self.dynamic.generation
+            self._sync_to(self.dynamic.generation)
             self._publish()
             report = UpdateReport(
                 generation=self.dynamic.generation,
@@ -165,7 +176,7 @@ class IncrementalEmbedder:
         self._model = trainer.train(
             corpus, graph.num_nodes, seed=self._rng, model=self._model
         )
-        self._synced_generation = self.dynamic.generation
+        self._sync_to(self.dynamic.generation)
         self._publish()
         report = UpdateReport(
             generation=self.dynamic.generation,

@@ -1,0 +1,88 @@
+"""Child process for the WAL crash-recovery tests.
+
+Appends a deterministic sequence of edge batches to a WAL, recording an
+ack line (fsync'd) after every *acknowledged* append, while a
+``REPRO_FAULTS`` crash spec kills the process mid-write.  The parent
+test asserts that ``replay()`` reconstructs exactly the acknowledged
+prefix, bit-identically.
+
+Not a test module (no ``test_`` prefix); invoked via subprocess by
+``test_stream_recovery.py``.
+
+Usage::
+
+    python stream_crash_child.py WAL_DIR ACK_FILE MODE \
+        NUM_BATCHES BATCH_SIZE SEGMENT_MAX_BYTES
+
+``MODE`` is ``wal`` (append directly to a WriteAheadLog) or
+``controller`` (stream the batches through an IngestQueue +
+StreamController).  The fault plan comes from the environment.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+
+from repro.faults import FaultPlan
+from repro.graph.dynamic import DynamicTemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.stream import IngestQueue, StreamController, WriteAheadLog
+
+SEED = 7
+NUM_NODES = 48
+
+
+def generate_batches(num_batches: int, batch_size: int):
+    """The deterministic batch tape shared with the parent test."""
+    rng = np.random.default_rng(SEED)
+    return [
+        TemporalEdgeList(
+            rng.integers(0, NUM_NODES, size=batch_size),
+            rng.integers(0, NUM_NODES, size=batch_size),
+            rng.random(batch_size),
+            num_nodes=NUM_NODES,
+        )
+        for _ in range(num_batches)
+    ]
+
+
+def _ack(path: str, batch_index: int, edges: int) -> None:
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write(f"{batch_index}:{edges}\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+def main(argv: list[str]) -> int:
+    wal_dir, ack_file, mode = argv[1], argv[2], argv[3]
+    num_batches, batch_size = int(argv[4]), int(argv[5])
+    segment_max_bytes = int(argv[6])
+    plan = FaultPlan.from_env()
+    batches = generate_batches(num_batches, batch_size)
+
+    if mode == "wal":
+        wal = WriteAheadLog(wal_dir, segment_max_bytes=segment_max_bytes,
+                            fault_plan=plan)
+        for index, batch in enumerate(batches):
+            wal.append(batch)  # a crash fault never returns from here
+            _ack(ack_file, index, len(batch))
+        wal.close()
+    elif mode == "controller":
+        wal = WriteAheadLog(wal_dir, segment_max_bytes=segment_max_bytes)
+        queue = IngestQueue(max_edges=num_batches * batch_size + 1)
+        controller = StreamController(DynamicTemporalGraph(), queue,
+                                      wal=wal, fault_plan=plan)
+        controller.start()
+        for batch in batches:
+            queue.put(batch)
+        controller.stop()  # drains; the crash fires on the victim batch
+    else:
+        raise SystemExit(f"unknown mode {mode!r}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

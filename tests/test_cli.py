@@ -193,3 +193,46 @@ class TestServeSim:
         recorded = json.loads(metrics.read_text())
         assert recorded["counters"]["serving.store.publishes"] == 1
         assert "serving.latency.score_s" in recorded["histograms"]
+
+
+class TestStreamSim:
+    STREAM_FAST = ["--nodes", "200", "--edges", "1500",
+                   "--requests", "200", "--clients", "2",
+                   "--batches", "3", "--batch-interval", "0.01",
+                   "--walks", "2", "--length", "4", "--dim", "4",
+                   "--w2v-epochs", "1", "--seed", "1"]
+
+    def test_stream_then_replay_matches(self, tmp_path, capsys):
+        wal_dir = tmp_path / "wal"
+        code = main(["stream-sim", "--wal-dir", str(wal_dir),
+                     "--refresh-policy", "every-n",
+                     "--refresh-edges", "200", *self.STREAM_FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop load" in out
+        assert "Streaming ingest" in out
+        assert "block backpressure" in out
+
+        # Crash-recovery verification path: the WAL alone reconstructs
+        # the whole graph (initial batch included).
+        code = main(["stream-sim", "--wal-dir", str(wal_dir),
+                     "--replay-only"])
+        assert code == 0
+        replay_out = capsys.readouterr().out
+        assert "recovered from WAL" in replay_out
+        assert "1500" in replay_out  # every edge is durable
+
+    def test_metrics_export_has_stream_counters(self, tmp_path):
+        metrics = tmp_path / "stream_metrics.json"
+        code = main(["stream-sim", "--wal-dir", str(tmp_path / "wal"),
+                     "--backpressure", "drop_oldest",
+                     "--refresh-policy", "affected",
+                     "--affected-fraction", "0.05",
+                     "--metrics-out", str(metrics), *self.STREAM_FAST])
+        assert code == 0
+        import json
+
+        recorded = json.loads(metrics.read_text())
+        assert recorded["counters"]["stream.wal.batches"] >= 4
+        assert recorded["counters"]["stream.controller.batches"] >= 3
+        assert "stream.wal.fsync_seconds" in recorded["histograms"]

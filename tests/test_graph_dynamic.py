@@ -78,3 +78,120 @@ class TestDynamicGraph:
         dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]), num_nodes=10)
         assert dynamic.num_nodes == 10
         assert dynamic.graph().num_nodes == 10
+
+
+class TestSubscribers:
+    def test_subscribe_fires_with_generation(self):
+        dynamic = DynamicTemporalGraph()
+        seen = []
+        dynamic.subscribe(seen.append)
+        dynamic.append(batch([(0, 1, 0.1)]))
+        dynamic.append(batch([(1, 2, 0.2)]))
+        assert seen == [1, 2]
+
+    def test_unsubscribe_stops_delivery_and_is_idempotent(self):
+        dynamic = DynamicTemporalGraph()
+        seen = []
+        dynamic.subscribe(seen.append)
+        dynamic.append(batch([(0, 1, 0.1)]))
+        assert dynamic.unsubscribe(seen.append)
+        assert not dynamic.unsubscribe(seen.append)  # already gone
+        dynamic.append(batch([(1, 2, 0.2)]))
+        assert seen == [1]
+
+    def test_raising_subscriber_is_isolated_and_counted(self):
+        from repro.observability import Recorder, use_recorder
+
+        dynamic = DynamicTemporalGraph()
+        seen = []
+
+        def bad(generation):
+            raise RuntimeError("observer bug")
+
+        dynamic.subscribe(bad)
+        dynamic.subscribe(seen.append)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            gen = dynamic.append(batch([(0, 1, 0.1)]))
+        assert gen == 1
+        assert seen == [1]  # later subscribers still ran
+        assert recorder.counters["dynamic.subscriber_errors"] == 1
+
+    def test_subscriber_may_reenter_graph(self):
+        dynamic = DynamicTemporalGraph()
+        sizes = []
+        dynamic.subscribe(lambda gen: sizes.append(dynamic.num_edges))
+        dynamic.append(batch([(0, 1, 0.1), (1, 2, 0.2)]))
+        assert sizes == [2]
+
+
+class TestMarkerRetention:
+    def test_markers_bounded_by_retention(self):
+        dynamic = DynamicTemporalGraph(marker_retention=3)
+        for i in range(6):
+            dynamic.append(batch([(i, i + 1, 0.1 * i)]))
+        assert dynamic.retained_markers() == [4, 5, 6]
+        with pytest.raises(GraphError, match="retention"):
+            dynamic.edges_since(2)
+
+    def test_release_marker_frees_consumed_generations(self):
+        dynamic = DynamicTemporalGraph()
+        dynamic.append(batch([(0, 1, 0.1)]))
+        dynamic.append(batch([(1, 2, 0.2)]))
+        assert dynamic.release_marker(1)
+        assert not dynamic.release_marker(1)  # already released
+        assert dynamic.retained_markers() == [0, 2]
+        with pytest.raises(GraphError):
+            dynamic.edges_since(1)
+
+    def test_current_generation_marker_never_released(self):
+        dynamic = DynamicTemporalGraph()
+        dynamic.append(batch([(0, 1, 0.1)]))
+        assert not dynamic.release_marker(dynamic.generation)
+        assert len(dynamic.edges_since(dynamic.generation)) == 0
+
+    def test_retention_validation(self):
+        with pytest.raises(GraphError):
+            DynamicTemporalGraph(marker_retention=0)
+
+
+class TestConcurrentReaders:
+    def test_readers_see_consistent_state_under_append_load(self):
+        """Locked readers: edge_list/num_nodes/num_edges never tear."""
+        import threading
+
+        dynamic = DynamicTemporalGraph(batch([(0, 1, 0.1)]))
+        stop = threading.Event()
+        torn = []
+
+        def reader():
+            while not stop.is_set():
+                edges = dynamic.edge_list()
+                # A snapshot must be internally consistent: the arrays
+                # share one length and node ids fit in num_nodes.
+                if not (len(edges.src) == len(edges.dst)
+                        == len(edges.timestamps)):
+                    torn.append("length")
+                if len(edges) and edges.src.max() >= edges.num_nodes:
+                    torn.append("node-range")
+
+        threads = [threading.Thread(target=reader, daemon=True)
+                   for _ in range(3)]
+        for thread in threads:
+            thread.start()
+        rng = np.random.default_rng(0)
+        appended = 0
+        for _ in range(60):
+            n = int(rng.integers(1, 8))
+            hi = int(rng.integers(2, 50))
+            dynamic.append(TemporalEdgeList(
+                rng.integers(0, hi, size=n), rng.integers(0, hi, size=n),
+                rng.random(n),
+            ))
+            appended += n
+        stop.set()
+        for thread in threads:
+            thread.join(5.0)
+        assert torn == []
+        assert dynamic.generation == 60
+        assert dynamic.num_edges == 1 + appended

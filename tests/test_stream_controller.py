@@ -1,0 +1,278 @@
+"""Unit tests for refresh policies and the stream controller."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.embedding.trainer import SgnsConfig
+from repro.errors import StreamError
+from repro.faults import FaultPlan
+from repro.graph import DynamicTemporalGraph
+from repro.graph.edges import TemporalEdgeList
+from repro.observability import Recorder, use_recorder
+from repro.stream import (
+    AffectedFraction,
+    EveryNEdges,
+    IngestQueue,
+    MaxStaleness,
+    PendingState,
+    StreamController,
+    WriteAheadLog,
+    replay,
+)
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.walk.config import WalkConfig
+
+pytestmark = pytest.mark.stream
+
+
+def make_batch(rng, n, num_nodes=40):
+    return TemporalEdgeList(
+        rng.integers(0, num_nodes, size=n),
+        rng.integers(0, num_nodes, size=n),
+        rng.random(n),
+        num_nodes=num_nodes,
+    )
+
+
+def pending(edges=0, affected=0, num_nodes=100, since_refresh=0.0,
+            since_first=0.0):
+    return PendingState(
+        edges=edges, affected_nodes=affected, num_nodes=num_nodes,
+        seconds_since_refresh=since_refresh,
+        seconds_since_first_pending=since_first,
+    )
+
+
+class TestRefreshPolicies:
+    def test_every_n_edges(self):
+        policy = EveryNEdges(100)
+        assert not policy.should_refresh(pending(edges=99))
+        assert policy.should_refresh(pending(edges=100))
+
+    def test_every_n_validation(self):
+        with pytest.raises(StreamError):
+            EveryNEdges(0)
+
+    def test_max_staleness_needs_pending_edges(self):
+        policy = MaxStaleness(0.5)
+        assert not policy.should_refresh(pending(edges=0, since_first=10.0))
+        assert not policy.should_refresh(pending(edges=5, since_first=0.1))
+        assert policy.should_refresh(pending(edges=5, since_first=0.6))
+
+    def test_max_staleness_validation(self):
+        with pytest.raises(StreamError):
+            MaxStaleness(0.0)
+
+    def test_affected_fraction(self):
+        policy = AffectedFraction(0.25)
+        assert not policy.should_refresh(pending(affected=24, num_nodes=100))
+        assert policy.should_refresh(pending(affected=25, num_nodes=100))
+        assert not policy.should_refresh(pending(affected=5, num_nodes=0))
+
+    def test_affected_fraction_validation(self):
+        with pytest.raises(StreamError):
+            AffectedFraction(0.0)
+        with pytest.raises(StreamError):
+            AffectedFraction(1.5)
+
+
+def embedder_for(dynamic, seed=3):
+    return IncrementalEmbedder(
+        dynamic,
+        walk_config=WalkConfig(num_walks_per_node=2, max_walk_length=4),
+        sgns_config=SgnsConfig(dim=4, epochs=1),
+        seed=seed,
+    )
+
+
+class TestController:
+    def test_log_ahead_ordering(self, tmp_path):
+        """Every edge visible in the graph is already durable in the WAL."""
+        rng = np.random.default_rng(0)
+        queue = IngestQueue(max_edges=10_000)
+        dynamic = DynamicTemporalGraph()
+        batches = [make_batch(rng, 15) for _ in range(6)]
+        with StreamController(dynamic, queue,
+                              wal=WriteAheadLog(tmp_path)) as controller:
+            for batch in batches:
+                queue.put(batch)
+        assert controller.stats.batches_applied == 6
+        assert dynamic.num_edges == 90
+        result = replay(tmp_path)
+        assert result.total_edges == 90
+        assert np.array_equal(result.edge_list().src,
+                              dynamic.edge_list().src)
+
+    def test_refresh_triggered_by_every_n(self, tmp_path):
+        rng = np.random.default_rng(1)
+        dynamic = DynamicTemporalGraph(make_batch(rng, 100))
+        embedder = embedder_for(dynamic)
+        embedder.rebuild()
+        queue = IngestQueue(max_edges=10_000)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with StreamController(dynamic, queue, embedder=embedder,
+                                  policy=EveryNEdges(30),
+                                  final_refresh=False) as controller:
+                for _ in range(4):
+                    queue.put(make_batch(rng, 15))
+        # 60 edges = 2 triggers of 30 (final refresh disabled).
+        assert controller.stats.refreshes == 2
+        assert recorder.counters.get("stream.refresh.triggers.every-n") == 2
+        assert embedder._synced_generation == dynamic.generation
+
+    def test_final_refresh_flushes_pending(self):
+        rng = np.random.default_rng(2)
+        dynamic = DynamicTemporalGraph(make_batch(rng, 100))
+        embedder = embedder_for(dynamic)
+        embedder.rebuild()
+        queue = IngestQueue(max_edges=10_000)
+        with StreamController(dynamic, queue, embedder=embedder,
+                              policy=EveryNEdges(10_000)) as controller:
+            queue.put(make_batch(rng, 10))
+        # Policy never fired, but shutdown drains the pending tail.
+        assert controller.stats.refreshes == 1
+        assert embedder._synced_generation == dynamic.generation
+
+    def test_staleness_triggers_on_idle_tick(self):
+        rng = np.random.default_rng(3)
+        dynamic = DynamicTemporalGraph(make_batch(rng, 100))
+        embedder = embedder_for(dynamic)
+        embedder.rebuild()
+        queue = IngestQueue(max_edges=10_000)
+        controller = StreamController(
+            dynamic, queue, embedder=embedder,
+            policy=MaxStaleness(0.05), idle_poll=0.01, final_refresh=False,
+        )
+        with controller:
+            queue.put(make_batch(rng, 5))
+            deadline = time.monotonic() + 5.0
+            while (controller.stats.refreshes == 0
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+        # The refresh happened while idle, not at shutdown.
+        assert controller.stats.refreshes >= 1
+
+    def test_marker_release_keeps_retention_bounded(self):
+        rng = np.random.default_rng(4)
+        dynamic = DynamicTemporalGraph(make_batch(rng, 80))
+        embedder = embedder_for(dynamic)
+        embedder.rebuild()
+        queue = IngestQueue(max_edges=10_000)
+        with StreamController(dynamic, queue, embedder=embedder,
+                              policy=EveryNEdges(10)):
+            for _ in range(12):
+                queue.put(make_batch(rng, 10))
+        # Every generation the embedder consumed has been released; only
+        # un-consumed markers (at most the live tail) remain.
+        assert len(dynamic.retained_markers()) <= 3
+
+    def test_error_fault_retried_then_applied(self, tmp_path):
+        rng = np.random.default_rng(5)
+        queue = IngestQueue(max_edges=10_000)
+        dynamic = DynamicTemporalGraph()
+        plan = FaultPlan.parse("stream.controller.drain:error:1:1")
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with StreamController(dynamic, queue,
+                                  wal=WriteAheadLog(tmp_path),
+                                  fault_plan=plan) as controller:
+                for _ in range(3):
+                    queue.put(make_batch(rng, 10))
+        assert controller.stats.batches_applied == 3
+        assert controller.stats.batches_failed == 0
+        assert recorder.counters.get("stream.controller.retries") == 1
+        assert replay(tmp_path).total_edges == 30
+
+    def test_persistent_fault_drops_batch_but_survives(self, tmp_path):
+        rng = np.random.default_rng(6)
+        queue = IngestQueue(max_edges=10_000)
+        dynamic = DynamicTemporalGraph()
+        plan = FaultPlan.parse("stream.controller.drain:error:1:99")
+        with StreamController(dynamic, queue, wal=WriteAheadLog(tmp_path),
+                              fault_plan=plan,
+                              max_retries=1) as controller:
+            for _ in range(3):
+                queue.put(make_batch(rng, 10))
+        assert controller.stats.batches_applied == 2
+        assert controller.stats.batches_failed == 1
+        assert controller.failure is None
+        assert replay(tmp_path).total_edges == 20
+
+    def test_unsubscribes_on_stop(self):
+        queue = IngestQueue(max_edges=100)
+        dynamic = DynamicTemporalGraph()
+        controller = StreamController(dynamic, queue)
+        controller.start()
+        assert len(dynamic._subscribers) == 1
+        controller.stop()
+        assert dynamic._subscribers == []
+
+    def test_double_start_rejected(self):
+        controller = StreamController(DynamicTemporalGraph(),
+                                      IngestQueue(max_edges=10))
+        controller.start()
+        with pytest.raises(StreamError):
+            controller.start()
+        controller.stop()
+
+    def test_validation(self):
+        dynamic, queue = DynamicTemporalGraph(), IngestQueue(max_edges=10)
+        with pytest.raises(StreamError):
+            StreamController(dynamic, queue, max_retries=-1)
+        with pytest.raises(StreamError):
+            StreamController(dynamic, queue, idle_poll=0.0)
+
+
+class TestRecover:
+    def test_recover_reproduces_graph_and_markers(self, tmp_path):
+        rng = np.random.default_rng(7)
+        queue = IngestQueue(max_edges=10_000)
+        dynamic = DynamicTemporalGraph()
+        batches = [make_batch(rng, 12) for _ in range(5)]
+        with StreamController(dynamic, queue, wal=WriteAheadLog(tmp_path)):
+            for batch in batches:
+                queue.put(batch)
+        recovered, result = StreamController.recover(tmp_path)
+        assert recovered.generation == dynamic.generation == 5
+        assert recovered.num_nodes == dynamic.num_nodes
+        assert np.array_equal(recovered.edge_list().src,
+                              dynamic.edge_list().src)
+        assert np.array_equal(recovered.edge_list().timestamps,
+                              dynamic.edge_list().timestamps)
+        # Markers are usable: edges_since per replayed generation works.
+        assert len(recovered.edges_since(2)) == 36
+        assert recovered.retained_markers() == dynamic.retained_markers()
+
+    def test_recovered_markers_drive_incremental_updates(self, tmp_path):
+        rng = np.random.default_rng(8)
+        initial = make_batch(rng, 100)
+        dynamic = DynamicTemporalGraph(initial)
+        queue = IngestQueue(max_edges=10_000)
+        with StreamController(dynamic, queue, wal=WriteAheadLog(tmp_path)):
+            for _ in range(3):
+                queue.put(make_batch(rng, 10))
+        recovered, _ = StreamController.recover(tmp_path, initial=initial)
+        embedder = embedder_for(recovered)
+        embedder.rebuild()
+        recovered.append(make_batch(rng, 10))
+        report = embedder.update()   # consumes a replayed marker
+        assert not report.full_rebuild
+        assert report.generation == recovered.generation
+
+    def test_recover_coalesced(self, tmp_path):
+        rng = np.random.default_rng(9)
+        queue = IngestQueue(max_edges=10_000)
+        dynamic = DynamicTemporalGraph()
+        with StreamController(dynamic, queue, wal=WriteAheadLog(tmp_path)):
+            for _ in range(4):
+                queue.put(make_batch(rng, 10))
+        recovered, _ = StreamController.recover(tmp_path, coalesce=True)
+        assert recovered.generation == 1  # one marker for the whole log
+        assert recovered.num_edges == dynamic.num_edges
+        assert np.array_equal(recovered.edge_list().dst,
+                              dynamic.edge_list().dst)

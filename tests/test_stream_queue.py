@@ -1,0 +1,166 @@
+"""Unit tests for the bounded ingest queue and token-bucket limiter."""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.edges import TemporalEdgeList
+from repro.stream import IngestQueue, TokenBucket
+
+pytestmark = pytest.mark.stream
+
+
+def make_batch(n, start=0):
+    ids = np.arange(start, start + n)
+    return TemporalEdgeList(ids, ids + 1, np.linspace(0, 1, n))
+
+
+class TestBasics:
+    def test_fifo_order(self):
+        queue = IngestQueue(max_edges=100)
+        a, b = make_batch(3), make_batch(4, start=10)
+        assert queue.put(a) and queue.put(b)
+        assert queue.depth_edges == 7
+        assert queue.get() is a
+        assert queue.get() is b
+        assert queue.depth_edges == 0
+
+    def test_get_timeout_returns_none(self):
+        queue = IngestQueue(max_edges=10)
+        assert queue.get(timeout=0.01) is None
+
+    def test_empty_batch_accepted_as_noop(self):
+        queue = IngestQueue(max_edges=10)
+        assert queue.put(TemporalEdgeList([], [], []))
+        assert queue.depth_batches == 0
+
+    def test_closed_queue_rejects_put_but_drains(self):
+        queue = IngestQueue(max_edges=10)
+        queue.put(make_batch(2))
+        queue.close()
+        with pytest.raises(StreamError):
+            queue.put(make_batch(1))
+        assert queue.get() is not None   # queued data still drains
+        assert queue.get() is None       # then closed-and-empty
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(StreamError):
+            IngestQueue(max_edges=0)
+        with pytest.raises(StreamError):
+            IngestQueue(policy="explode")
+
+
+class TestBackpressurePolicies:
+    def test_reject_refuses_overflow(self):
+        queue = IngestQueue(max_edges=5, policy="reject")
+        assert queue.put(make_batch(4))
+        assert not queue.put(make_batch(3))
+        assert queue.rejected_batches == 1
+        assert queue.depth_edges == 4  # original batch untouched
+
+    def test_drop_oldest_evicts_for_fresh_data(self):
+        queue = IngestQueue(max_edges=6, policy="drop_oldest")
+        old, mid, new = make_batch(3), make_batch(3, 10), make_batch(4, 20)
+        queue.put(old)
+        queue.put(mid)
+        assert queue.put(new)  # always succeeds
+        assert queue.dropped_batches == 2
+        assert queue.dropped_edges == 6
+        assert queue.get() is new
+
+    def test_drop_oldest_admits_oversized_batch_alone(self):
+        queue = IngestQueue(max_edges=5, policy="drop_oldest")
+        queue.put(make_batch(4))
+        big = make_batch(9)
+        assert queue.put(big)
+        assert queue.depth_edges == 9
+        assert queue.get() is big
+
+    def test_block_waits_for_consumer(self):
+        queue = IngestQueue(max_edges=5, policy="block")
+        queue.put(make_batch(4))
+        done = threading.Event()
+
+        def producer():
+            queue.put(make_batch(3))  # must wait for room
+            done.set()
+
+        thread = threading.Thread(target=producer, daemon=True)
+        thread.start()
+        assert not done.wait(0.05)   # still blocked
+        assert queue.get() is not None
+        assert done.wait(1.0)        # unblocked by the consumer
+        assert queue.depth_edges == 3
+
+    def test_block_timeout_rejects(self):
+        queue = IngestQueue(max_edges=5, policy="block")
+        queue.put(make_batch(5))
+        assert not queue.put(make_batch(2), timeout=0.01)
+        assert queue.rejected_batches == 1
+
+    def test_block_refuses_impossible_batch(self):
+        queue = IngestQueue(max_edges=5, policy="block")
+        # Larger than the whole bound: waiting could never succeed.
+        assert not queue.put(make_batch(6), timeout=5.0)
+
+
+class TestTokenBucket:
+    def test_burst_passes_without_wait(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100, burst=50, clock=clock,
+                             sleep=clock.sleep)
+        assert bucket.acquire(50) == 0.0
+
+    def test_deficit_waits_proportionally(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100, burst=10, clock=clock,
+                             sleep=clock.sleep)
+        bucket.acquire(10)                    # drain the burst
+        waited = bucket.acquire(25)           # 25 tokens at 100/s
+        assert waited == pytest.approx(0.25)
+
+    def test_refill_caps_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100, burst=10, clock=clock,
+                             sleep=clock.sleep)
+        bucket.acquire(10)
+        clock.advance(100.0)                  # long idle: refill caps at 10
+        assert bucket.acquire(10) == 0.0
+        assert bucket.acquire(1) > 0.0
+
+    def test_bad_configuration_rejected(self):
+        with pytest.raises(StreamError):
+            TokenBucket(rate=0)
+        with pytest.raises(StreamError):
+            TokenBucket(rate=10, burst=0)
+
+    def test_queue_rate_limit_throttles_producer(self):
+        clock = FakeClock()
+        queue = IngestQueue(max_edges=1000, rate_limit=100, burst=10,
+                            clock=clock)
+        limiter = queue._limiter
+        limiter._sleep = clock.sleep  # deterministic waiting
+        queue.put(make_batch(10))     # burst
+        before = clock.now
+        queue.put(make_batch(10))     # must pay 10 tokens at 100/s
+        assert clock.now - before == pytest.approx(0.1)
+
+
+class FakeClock:
+    """Deterministic monotonic clock whose sleep() advances it."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+    def sleep(self, seconds: float) -> None:
+        self.advance(seconds)

@@ -1,0 +1,163 @@
+"""Crash-recovery tests: kill a WAL writer mid-write, assert replay.
+
+The crash-safety contract (ISSUE satellite): after ``os._exit`` at any
+injected fault site, ``replay()`` reconstructs **exactly** the
+acknowledged prefix — same src/dst/timestamps bit-for-bit, same
+``num_nodes`` — and the recovered graph's generation markers are usable
+by an :class:`~repro.tasks.incremental.IncrementalEmbedder`.
+
+Each case launches ``stream_crash_child.py`` in a subprocess with a
+``REPRO_FAULTS`` crash spec, waits for exit code 73 (the injected-crash
+code), then replays the torn WAL directory in-process.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.embedding.trainer import SgnsConfig
+from repro.faults import CRASH_EXIT_CODE
+from repro.stream import StreamController, WriteAheadLog, replay
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.walk.config import WalkConfig
+
+pytestmark = [pytest.mark.stream, pytest.mark.faults]
+
+TESTS_DIR = Path(__file__).resolve().parent
+CHILD = TESTS_DIR / "stream_crash_child.py"
+SRC_DIR = TESTS_DIR.parent / "src"
+
+# Import the child module so parent and child share one batch tape.
+_spec = importlib.util.spec_from_file_location("stream_crash_child", CHILD)
+_child = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(_child)
+generate_batches = _child.generate_batches
+
+NUM_BATCHES = 8
+BATCH_SIZE = 15
+
+
+def run_child(wal_dir, ack_file, mode, faults, *, segment_max_bytes=64 * 1024):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(SRC_DIR)
+    env["REPRO_FAULTS"] = faults
+    return subprocess.run(
+        [sys.executable, str(CHILD), str(wal_dir), str(ack_file), mode,
+         str(NUM_BATCHES), str(BATCH_SIZE), str(segment_max_bytes)],
+        env=env, capture_output=True, text=True, timeout=120,
+    )
+
+
+def read_acks(ack_file) -> list[int]:
+    if not Path(ack_file).exists():
+        return []
+    lines = Path(ack_file).read_text().strip().splitlines()
+    return [int(line.split(":")[0]) for line in lines]
+
+
+def assert_replay_is_acked_prefix(wal_dir, acked_batches: int) -> None:
+    """The core invariant: replay == acknowledged prefix, bit-identical."""
+    expected = generate_batches(NUM_BATCHES, BATCH_SIZE)[:acked_batches]
+    result = replay(wal_dir)
+    assert len(result.batches) == acked_batches
+    for got, want in zip(result.batches, expected):
+        assert np.array_equal(got.src, want.src)
+        assert np.array_equal(got.dst, want.dst)
+        assert np.array_equal(got.timestamps, want.timestamps)
+        assert got.num_nodes == want.num_nodes
+    assert result.total_edges == acked_batches * BATCH_SIZE
+
+
+class TestCrashMidSegmentWrite:
+    def test_crash_mid_record_write_fresh_segment(self, tmp_path):
+        """Die halfway through batch 0's records: nothing was acked."""
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "wal", "stream.wal.write:crash:0")
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        assert read_acks(acks) == []
+        result = replay(wal_dir)
+        assert result.batches == []
+        assert result.truncated_bytes > 0  # the torn half-batch
+
+    def test_crash_mid_record_write_after_rotation(self, tmp_path):
+        """Die mid-write in a later, rotated segment (shard 5)."""
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "wal", "stream.wal.write:crash:5",
+                         segment_max_bytes=1024)
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        assert read_acks(acks) == [0, 1, 2, 3, 4]
+        assert_replay_is_acked_prefix(wal_dir, 5)
+        result = replay(wal_dir)
+        assert result.segments > 1          # rotation really happened
+        assert result.truncated_bytes > 0   # and the tail really tore
+
+    def test_crash_before_commit_loses_exactly_inflight_batch(self, tmp_path):
+        """Die after batch 3's records but before its commit record."""
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "wal", "stream.wal.fsync:crash:3")
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        assert read_acks(acks) == [0, 1, 2]
+        assert_replay_is_acked_prefix(wal_dir, 3)
+        # The un-acked batch is present as bytes but must not replay:
+        # all of its records (sans commit) get truncated.
+        from repro.stream.wal import RECORD_SIZE
+        assert replay(wal_dir).truncated_bytes == BATCH_SIZE * RECORD_SIZE
+
+    def test_crash_in_controller_drain(self, tmp_path):
+        """Die as the controller picks batch 2 off the queue."""
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "controller",
+                         "stream.controller.drain:crash:2")
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        # Drain crashes before any write: batches 0-1 are durable.
+        assert_replay_is_acked_prefix(wal_dir, 2)
+
+    def test_no_fault_control_run(self, tmp_path):
+        """Sanity: without faults the child exits 0 and everything lands."""
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "wal", "")
+        assert proc.returncode == 0, proc.stderr
+        assert read_acks(acks) == list(range(NUM_BATCHES))
+        assert_replay_is_acked_prefix(wal_dir, NUM_BATCHES)
+        assert replay(wal_dir).truncated_bytes == 0
+
+
+class TestRecoveredGraphIsUsable:
+    def test_reopen_after_crash_continues_cleanly(self, tmp_path):
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "wal", "stream.wal.fsync:crash:4",
+                         segment_max_bytes=1024)
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        with WriteAheadLog(wal_dir, segment_max_bytes=1024) as wal:
+            assert wal.committed_batches == 4
+            # Repair truncated the tear; appending resumes the sequence.
+            wal.append(generate_batches(NUM_BATCHES, BATCH_SIZE)[4])
+        assert_replay_is_acked_prefix(wal_dir, 5)
+        assert replay(wal_dir).truncated_bytes == 0
+
+    def test_recovered_markers_drive_incremental_embedder(self, tmp_path):
+        wal_dir, acks = tmp_path / "wal", tmp_path / "acks"
+        proc = run_child(wal_dir, acks, "wal", "stream.wal.fsync:crash:6")
+        assert proc.returncode == CRASH_EXIT_CODE, proc.stderr
+        dynamic, result = StreamController.recover(wal_dir)
+        assert dynamic.generation == 6
+        assert dynamic.num_edges == 6 * BATCH_SIZE
+        embedder = IncrementalEmbedder(
+            dynamic,
+            walk_config=WalkConfig(num_walks_per_node=2, max_walk_length=4),
+            sgns_config=SgnsConfig(dim=4, epochs=1),
+            seed=11,
+        )
+        embedder.rebuild()
+        # New post-recovery edges flow through the replayed marker chain.
+        dynamic.append(generate_batches(NUM_BATCHES, BATCH_SIZE)[6])
+        report = embedder.update()
+        assert not report.full_rebuild
+        assert report.generation == dynamic.generation == 7

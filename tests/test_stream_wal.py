@@ -1,0 +1,270 @@
+"""Unit tests for the write-ahead edge log (format, rotation, recovery)."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import StreamError
+from repro.graph.edges import TemporalEdgeList
+from repro.stream import WriteAheadLog, replay
+from repro.stream.wal import (
+    FINAL_SUFFIX,
+    HEADER_SIZE,
+    OPEN_SUFFIX,
+    RECORD_SIZE,
+)
+
+pytestmark = pytest.mark.stream
+
+
+def make_batch(rng, n, num_nodes=64):
+    return TemporalEdgeList(
+        rng.integers(0, num_nodes, size=n),
+        rng.integers(0, num_nodes, size=n),
+        rng.random(n),
+        num_nodes=num_nodes,
+    )
+
+
+def assert_edges_equal(a: TemporalEdgeList, b: TemporalEdgeList) -> None:
+    assert np.array_equal(a.src, b.src)
+    assert np.array_equal(a.dst, b.dst)
+    assert np.array_equal(a.timestamps, b.timestamps)
+    assert a.num_nodes == b.num_nodes
+
+
+class TestRoundTrip:
+    def test_empty_dir_replays_empty(self, tmp_path):
+        result = replay(tmp_path / "missing")
+        assert result.batches == []
+        assert result.total_edges == 0
+        assert result.truncated_bytes == 0
+
+    def test_single_batch_bit_identical(self, tmp_path):
+        rng = np.random.default_rng(1)
+        batch = make_batch(rng, 17)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.append(batch) == 1
+        result = replay(tmp_path)
+        assert len(result.batches) == 1
+        assert_edges_equal(result.batches[0], batch)
+        assert result.edge_list().num_nodes == batch.num_nodes
+
+    def test_many_batches_preserve_order_and_boundaries(self, tmp_path):
+        rng = np.random.default_rng(2)
+        batches = [make_batch(rng, rng.integers(1, 30)) for _ in range(12)]
+        with WriteAheadLog(tmp_path) as wal:
+            for batch in batches:
+                wal.append(batch)
+        result = replay(tmp_path)
+        assert len(result.batches) == 12
+        for got, expected in zip(result.batches, batches):
+            assert_edges_equal(got, expected)
+        assert_edges_equal(result.edge_list(),
+                           TemporalEdgeList.concatenate(batches))
+
+    def test_rotation_splits_into_segments(self, tmp_path):
+        rng = np.random.default_rng(3)
+        batches = [make_batch(rng, 10) for _ in range(10)]
+        with WriteAheadLog(tmp_path, segment_max_bytes=1024) as wal:
+            for batch in batches:
+                wal.append(batch)
+            assert wal.segment_count > 2
+        finals = list(tmp_path.glob(f"*{FINAL_SUFFIX}"))
+        assert len(finals) > 2
+        assert not list(tmp_path.glob(f"*{OPEN_SUFFIX}"))  # closed cleanly
+        result = replay(tmp_path)
+        assert len(result.batches) == 10
+        assert_edges_equal(result.edge_list(),
+                           TemporalEdgeList.concatenate(batches))
+
+    def test_reopen_continues_in_fresh_segment(self, tmp_path):
+        rng = np.random.default_rng(4)
+        first, second = make_batch(rng, 5), make_batch(rng, 7)
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(first)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.committed_batches == 1
+            assert wal.committed_edges == 5
+            assert wal.append(second) == 2
+        result = replay(tmp_path)
+        assert [len(b) for b in result.batches] == [5, 7]
+        assert_edges_equal(result.batches[1], second)
+
+    def test_append_empty_batch_rejected(self, tmp_path):
+        with WriteAheadLog(tmp_path) as wal:
+            with pytest.raises(StreamError):
+                wal.append(TemporalEdgeList([], [], []))
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path)
+        wal.close()
+        with pytest.raises(StreamError):
+            wal.append(make_batch(np.random.default_rng(0), 3))
+
+    def test_nosync_mode_still_replays(self, tmp_path):
+        rng = np.random.default_rng(5)
+        batch = make_batch(rng, 9)
+        with WriteAheadLog(tmp_path, sync=False) as wal:
+            wal.append(batch)
+        assert_edges_equal(replay(tmp_path).batches[0], batch)
+
+
+class TestTornTailRecovery:
+    def _write_then_tear(self, tmp_path, rng, tear_bytes):
+        """Append 3 batches, then leave torn garbage on the open tail."""
+        batches = [make_batch(rng, 8) for _ in range(3)]
+        wal = WriteAheadLog(tmp_path)
+        for batch in batches:
+            wal.append(batch)
+        wal._handle.write(tear_bytes)
+        wal._handle.flush()
+        # No close(): simulates the process dying here.
+        return batches
+
+    def test_partial_record_truncated(self, tmp_path):
+        rng = np.random.default_rng(6)
+        batches = self._write_then_tear(tmp_path, rng, b"\x00" * 11)
+        result = replay(tmp_path)
+        assert len(result.batches) == 3
+        assert result.truncated_bytes == 11
+        assert_edges_equal(result.edge_list(),
+                           TemporalEdgeList.concatenate(batches))
+
+    def test_crc_corrupt_tail_truncated(self, tmp_path):
+        rng = np.random.default_rng(7)
+        bad = struct.pack("<Bqqd", 0, 1, 2, 0.5) + struct.pack("<I", 0xDEAD)
+        batches = self._write_then_tear(tmp_path, rng, bad)
+        result = replay(tmp_path)
+        assert len(result.batches) == 3
+        assert result.truncated_bytes == RECORD_SIZE
+        assert_edges_equal(result.edge_list(),
+                           TemporalEdgeList.concatenate(batches))
+
+    def test_uncommitted_records_truncated(self, tmp_path):
+        # Valid edge records with no commit: the in-flight batch's edges
+        # must not replay (they were never acknowledged).
+        rng = np.random.default_rng(8)
+        body = struct.pack("<Bqqd", 0, 3, 4, 0.25)
+        record = body + struct.pack("<I", zlib.crc32(body))
+        batches = self._write_then_tear(tmp_path, rng, record * 2)
+        result = replay(tmp_path)
+        assert len(result.batches) == 3
+        assert result.truncated_bytes == 2 * RECORD_SIZE
+        assert result.total_edges == sum(len(b) for b in batches)
+
+    def test_reopen_repairs_and_continues(self, tmp_path):
+        rng = np.random.default_rng(9)
+        batches = self._write_then_tear(tmp_path, rng, b"\xffgarbage")
+        extra = make_batch(rng, 4)
+        with WriteAheadLog(tmp_path) as wal:
+            assert wal.committed_batches == 3
+            wal.append(extra)
+        result = replay(tmp_path)
+        assert len(result.batches) == 4
+        assert result.truncated_bytes == 0  # repair removed the tear
+        assert_edges_equal(result.batches[3], extra)
+        assert_edges_equal(
+            result.edge_list(),
+            TemporalEdgeList.concatenate(batches + [extra]),
+        )
+
+    def test_torn_header_segment_dropped_and_index_reused(self, tmp_path):
+        rng = np.random.default_rng(10)
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(make_batch(rng, 6))
+        # Fake a crash during the next segment's header write.
+        torn = tmp_path / f"segment-{1:08d}{OPEN_SUFFIX}"
+        torn.write_bytes(b"RWALSEG1\x01")
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(make_batch(rng, 6))
+        result = replay(tmp_path)
+        assert len(result.batches) == 2
+        assert result.segments == 2
+
+
+class TestCorruptionDetection:
+    def test_corrupt_finalized_segment_raises(self, tmp_path):
+        rng = np.random.default_rng(11)
+        with WriteAheadLog(tmp_path, segment_max_bytes=512) as wal:
+            for _ in range(6):
+                wal.append(make_batch(rng, 8))
+        final = sorted(tmp_path.glob(f"*{FINAL_SUFFIX}"))[0]
+        data = bytearray(final.read_bytes())
+        data[HEADER_SIZE + 5] ^= 0xFF  # flip a byte inside record 0
+        final.write_bytes(bytes(data))
+        with pytest.raises(StreamError, match="corrupt"):
+            replay(tmp_path)
+
+    def test_corrupt_header_raises(self, tmp_path):
+        rng = np.random.default_rng(12)
+        with WriteAheadLog(tmp_path) as wal:
+            wal.append(make_batch(rng, 3))
+        final = sorted(tmp_path.glob(f"*{FINAL_SUFFIX}"))[0]
+        data = bytearray(final.read_bytes())
+        data[9] ^= 0xFF  # inside the header
+        final.write_bytes(bytes(data))
+        with pytest.raises(StreamError):
+            replay(tmp_path)
+
+    def test_segment_gap_raises(self, tmp_path):
+        rng = np.random.default_rng(13)
+        with WriteAheadLog(tmp_path, segment_max_bytes=512) as wal:
+            for _ in range(6):
+                wal.append(make_batch(rng, 8))
+        victims = sorted(tmp_path.glob(f"*{FINAL_SUFFIX}"))
+        assert len(victims) >= 3
+        victims[1].unlink()  # hole in the middle of the sequence
+        with pytest.raises(StreamError, match="gap"):
+            replay(tmp_path)
+
+    def test_bad_magic_raises(self, tmp_path):
+        path = tmp_path / f"segment-{0:08d}{FINAL_SUFFIX}"
+        path.write_bytes(b"NOTAWAL!" + b"\x00" * 40)
+        with pytest.raises(StreamError, match="magic"):
+            replay(tmp_path)
+
+    def test_tiny_segment_threshold_rejected(self, tmp_path):
+        with pytest.raises(StreamError):
+            WriteAheadLog(tmp_path, segment_max_bytes=16)
+
+
+class TestFailedAppendRollback:
+    def test_error_fault_rolls_back_then_retry_succeeds(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        rng = np.random.default_rng(14)
+        plan = FaultPlan.parse("stream.wal.fsync:error:1:1")
+        wal = WriteAheadLog(tmp_path, fault_plan=plan)
+        first, second = make_batch(rng, 5), make_batch(rng, 5)
+        wal.append(first)
+        from repro.errors import FaultInjected
+        with pytest.raises(FaultInjected):
+            wal.append(second)
+        # The failed batch left no stray records: the retry commits
+        # cleanly and replay sees exactly two intact batches.
+        assert wal.append(second) == 2
+        wal.close()
+        result = replay(tmp_path)
+        assert len(result.batches) == 2
+        assert_edges_equal(result.batches[1], second)
+
+    def test_write_site_error_rolls_back_mid_record_write(self, tmp_path):
+        from repro.errors import FaultInjected
+        from repro.faults import FaultPlan
+
+        rng = np.random.default_rng(15)
+        plan = FaultPlan.parse("stream.wal.write:error:0:1")
+        wal = WriteAheadLog(tmp_path, fault_plan=plan)
+        batch = make_batch(rng, 20)
+        with pytest.raises(FaultInjected):
+            wal.append(batch)
+        assert wal.append(batch) == 1
+        wal.close()
+        result = replay(tmp_path)
+        assert len(result.batches) == 1
+        assert_edges_equal(result.batches[0], batch)

@@ -160,6 +160,20 @@ class TestIncrementalEmbedder:
         assert np.array_equal(run(fresh_engines=True),
                               run(fresh_engines=False))
 
+    def test_update_releases_consumed_markers(self, evolving):
+        """Each sync releases the marker it consumed, so a long stream
+        of appends cannot accumulate one retained marker per batch."""
+        initial, tail = evolving
+        dynamic, embedder = self.make(initial)
+        embedder.rebuild()
+        for start in range(0, len(tail), 25):
+            dynamic.append(tail.take(np.arange(
+                start, min(start + 25, len(tail)))))
+            embedder.update()
+        # Every consumed marker (including the rebuild baseline) has
+        # been released; only the live generation's marker survives.
+        assert dynamic.retained_markers() == [dynamic.generation]
+
     def test_incremental_embeddings_stay_useful(self, evolving):
         # After appending the tail, incrementally updated embeddings
         # should still separate co-walkers from random pairs.
