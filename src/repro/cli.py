@@ -68,6 +68,15 @@ def _add_pipeline_arguments(parser: argparse.ArgumentParser) -> None:
                        choices=["uniform", "softmax-late",
                                 "softmax-recency", "linear"],
                        help="Eq. 1 transition bias")
+    group.add_argument("--sampler", default="cdf",
+                       choices=["cdf", "gumbel", "batched"],
+                       help="walk step kernel: exact inverse-CDF (cdf), "
+                            "paper-faithful scan (gumbel), or the "
+                            "frontier-batched window-table kernel "
+                            "(batched; see docs/walk_kernels.md)")
+    group.add_argument("--walk-windows", type=int, default=64,
+                       help="time windows per node for --sampler=batched "
+                            "(table memory vs rejection acceptance)")
     group.add_argument("--dim", type=int, default=8,
                        help="embedding dimension (d)")
     group.add_argument("--w2v-epochs", type=int, default=5,
@@ -145,9 +154,11 @@ def _pipeline_from_args(args: argparse.Namespace) -> Pipeline:
             num_walks_per_node=args.walks,
             max_walk_length=args.length,
             bias=args.bias,
+            num_windows=args.walk_windows,
         ),
         sgns=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
         batch_sentences=args.batch_sentences or None,
+        sampler=args.sampler,
         treat_undirected=not args.directed,
         workers=args.workers,
         link_prediction=LinkPredictionConfig(training=training),
@@ -287,7 +298,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
         walk_kernel,
         word2vec_kernel,
     )
-    from repro.walk.engine import TemporalWalkEngine
+    from repro.walk.batched import make_walk_engine
 
     edges = generators.erdos_renyi_temporal(args.nodes, args.edges,
                                             seed=args.seed)
@@ -296,11 +307,12 @@ def cmd_characterize(args: argparse.Namespace) -> int:
           f"{graph.num_edges} edges")
 
     with _observability(args):
-        engine = TemporalWalkEngine(graph)
+        engine = make_walk_engine(graph, sampler=args.sampler)
         with get_recorder().span("rwalk", workers=1):
             corpus = engine.run(
                 WalkConfig(num_walks_per_node=args.walks,
-                           max_walk_length=args.length, bias=args.bias),
+                           max_walk_length=args.length, bias=args.bias,
+                           num_windows=args.walk_windows),
                 seed=args.seed,
             )
         walk_stats = engine.last_stats
@@ -403,6 +415,7 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
         sgns_config=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
         seed=args.seed,
         store=store,
+        sampler=args.sampler,
     )
     with _observability(args) as obs_recorder:
         recorder = obs_recorder if obs_recorder is not None else Recorder()
@@ -569,6 +582,7 @@ def cmd_stream_sim(args: argparse.Namespace) -> int:
                 sgns_config=SgnsConfig(dim=args.dim, epochs=args.w2v_epochs),
                 seed=args.seed,
                 store=store,
+                sampler=args.sampler,
             )
             build_start = time_mod.perf_counter()
             embedder.rebuild()
@@ -724,6 +738,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--edges", type=int, default=20_000,
                        help="ER edges when --input is omitted")
     emb = serve.add_argument_group("embedding hyperparameters")
+    emb.add_argument("--sampler", default="cdf",
+                     choices=["cdf", "gumbel", "batched"],
+                     help="walk kernel for incremental refresh walks")
     emb.add_argument("--walks", type=int, default=5,
                      help="random walks per node (K)")
     emb.add_argument("--length", type=int, default=6,
@@ -785,6 +802,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--edges", type=int, default=20_000,
                         help="ER edges when --input is omitted")
     emb = stream.add_argument_group("embedding hyperparameters")
+    emb.add_argument("--sampler", default="cdf",
+                     choices=["cdf", "gumbel", "batched"],
+                     help="walk kernel for incremental refresh walks")
     emb.add_argument("--walks", type=int, default=5,
                      help="random walks per node (K)")
     emb.add_argument("--length", type=int, default=6,

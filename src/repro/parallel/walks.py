@@ -43,13 +43,10 @@ from repro.parallel.supervisor import (
     _mp_context,
     run_supervised,
 )
+from repro.walk.batched import make_walk_engine
 from repro.walk.config import WalkConfig
 from repro.walk.corpus import WalkCorpus
-from repro.walk.engine import (
-    TemporalWalkEngine,
-    WalkStats,
-    publish_walk_stats,
-)
+from repro.walk.engine import WalkStats, publish_walk_stats
 
 
 def shard_indices(num_items: int, workers: int) -> list[np.ndarray]:
@@ -102,8 +99,13 @@ def _run_shard_engine(
     seed_seq: np.random.SeedSequence,
     start_time: float | None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray, WalkStats]:
-    """One shard of start nodes through a fresh engine (any process)."""
-    engine = TemporalWalkEngine(graph, sampler=sampler)
+    """One shard of start nodes through a fresh engine (any process).
+
+    ``sampler`` may name any kernel (``cdf``, ``gumbel``, ``batched``);
+    each worker builds its own engine, so the batched kernel's tables
+    are built once per shard against the shared-memory CSR arrays.
+    """
+    engine = make_walk_engine(graph, sampler=sampler)
     # The parent publishes the *merged* stats once; silencing the
     # per-shard run keeps in-parent degraded shards from double-counting.
     with use_recorder(NULL_RECORDER):
@@ -167,7 +169,7 @@ def run_parallel_walks(
     if workers < 1:
         raise WalkError(f"workers must be >= 1, got {workers}")
     if workers == 1:
-        engine = TemporalWalkEngine(graph, sampler=sampler)
+        engine = make_walk_engine(graph, sampler=sampler)
         corpus = engine.run(
             config, seed=seed, start_nodes=start_nodes, start_time=start_time
         )

@@ -69,22 +69,33 @@ class RecommendationIndex:
 
         Caller must hold the lock.  Runs on the query path, so the
         first read after a publish — not the publish itself — pays the
-        O(1) clear; publishes stay wait-free.
+        O(1) clear; publishes stay wait-free.  Only ever advances: a
+        reader holding an older snapshot than the cache must not roll
+        the cache back to it.
         """
-        if self._cache_version != snapshot.version:
+        if self._cache_version < snapshot.version:
             self._cache.clear()
             self._cache_version = snapshot.version
 
-    def cached(self, node: int, k: int) -> TopK | None:
+    def cached(self, node: int, k: int,
+               snapshot: EmbeddingSnapshot | None = None) -> TopK | None:
         """Return the cached result for ``(node, k)`` or None.
 
-        Only results computed against the *current* snapshot version
-        qualify; a hit refreshes LRU recency and counts as
-        ``serving.index.cache_hits``.
+        Only results computed against ``snapshot``'s version qualify
+        (the *current* store snapshot when omitted); a hit refreshes
+        LRU recency and counts as ``serving.index.cache_hits``.
+        Passing an explicit snapshot pins a multi-request batch to one
+        version: a publish landing mid-batch cannot mix newer cache
+        hits into a batch computed against the older snapshot.
         """
-        snapshot = self.store.snapshot()
+        if snapshot is None:
+            snapshot = self.store.snapshot()
         with self._lock:
             self._sync_version(snapshot)
+            if self._cache_version != snapshot.version:
+                # The cache has moved past this snapshot's version; its
+                # entries would answer from a different generation.
+                return None
             hit = self._cache.get((node, k))
             if hit is None:
                 return None
@@ -122,7 +133,11 @@ class RecommendationIndex:
 
         Cache hits are answered in place; the remaining distinct
         requests of each ``k`` share one blocked pass over the matrix,
-        which is what makes micro-batched top-k amortize.
+        which is what makes micro-batched top-k amortize.  The whole
+        batch answers from the one snapshot taken here — cache lookups
+        are pinned to its version, so a publish racing the batch can
+        never mix results from two embedding generations in one
+        response.
         """
         snapshot = self.store.snapshot()
         rec = get_recorder()
@@ -130,7 +145,7 @@ class RecommendationIndex:
         misses: dict[int, list[int]] = {}
         for i, (node, k) in enumerate(requests):
             self._validate(snapshot, node, k)
-            hit = self.cached(node, k)
+            hit = self.cached(node, k, snapshot)
             if hit is not None:
                 results[i] = hit
             else:

@@ -121,6 +121,7 @@ class IngestQueue:
         self.dropped_batches = 0
         self.dropped_edges = 0
         self.rejected_batches = 0
+        self.oversized_rejected = 0
 
     # ------------------------------------------------------------------
     @property
@@ -149,7 +150,12 @@ class IngestQueue:
         always succeeds, at the price of evicting queued batches.  A
         batch larger than ``max_edges`` can never fit alongside others:
         ``drop_oldest`` admits it alone (bounding memory at one batch),
-        the other policies refuse it.
+        the other policies refuse it — so ``block`` *can* return False
+        without ever waiting when handed an oversized batch.  Such
+        refusals are counted in ``oversized_rejected`` (and the
+        ``stream.queue.oversized_rejected`` counter) on top of the
+        rejection counters; blocked-wait metrics are booked only when a
+        wait actually happened.
         """
         if len(edges) == 0:
             return True
@@ -177,22 +183,38 @@ class IngestQueue:
                     rec.counter("stream.queue.rejected_batches")
                     rec.counter("stream.queue.rejected_edges", len(edges))
                     return False
-                # block: wait for the consumer to free room.
-                rec.counter("stream.queue.blocked_puts")
+                if len(edges) > self.max_edges:
+                    # An oversized batch can never fit however long the
+                    # producer waits: refuse it immediately, without
+                    # booking a blocked wait, and count it distinctly
+                    # from capacity rejections so metrics can tell a
+                    # mis-sized producer from genuine backpressure.
+                    self.rejected_batches += 1
+                    self.oversized_rejected += 1
+                    rec.counter("stream.queue.oversized_rejected")
+                    rec.counter("stream.queue.rejected_batches")
+                    rec.counter("stream.queue.rejected_edges", len(edges))
+                    return False
+                # block: wait for the consumer to free room.  Blocked
+                # metrics are booked only when a wait actually happens.
                 block_start = time.monotonic()
                 deadline = (
                     block_start + timeout if timeout is not None else None
                 )
-                while (not self._closed and len(edges) <= self.max_edges
+                waited = False
+                while (not self._closed
                        and self._depth_edges + len(edges) > self.max_edges):
                     remaining = None
                     if deadline is not None:
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
                             break
+                    waited = True
                     self._not_full.wait(remaining)
-                rec.observe("stream.queue.block_seconds",
-                            time.monotonic() - block_start)
+                if waited:
+                    rec.counter("stream.queue.blocked_puts")
+                    rec.observe("stream.queue.block_seconds",
+                                time.monotonic() - block_start)
                 if self._closed:
                     raise StreamError("put on a closed IngestQueue")
                 if self._depth_edges + len(edges) > self.max_edges:

@@ -28,6 +28,7 @@ from repro.errors import EmbeddingError
 from repro.graph.csr import TemporalGraph
 from repro.graph.dynamic import DynamicTemporalGraph
 from repro.rng import SeedLike, make_rng
+from repro.walk.batched import make_walk_engine
 from repro.walk.config import WalkConfig
 from repro.walk.engine import TemporalWalkEngine
 
@@ -57,12 +58,14 @@ class IncrementalEmbedder:
         batch_sentences: int = 1024,
         seed: SeedLike = None,
         store: "EmbeddingStore | None" = None,
+        sampler: str = "cdf",
     ) -> None:
         self.dynamic = dynamic
         self.walk_config = walk_config or WalkConfig()
         self.sgns_config = sgns_config or SgnsConfig()
         self.batch_sentences = batch_sentences
         self.store = store
+        self.sampler = sampler
         self._rng = make_rng(seed)
         self._model: SkipGramModel | None = None
         self._synced_generation: int | None = None
@@ -74,12 +77,15 @@ class IncrementalEmbedder:
     def _walk_engine(self, graph: TemporalGraph) -> TemporalWalkEngine:
         """Engine cached per graph generation.
 
-        A fresh :class:`TemporalWalkEngine` rebuilds the O(E) softmax
-        step table (plus its ``exp`` work) on first use; constructing
-        one per update made that the dominant avoidable cost of the
-        serving ingest path.  The engine — and with it every cached
-        step table — is reused until :class:`DynamicTemporalGraph`
-        bumps its generation.
+        A fresh engine rebuilds the O(E) softmax step table (plus its
+        ``exp`` work) on first use; constructing one per update made
+        that the dominant avoidable cost of the serving ingest path.
+        The engine — and with it every cached table — is reused until
+        :class:`DynamicTemporalGraph` bumps its generation.  With
+        ``sampler="batched"`` the cached tables also include the
+        window/successor tables, and a finite ``walk_config.time_window``
+        bounds each affected node's re-walk scan, so per-update refresh
+        work stays bounded as the graph grows.
         """
         generation = self.dynamic.generation
         if (
@@ -87,7 +93,7 @@ class IncrementalEmbedder:
             or self._engine_generation != generation
             or self._engine.graph is not graph
         ):
-            self._engine = TemporalWalkEngine(graph)
+            self._engine = make_walk_engine(graph, sampler=self.sampler)
             self._engine_generation = generation
         return self._engine
 

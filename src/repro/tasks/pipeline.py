@@ -37,7 +37,8 @@ from repro.tasks.node_classification import (
 )
 from repro.walk.config import WalkConfig
 from repro.walk.corpus import WalkCorpus
-from repro.walk.engine import TemporalWalkEngine, WalkStats
+from repro.walk.batched import KERNEL_CHOICES, make_walk_engine
+from repro.walk.engine import WalkStats
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,11 @@ class PipelineConfig:
         if self.workers < 1:
             raise PipelineError(
                 f"workers must be >= 1, got {self.workers}"
+            )
+        if self.sampler not in KERNEL_CHOICES:
+            raise PipelineError(
+                f"unknown sampler {self.sampler!r}; "
+                f"options: {sorted(KERNEL_CHOICES)}"
             )
         if self.resume and not self.checkpoint_dir:
             raise PipelineError("resume=True requires checkpoint_dir")
@@ -292,7 +298,7 @@ class Pipeline:
                         fault_plan=plan,
                     )
                 else:
-                    engine = TemporalWalkEngine(graph, sampler=cfg.sampler)
+                    engine = make_walk_engine(graph, sampler=cfg.sampler)
                     corpus = engine.run(cfg.walk, seed=rng)
                     assert engine.last_stats is not None
                     walk_stats = engine.last_stats

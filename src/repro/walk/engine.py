@@ -51,6 +51,22 @@ from repro.walk.sampling import (
 SAMPLER_CHOICES = frozenset({"cdf", "gumbel"})
 
 
+def linear_rank_draw(counts: np.ndarray, u: np.ndarray) -> np.ndarray:
+    """Closed-form rank draw for the ``linear`` bias.
+
+    Rank weights are ``n, n-1, ..., 1`` (rank 0 = soonest valid edge).
+    Cumulative mass through rank ``j-1`` is ``j*n - j(j-1)/2``; inverting
+    that quadratic for a uniform target yields the sampled rank without
+    materializing any candidate.  ``u`` is one uniform draw per walk.
+    """
+    n = counts.astype(np.float64)
+    total = n * (n + 1.0) / 2.0
+    target = u * total
+    disc = (2.0 * n + 1.0) ** 2 - 8.0 * target
+    j = np.floor((2.0 * n + 1.0 - np.sqrt(disc)) / 2.0).astype(np.int64)
+    return np.clip(j, 0, counts - 1)
+
+
 @dataclass
 class WalkStats:
     """Work counters of one engine run.
@@ -144,7 +160,9 @@ class TemporalWalkEngine:
         self.sampler = sampler
         self.last_stats: WalkStats | None = None
         self._step_tables: dict[tuple[str, float], _StepTable] = {}
-        self._edge_cdf_cache: dict[tuple[str, float], np.ndarray] = {}
+        self._edge_cdf_cache: dict[
+            tuple[str, float], tuple[np.ndarray, np.ndarray]
+        ] = {}
         self._owner: np.ndarray | None = None
         self._linear_order: np.ndarray | None = None
 
@@ -273,25 +291,15 @@ class TemporalWalkEngine:
         if config.bias == "uniform":
             edge_ids = rng.integers(0, graph.num_edges, size=num_walks)
         elif config.bias in ("softmax-late", "softmax-recency"):
-            cdf = self._edge_cdf(config.bias, temperature, stats)
-            target = rng.random(num_walks) * cdf[-1]
-            edge_ids = np.clip(
-                np.searchsorted(cdf, target, side="right") - 1,
-                0, graph.num_edges - 1,
+            edge_ids = self._draw_initial_edges(
+                config.bias, temperature, rng.random(num_walks), stats
             )
         else:  # linear: closed-form rank draw over the global time order
-            # Same quadratic inversion as _sample_step_cdf's linear
-            # branch with n = |E|: rank j (0 = earliest timestamp, the
-            # soonest edge from the -inf start clock) has weight n - j.
+            # Rank j (0 = earliest timestamp, the soonest edge from the
+            # -inf start clock) has weight |E| - j.
             order = self._linear_edge_order()
-            n = float(graph.num_edges)
-            total = n * (n + 1.0) / 2.0
-            target = rng.random(num_walks) * total
-            disc = (2.0 * n + 1.0) ** 2 - 8.0 * target
-            j = np.floor(
-                (2.0 * n + 1.0 - np.sqrt(disc)) / 2.0
-            ).astype(np.int64)
-            j = np.clip(j, 0, graph.num_edges - 1)
+            counts = np.full(num_walks, graph.num_edges, dtype=np.int64)
+            j = linear_rank_draw(counts, rng.random(num_walks))
             edge_ids = order[j]
 
         starts = self._edge_owner()[edge_ids]
@@ -324,7 +332,7 @@ class TemporalWalkEngine:
             cur_time = graph.ts[edge_ids].copy()
         self._advance(
             matrix, lengths, starts, cur, cur_time, config, temperature,
-            rng, stats, first_step=2,
+            rng, stats, first_step=2, prev_edges=edge_ids,
         )
         self.last_stats = stats
         publish_walk_stats(stats)
@@ -343,8 +351,16 @@ class TemporalWalkEngine:
         rng: np.random.Generator,
         stats: WalkStats,
         first_step: int,
+        prev_edges: np.ndarray | None = None,
     ) -> None:
-        """Advance all walks from ``first_step`` until termination."""
+        """Advance all walks from ``first_step`` until termination.
+
+        ``prev_edges`` optionally carries the edge each walk last
+        traversed (``-1`` for walks positioned by a bare clock).  The
+        oracle engine's valid-range search only needs the clock, so it
+        ignores the hint; the batched kernel uses it to replace the
+        search with an O(1) per-edge successor-table lookup.
+        """
         graph = self.graph
         active = np.arange(len(cur), dtype=np.int64)
         for step in range(first_step, config.max_walk_length):
@@ -541,7 +557,7 @@ class TemporalWalkEngine:
 
     def _edge_cdf(
         self, bias: str, temperature: float, stats: WalkStats
-    ) -> np.ndarray:
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Global CDF over *all* edges for initial-edge sampling.
 
         Unlike the per-slice step table this intentionally ranks edges
@@ -550,6 +566,11 @@ class TemporalWalkEngine:
         weights stay in ``(0, 1]`` and the prefix sum cannot overflow.
         Edges far below the maximum underflow to weight zero, which
         matches the true global softmax to float64 resolution.
+
+        Returns ``(cdf, positive)``: the length ``E+1`` prefix-sum array
+        and the ids of edges with strictly positive weight, so the draw
+        can restrict itself to selectable edges (see
+        :meth:`_draw_initial_edges`).
         """
         key = (bias, float(temperature))
         cached = self._edge_cdf_cache.get(key)
@@ -561,8 +582,40 @@ class TemporalWalkEngine:
         stats.exp_evaluations += len(score)
         cdf = np.zeros(len(score) + 1, dtype=np.float64)
         np.cumsum(weights, out=cdf[1:])
-        self._edge_cdf_cache[key] = cdf
-        return cdf
+        positive = np.flatnonzero(weights > 0.0)
+        self._edge_cdf_cache[key] = (cdf, positive)
+        return cdf, positive
+
+    def _draw_initial_edges(
+        self,
+        bias: str,
+        temperature: float,
+        u: np.ndarray,
+        stats: WalkStats,
+    ) -> np.ndarray:
+        """Inverse-CDF draw of initial edges with zero-weight-skip semantics.
+
+        The step sampler's :meth:`_first_gt` strict-``>`` search never
+        lands on a zero-weight (underflown) edge; the edge-start draw
+        must match.  ``searchsorted(cdf, target, "right") - 1`` does not:
+        a target sitting exactly on a flat stretch of the CDF — in
+        particular the top plateau ``target == cdf[-1]`` left by trailing
+        zero-weight edges — resolves to the *last* edge of the plateau,
+        which has weight zero.  Restricting the search to the prefix sums
+        *at the end of each positive-weight edge* gives first-greater-than
+        semantics: every target in ``[0, cdf[-1]]`` maps to a positive-
+        weight edge, with probability exactly proportional to its weight.
+        """
+        cdf, positive = self._edge_cdf(bias, temperature, stats)
+        if len(positive) == 0:
+            raise WalkError("no edge has positive sampling weight")
+        target = u * cdf[-1]
+        pcdf = cdf[positive + 1]  # strictly increasing cumulative mass
+        j = np.searchsorted(pcdf, target, side="right")
+        # target == cdf[-1] (reachable only from an injected u == 1.0)
+        # falls past the last positive edge; clamp to it.
+        j = np.minimum(j, len(positive) - 1)
+        return positive[j]
 
     def _first_gt(
         self,
@@ -605,16 +658,7 @@ class TemporalWalkEngine:
         if bias == "uniform":
             return lo + rng.integers(0, counts)
         if bias == "linear":
-            # Rank weights n, n-1, ..., 1 (rank 0 = soonest).  Cumulative
-            # mass through rank j-1 is j*n - j(j-1)/2; invert the quadratic
-            # for a uniform target to get the sampled rank in closed form.
-            n = counts.astype(np.float64)
-            total = n * (n + 1.0) / 2.0
-            target = rng.random(len(counts)) * total
-            disc = (2.0 * n + 1.0) ** 2 - 8.0 * target
-            j = np.floor((2.0 * n + 1.0 - np.sqrt(disc)) / 2.0).astype(np.int64)
-            j = np.clip(j, 0, counts - 1)
-            return lo + j
+            return lo + linear_rank_draw(counts, rng.random(len(counts)))
         table = self._step_table(bias, temperature, stats)
         owners = table.owner[lo]
         slice_end = self.graph.indptr[owners + 1]

@@ -5,14 +5,16 @@ loops, explicit temporal-neighbor scan, explicit softmax sampling.  It is
 orders of magnitude slower than :class:`repro.walk.TemporalWalkEngine`
 but obviously correct, so tests use it as the oracle for the vectorized
 engine (same invariants, statistically indistinguishable transition
-distributions).
+distributions).  The engine-only extensions — ``time_window`` and
+``direction="backward"`` — are implemented here too (scalar
+``searchsorted`` over the time-sorted slice), so windowed and backward
+kernels have the same oracle to validate against.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.errors import WalkError
 from repro.graph.csr import TemporalGraph
 from repro.rng import SeedLike, make_rng
 from repro.walk.config import WalkConfig
@@ -20,26 +22,58 @@ from repro.walk.corpus import PAD, WalkCorpus
 from repro.walk.sampling import transition_probabilities
 
 
+def _valid_candidates(
+    graph: TemporalGraph, node: int, t: float, config: WalkConfig
+) -> tuple[np.ndarray, np.ndarray]:
+    """Destinations/timestamps of the temporally valid edges of ``node``.
+
+    Scalar mirror of the engine's ``_valid_range`` semantics: forward
+    walks take timestamps after the clock (strict ``>`` by Definition
+    III.2, ``>=`` with ``allow_equal``), backward walks timestamps before
+    it, and a finite ``time_window`` additionally bounds the gap from the
+    clock (an infinite clock has no window yet).
+    """
+    base, end = int(graph.indptr[node]), int(graph.indptr[node + 1])
+    ts = graph.ts[base:end]
+    if config.direction == "forward":
+        lo = np.searchsorted(
+            ts, t, side="left" if config.allow_equal else "right"
+        )
+        hi = len(ts)
+        if config.time_window is not None and np.isfinite(t):
+            hi = max(
+                lo, np.searchsorted(ts, t + config.time_window, side="right")
+            )
+    else:
+        hi = np.searchsorted(
+            ts, t, side="right" if config.allow_equal else "left"
+        )
+        lo = 0
+        if config.time_window is not None and np.isfinite(t):
+            lo = min(
+                hi, np.searchsorted(ts, t - config.time_window, side="left")
+            )
+    return graph.dst[base + lo:base + hi], ts[lo:hi]
+
+
 def run_walks_reference(
     graph: TemporalGraph,
     config: WalkConfig,
     seed: SeedLike = None,
     start_nodes: np.ndarray | None = None,
-    start_time: float = -np.inf,
+    start_time: float | None = None,
 ) -> WalkCorpus:
     """Generate walks with plain Python loops (test oracle).
 
     Matches the engine's contract: ``K`` walks per start node, walk rows
     ordered walk-major (``w * len(start_nodes) + v``), padded matrix.
-    Only the paper's Algorithm 1 semantics are transcribed: forward
-    direction, no time window — the extensions are engine-only and
-    rejected here rather than silently ignored.
+    ``start_time`` defaults like the engine's: ``-inf`` forward, ``+inf``
+    backward, making every edge of the start node valid for the first
+    hop.
     """
-    if config.direction != "forward":
-        raise WalkError("the reference implements forward walks only")
-    if config.time_window is not None:
-        raise WalkError("the reference does not implement time windows")
     rng = make_rng(seed)
+    if start_time is None:
+        start_time = -np.inf if config.direction == "forward" else np.inf
     if start_nodes is None:
         start_nodes = np.arange(graph.num_nodes, dtype=np.int64)
     temperature = config.temperature
@@ -55,11 +89,11 @@ def run_walks_reference(
     for _walk_round in range(k):  # outer loop of Algorithm 1
         for start in start_nodes:  # middle (parallel) loop
             current = int(start)
-            current_time = start_time
+            current_time = float(start_time)
             matrix[row, 0] = current
             for step in range(1, config.max_walk_length):  # inner loop
-                dsts, times = graph.temporal_neighbors(
-                    current, current_time, allow_equal=config.allow_equal
+                dsts, times = _valid_candidates(
+                    graph, current, current_time, config
                 )
                 if len(dsts) == 0:
                     break  # Algorithm 1: no temporally valid neighbor

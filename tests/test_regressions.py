@@ -49,6 +49,69 @@ class TestWalkSamplingRegressions:
         assert np.all(corpus.lengths == 2)
 
 
+class _ConstantUniformRng(np.random.Generator):
+    """Generator stub whose ``random`` always returns one fixed value.
+
+    ``make_rng`` passes Generator instances through unchanged, so this
+    injects boundary uniforms (0.0, and the 1.0 a real ``random()`` can
+    never emit) straight into the engine's draw path.
+    """
+
+    def __init__(self, value: float) -> None:
+        super().__init__(np.random.PCG64(0))
+        self._value = float(value)
+
+    def random(self, size=None, *args, **kwargs):  # noqa: A002
+        if size is None:
+            return self._value
+        return np.full(size, self._value)
+
+
+class TestEdgeStartRegressions:
+    """``run_from_edges`` softmax initial-edge draw (global CDF)."""
+
+    def _graph(self, rows):
+        return TemporalGraph.from_edge_list(
+            TemporalEdgeList.from_edges(rows, num_nodes=3)
+        )
+
+    def test_top_plateau_never_selects_zero_weight_edge(self):
+        """Bug: the draw searched the full CDF and clipped to the last
+        *edge*; with trailing zero-weight (underflown) edges a target on
+        the CDF's top plateau selected one of them.  Fix: search the
+        positive-weight edges only, clipping to the last positive one."""
+        # CSR order: (0 -> 2, t=0) has weight 1, (1 -> 2, t=1000)
+        # underflows to weight 0 under recency at temperature 0.01.
+        graph = self._graph([(0, 2, 0.0), (1, 2, 1000.0)])
+        cfg = WalkConfig(bias="softmax-recency", max_walk_length=2,
+                         temperature=0.01)
+        corpus = TemporalWalkEngine(graph).run_from_edges(
+            cfg, num_walks=8, seed=_ConstantUniformRng(1.0)
+        )
+        assert np.all(corpus.start_nodes == 0)
+
+    def test_zero_weight_prefix_plateau_skipped(self):
+        """Target exactly on the leading zero plateau (u = 0.0, which a
+        real ``random()`` can emit) must skip the zero-weight edges."""
+        graph = self._graph([(0, 2, 1000.0), (1, 2, 0.0)])
+        cfg = WalkConfig(bias="softmax-recency", max_walk_length=2,
+                         temperature=0.01)
+        corpus = TemporalWalkEngine(graph).run_from_edges(
+            cfg, num_walks=8, seed=_ConstantUniformRng(0.0)
+        )
+        assert np.all(corpus.start_nodes == 1)
+
+    @pytest.mark.parametrize("bias", ["softmax-recency", "softmax-late"])
+    def test_real_draws_never_start_on_zero_weight_edges(self, bias):
+        ts_far = 1000.0 if bias == "softmax-recency" else -1000.0
+        graph = self._graph([(0, 2, 0.0), (1, 2, ts_far)])
+        cfg = WalkConfig(bias=bias, max_walk_length=2, temperature=0.01)
+        corpus = TemporalWalkEngine(graph).run_from_edges(
+            cfg, num_walks=500, seed=33
+        )
+        assert np.all(corpus.start_nodes == 0)
+
+
 class TestEmbeddingRegressions:
     def test_batched_updates_do_not_explode_on_hubs(self):
         """Bug: naive scatter-add accumulation of same-batch gradients on

@@ -321,6 +321,49 @@ class TestRecommendationIndex:
         np.testing.assert_array_equal(ids, expected_ids)
         np.testing.assert_allclose(scores, expected_scores)
 
+    def test_publish_racing_batch_pins_one_version(self, rng):
+        """Bug: ``top_k_batch`` took one snapshot but its cache lookups
+        re-fetched the *current* snapshot per request; a publish landing
+        mid-batch let newer-generation cache hits mix into a batch
+        whose misses were computed from the older matrix.  Fix: lookups
+        are pinned to the batch's snapshot."""
+        first = rng.standard_normal((20, 4))
+        second = rng.standard_normal((20, 4))
+        store = make_store(first, generation=0)
+        index = RecommendationIndex(store)
+        real_snapshot = store.snapshot
+        raced = False
+
+        def racing_snapshot():
+            nonlocal raced
+            snap = real_snapshot()
+            if not raced:
+                # A publish plus a competing reader land right after
+                # the batch takes its snapshot: the reader's query
+                # fills the cache at the new version.
+                raced = True
+                store.publish(second, generation=1)
+                index.top_k(5, 3)
+            return snap
+
+        store.snapshot = racing_snapshot
+        try:
+            results = index.top_k_batch([(5, 3), (6, 3)])
+        finally:
+            store.snapshot = real_snapshot
+        # Every result in the batch answers from the batch's snapshot.
+        for node, (ids, scores) in zip([5, 6], results):
+            expected_ids, expected_scores = brute_force_topk(first, node, 3)
+            np.testing.assert_array_equal(ids, expected_ids)
+            np.testing.assert_allclose(scores, expected_scores)
+        # And the older-snapshot lookups did not roll the cache back:
+        # the newer generation's entry is still served.
+        hit = index.cached(5, 3)
+        assert hit is not None
+        np.testing.assert_array_equal(
+            hit[0], brute_force_topk(second, 5, 3)[0]
+        )
+
     def test_lru_eviction(self, rng):
         matrix = rng.standard_normal((20, 4))
         recorder = Recorder()

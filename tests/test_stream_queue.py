@@ -107,6 +107,39 @@ class TestBackpressurePolicies:
         # Larger than the whole bound: waiting could never succeed.
         assert not queue.put(make_batch(6), timeout=5.0)
 
+    def test_oversized_rejection_counted_distinctly_without_blocked_metrics(
+        self,
+    ):
+        """Bug: an oversized batch under ``block`` booked ``blocked_puts``
+        and ``block_seconds`` although no wait ever happened (its early
+        refusal looked like backpressure in dashboards).  Fix: refuse it
+        before the wait loop and count it as ``oversized_rejected``."""
+        from repro.observability import Recorder, use_recorder
+
+        recorder = Recorder()
+        queue = IngestQueue(max_edges=5, policy="block")
+        with use_recorder(recorder):
+            assert not queue.put(make_batch(6), timeout=5.0)
+        assert queue.oversized_rejected == 1
+        assert queue.rejected_batches == 1
+        counters = recorder.counters
+        assert counters["stream.queue.oversized_rejected"] == 1
+        assert counters["stream.queue.rejected_batches"] == 1
+        assert counters["stream.queue.rejected_edges"] == 6
+        assert "stream.queue.blocked_puts" not in counters
+
+    def test_block_timeout_books_blocked_metrics_once_waited(self):
+        from repro.observability import Recorder, use_recorder
+
+        recorder = Recorder()
+        queue = IngestQueue(max_edges=5, policy="block")
+        queue.put(make_batch(5))
+        with use_recorder(recorder):
+            # Fits the bound but not the current depth: a real wait.
+            assert not queue.put(make_batch(2), timeout=0.01)
+        assert recorder.counters["stream.queue.blocked_puts"] == 1
+        assert queue.oversized_rejected == 0
+
 
 class TestTokenBucket:
     def test_burst_passes_without_wait(self):

@@ -106,17 +106,16 @@ class TestIncrementalEmbedder:
         TemporalWalkEngine (and its O(E) step table) per call; the
         engine must now be reused until the graph generation bumps."""
         import repro.tasks.incremental as incremental_mod
-        from repro.walk.engine import TemporalWalkEngine
 
         constructions = []
+        real_make = incremental_mod.make_walk_engine
 
-        class CountingEngine(TemporalWalkEngine):
-            def __init__(self, graph, sampler="cdf"):
-                constructions.append(graph)
-                super().__init__(graph, sampler)
+        def counting_make(graph, sampler="cdf"):
+            constructions.append(graph)
+            return real_make(graph, sampler=sampler)
 
-        monkeypatch.setattr(incremental_mod, "TemporalWalkEngine",
-                            CountingEngine)
+        monkeypatch.setattr(incremental_mod, "make_walk_engine",
+                            counting_make)
         initial, tail = evolving
         dynamic, embedder = self.make(initial)
         embedder.rebuild()
