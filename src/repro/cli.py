@@ -432,6 +432,8 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                 max_delay=args.max_delay_ms / 1e3,
                 default_k=args.k,
                 cache_size=args.cache_size,
+                index=args.index,
+                ann=_ann_config(args),
             )
             writer_error: list[BaseException] = []
 
@@ -448,6 +450,19 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     writer_error.append(exc)
 
             with ServingFrontend(store, config) as frontend:
+                if frontend.ann is not None:
+                    # Serve the initial snapshot from the IVF index from
+                    # the first request (later publishes rebuild async).
+                    ready = frontend.ann.wait_ready(timeout=60.0)
+                    index = frontend.ann.current
+                    if ready and index is not None:
+                        print(f"  ann: IVF index v{index.version} — "
+                              f"{index.nlist} cells, nprobe {index.nprobe}, "
+                              f"{index.nbytes / 1e6:.2f} MB, built in "
+                              f"{index.build_seconds:.3f}s")
+                    else:
+                        print("  ann: index not ready, serving exact "
+                              "fallback until the build lands")
                 writer = threading.Thread(target=ingest, daemon=True,
                                           name="serve-sim-ingest")
                 writer.start()
@@ -487,7 +502,60 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                 }],
                 title="Serving internals (recorder)",
             ))
+            if args.index == "ivf":
+                print()
+                print(render_table([_ann_row(recorder)],
+                                   title="ANN index internals (recorder)"))
     return 0
+
+
+def _ann_config(args: argparse.Namespace):
+    """Build the IvfConfig for ``--index ivf`` runs (None otherwise)."""
+    if args.index != "ivf":
+        return None
+    from repro.serving import IvfConfig
+
+    return IvfConfig(
+        nlist=args.nlist,
+        nprobe=args.nprobe,
+        recall_sample_every=args.ann_recall_every,
+    )
+
+
+def _ann_row(recorder) -> dict:
+    """One summary row of the ``serving.ann.*`` recorder metrics."""
+    counters = recorder.counters
+    recall_hist = recorder.histograms.get("serving.ann.recall_at_k")
+    build_hist = recorder.histograms.get("serving.ann.build_seconds")
+    return {
+        "builds": int(counters.get("serving.ann.builds", 0)),
+        "build s": round(build_hist.total, 3) if build_hist else 0.0,
+        "bytes": int(recorder.gauges.get("serving.ann.bytes", 0)),
+        "ann queries": int(counters.get("serving.ann.queries", 0)),
+        "cells probed": int(counters.get("serving.ann.cells_probed", 0)),
+        "candidates": int(
+            counters.get("serving.ann.candidates_scored", 0)),
+        "fallbacks": int(counters.get("serving.ann.fallbacks", 0)),
+        "recall samples": int(counters.get("serving.ann.recall_samples", 0)),
+        "sampled recall": (round(recall_hist.mean, 3)
+                           if recall_hist and recall_hist.count else ""),
+    }
+
+
+def _add_ann_arguments(group) -> None:
+    """``--index``/IVF knobs shared by serve-sim and stream-sim."""
+    group.add_argument("--index", default="exact",
+                       choices=["exact", "ivf"],
+                       help="top-k index: exact blocked scan (oracle) or "
+                            "approximate IVF probing")
+    group.add_argument("--nlist", type=int, default=None,
+                       help="IVF cell count (default: ~sqrt(nodes))")
+    group.add_argument("--nprobe", type=int, default=8,
+                       help="IVF cells probed per query (= nlist probes "
+                            "everything: exact results)")
+    group.add_argument("--ann-recall-every", type=int, default=100,
+                       help="shadow-check every Nth ANN query against the "
+                            "exact oracle and record its recall (0 = off)")
 
 
 def cmd_stream_sim(args: argparse.Namespace) -> int:
@@ -612,6 +680,8 @@ def cmd_stream_sim(args: argparse.Namespace) -> int:
                 max_delay=args.max_delay_ms / 1e3,
                 default_k=args.k,
                 cache_size=args.cache_size,
+                index=args.index,
+                ann=_ann_config(args),
             )
             with controller:
                 with ServingFrontend(store, config) as frontend:
@@ -649,6 +719,10 @@ def cmd_stream_sim(args: argparse.Namespace) -> int:
                 title=f"Streaming ingest ({args.backpressure} backpressure, "
                       f"{policy.name} refresh)",
             ))
+            if args.index == "ivf":
+                print()
+                print(render_table([_ann_row(recorder)],
+                                   title="ANN index internals (recorder)"))
     return 0
 
 
@@ -770,6 +844,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="micro-batch max wait in milliseconds")
     load.add_argument("--cache-size", type=int, default=4096,
                       help="top-k LRU cache entries (0 disables)")
+    _add_ann_arguments(load)
     load.add_argument("--update-batches", type=int, default=0,
                       help="hold back 30%% of the stream and replay it "
                            "as this many live edge batches + incremental "
@@ -860,6 +935,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="micro-batch max wait in milliseconds")
     load.add_argument("--cache-size", type=int, default=4096,
                       help="top-k LRU cache entries (0 disables)")
+    _add_ann_arguments(load)
     obs = stream.add_argument_group("observability")
     obs.add_argument("--metrics-out", default=None, metavar="FILE",
                      help="write run counters/gauges/histograms as JSON")

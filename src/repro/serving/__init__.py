@@ -15,15 +15,21 @@ ingest half already exists (:class:`~repro.graph.dynamic
 - :class:`RecommendationIndex` — blocked top-k over the embedding
   matrix with a per-``(node, k)`` LRU cache invalidated by snapshot
   version bump;
+- :class:`IvfIndex` / :class:`IvfIndexManager` — the sub-linear IVF
+  approximate top-k index (k-means cells, ``nprobe`` probing), rebuilt
+  asynchronously per published snapshot with version pinning; the
+  brute-force path stays the oracle and the automatic fallback;
 - :class:`ServingFrontend` — the thread-safe query surface (link
   scores + top-k) client threads call;
 - :func:`run_load` — a closed-loop load generator for the ``serve-sim``
   CLI subcommand and ``bench_serving_throughput``.
 
 See ``docs/serving.md`` for architecture, staleness semantics, and the
-metric catalog.
+metric catalog, and ``docs/ann_index.md`` for the IVF design and its
+recall/latency trade-offs.
 """
 
+from repro.serving.ann import IvfConfig, IvfIndex, IvfIndexManager
 from repro.serving.batching import BatchFuture, BatchScheduler
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.index import RecommendationIndex
@@ -35,6 +41,9 @@ __all__ = [
     "BatchScheduler",
     "EmbeddingSnapshot",
     "EmbeddingStore",
+    "IvfConfig",
+    "IvfIndex",
+    "IvfIndexManager",
     "LoadReport",
     "RecommendationIndex",
     "ServingConfig",

@@ -8,11 +8,15 @@ top-k answers come from the :class:`~repro.serving.index
 .RecommendationIndex` (blocked scan + generation-keyed LRU cache).
 
 Fast path: a warm cached top-k bypasses the scheduler entirely — no
-batching delay, zero GEMM work.  Everything is instrumented through the
-ambient recorder: request counters per type, end-to-end latency
-histograms (``serving.latency.*``), cache hit/miss, batch-size
-distribution, and snapshot-swap counters (see docs/serving.md for the
-catalog).
+batching delay, zero GEMM work.  With ``index="ivf"`` an
+:class:`~repro.serving.ann.IvfIndexManager` rebuilds a sub-linear IVF
+index after every publish and top-k requests route through it (with
+automatic exact fallback; a per-query ``mode=`` overrides the default
+in either direction).  Everything is instrumented through the ambient
+recorder: request counters per type, end-to-end latency histograms
+(``serving.latency.*``), cache hit/miss, batch-size distribution,
+snapshot-swap and ``serving.ann.*`` counters (see docs/serving.md for
+the catalog).
 """
 
 from __future__ import annotations
@@ -24,6 +28,7 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.observability import get_recorder
+from repro.serving.ann import INDEX_CHOICES, IvfConfig, IvfIndexManager
 from repro.serving.batching import BatchFuture, BatchScheduler
 from repro.serving.index import METRIC_CHOICES, RecommendationIndex, TopK
 from repro.serving.store import EmbeddingStore
@@ -38,7 +43,12 @@ class ServingConfig:
     ``block_size`` and ``metric`` configure the recommendation index.
     ``max_batch_size=1`` degenerates to the single-request path (every
     request is its own batch), which is the baseline the serving bench
-    measures against.
+    measures against.  ``index="ivf"`` routes top-k through the
+    approximate IVF index (built per published snapshot; ``ann`` holds
+    its :class:`~repro.serving.ann.IvfConfig`, defaulted when omitted);
+    ``index="exact"`` keeps the brute-force oracle as the default while
+    still honoring per-query ``mode="ivf"`` overrides when ``ann`` is
+    configured.
     """
 
     max_batch_size: int = 64
@@ -47,6 +57,8 @@ class ServingConfig:
     cache_size: int = 4096
     block_size: int = 8192
     metric: str = "dot"
+    index: str = "exact"
+    ann: IvfConfig | None = None
 
     def __post_init__(self) -> None:
         if self.max_batch_size < 1:
@@ -64,6 +76,11 @@ class ServingConfig:
                 f"unknown metric {self.metric!r}; options: "
                 f"{list(METRIC_CHOICES)}"
             )
+        if self.index not in INDEX_CHOICES:
+            raise ServingError(
+                f"unknown index {self.index!r}; options: "
+                f"{list(INDEX_CHOICES)}"
+            )
 
 
 class ServingFrontend:
@@ -73,11 +90,20 @@ class ServingFrontend:
                  config: ServingConfig | None = None) -> None:
         self.store = store
         self.config = config or ServingConfig()
+        self.ann: IvfIndexManager | None = None
+        if self.config.index == "ivf" or self.config.ann is not None:
+            self.ann = IvfIndexManager(
+                store,
+                config=self.config.ann or IvfConfig(),
+                metric=self.config.metric,
+            )
         self.index = RecommendationIndex(
             store,
             cache_size=self.config.cache_size,
             block_size=self.config.block_size,
             metric=self.config.metric,
+            ann=self.ann,
+            default_mode=self.config.index,
         )
         self._score_batcher = BatchScheduler(
             self._process_scores,
@@ -103,6 +129,8 @@ class ServingFrontend:
         """Drain in-flight requests and stop the schedulers."""
         self._score_batcher.close()
         self._topk_batcher.close()
+        if self.ann is not None:
+            self.ann.close()
 
     def __enter__(self) -> "ServingFrontend":
         return self.start()
@@ -150,28 +178,35 @@ class ServingFrontend:
     # ------------------------------------------------------------------
     # Top-k recommendation
     # ------------------------------------------------------------------
-    def top_k_async(self, node: int, k: int | None = None) -> BatchFuture:
+    def top_k_async(self, node: int, k: int | None = None,
+                    mode: str | None = None) -> BatchFuture:
         """Enqueue a top-k request; resolves to ``(ids, scores)``.
 
         A warm cache hit resolves immediately without entering the
-        scheduler (no batching delay, zero GEMM work).
+        scheduler (no batching delay, zero GEMM work).  ``mode``
+        overrides the configured index for this one request:
+        ``"exact"`` forces the brute-force oracle (full recall),
+        ``"ivf"`` requests the approximate index (falls back to exact
+        automatically when no index matches the served snapshot).
         """
         k = self.config.default_k if k is None else int(k)
-        hit = self.index.cached(int(node), k)
+        hit = self.index.cached(int(node), k, mode=mode)
         if hit is not None:
             return BatchFuture.resolved(hit)
-        return self._topk_batcher.submit((int(node), k))
+        return self._topk_batcher.submit((int(node), k, mode))
 
     def top_k(self, node: int, k: int | None = None,
-              timeout: float | None = None) -> TopK:
+              timeout: float | None = None,
+              mode: str | None = None) -> TopK:
         """Top-``k`` recommended nodes for ``node``, best first."""
         rec = get_recorder()
         start = time.monotonic()
-        result = self.top_k_async(node, k).result(timeout)
+        result = self.top_k_async(node, k, mode=mode).result(timeout)
         if rec.enabled:
             rec.counter("serving.requests.topk")
             rec.observe("serving.latency.topk_s", time.monotonic() - start)
         return result
 
-    def _process_topk(self, payloads: list[tuple[int, int]]) -> list[TopK]:
+    def _process_topk(self, payloads: list[tuple[int, int, str | None]]
+                      ) -> list[TopK]:
         return self.index.top_k_batch(payloads)

@@ -8,31 +8,57 @@ of rows — bounded peak memory regardless of graph size, the same reason
 the walk kernel processes CSR slices — and memoizes per-``(node, k)``
 results in an LRU cache.
 
+Two execution modes share the scoring/selection code:
+
+- ``"exact"`` — the blocked full scan (the oracle): every row scored,
+  ties broken by lower id;
+- ``"ivf"`` — candidates come from an :class:`~repro.serving.ann
+  .IvfIndex` (probe ``nprobe`` k-means cells), and only those rows run
+  through the *same* blocked scorer.  Queries fall back to exact
+  automatically when no index matches the pinned snapshot version
+  (cold store, build in flight, store below ``min_index_nodes``) or the
+  probed candidates cannot cover ``min(k, n - 1)`` results.
+
 Cache entries are valid for exactly one
-:class:`~repro.serving.store.EmbeddingSnapshot` *version*: the first
-query after a publish observes the version bump and drops the whole
-cache, so a stale top-k can never be served once new embeddings are
-published (the freshness contract the serving tests pin down).
+:class:`~repro.serving.store.EmbeddingSnapshot` *version* and one mode:
+the first query after a publish observes the version bump and drops the
+whole cache, so a stale top-k can never be served once new embeddings
+are published, and an ``"exact"`` request can never be answered from an
+approximate entry (the reverse is allowed — an exact answer has
+recall 1).
 
 Work accounting: ``serving.index.gemm_rows`` counts row-dot-products
-evaluated; a warm cache hit adds exactly zero to it.
+evaluated; a warm cache hit adds exactly zero to it.  The ANN path
+additionally books ``serving.ann.*`` (cells probed, candidates scored,
+fallbacks, sampled recall).
 """
 
 from __future__ import annotations
 
 import threading
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 import numpy as np
 
 from repro.errors import ServingError
 from repro.observability import get_recorder
+from repro.serving.ann import INDEX_CHOICES
 from repro.serving.store import EmbeddingSnapshot, EmbeddingStore
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.ann import IvfIndexManager
 
 METRIC_CHOICES = ("dot", "cosine")
 
 #: One cached result: (ids desc by score, scores) — both read-only.
 TopK = tuple[np.ndarray, np.ndarray]
+
+#: One request: ``(node, k)`` or ``(node, k, mode)`` with mode one of
+#: :data:`~repro.serving.ann.INDEX_CHOICES` (None -> the index default).
+TopKRequest = "tuple[int, int] | tuple[int, int, str | None]"
+
+_TINY = np.finfo(np.float64).tiny
 
 
 class RecommendationIndex:
@@ -44,6 +70,8 @@ class RecommendationIndex:
         cache_size: int = 4096,
         block_size: int = 8192,
         metric: str = "dot",
+        ann: "IvfIndexManager | None" = None,
+        default_mode: str | None = None,
     ) -> None:
         if cache_size < 0:
             raise ServingError(f"cache_size must be >= 0, got {cache_size}")
@@ -53,13 +81,25 @@ class RecommendationIndex:
             raise ServingError(
                 f"unknown metric {metric!r}; options: {list(METRIC_CHOICES)}"
             )
+        if default_mode is None:
+            default_mode = "ivf" if ann is not None else "exact"
+        if default_mode not in INDEX_CHOICES:
+            raise ServingError(
+                f"unknown index mode {default_mode!r}; options: "
+                f"{list(INDEX_CHOICES)}"
+            )
+        if default_mode == "ivf" and ann is None:
+            raise ServingError("default_mode='ivf' requires an ann manager")
         self.store = store
         self.cache_size = cache_size
         self.block_size = block_size
         self.metric = metric
+        self.ann = ann
+        self.default_mode = default_mode
         self._lock = threading.Lock()
-        self._cache: OrderedDict[tuple[int, int], TopK] = OrderedDict()
+        self._cache: OrderedDict[tuple[int, int, str], TopK] = OrderedDict()
         self._cache_version: int = -1
+        self._ann_query_count = 0
 
     # ------------------------------------------------------------------
     # Cache plumbing
@@ -77,17 +117,34 @@ class RecommendationIndex:
             self._cache.clear()
             self._cache_version = snapshot.version
 
+    def _resolve_mode(self, mode: str | None) -> str:
+        if mode is None:
+            return self.default_mode
+        if mode not in INDEX_CHOICES:
+            raise ServingError(
+                f"unknown index mode {mode!r}; options: {list(INDEX_CHOICES)}"
+            )
+        if mode == "ivf" and self.ann is None:
+            raise ServingError(
+                "index mode 'ivf' requested but no ANN manager is attached"
+            )
+        return mode
+
     def cached(self, node: int, k: int,
-               snapshot: EmbeddingSnapshot | None = None) -> TopK | None:
-        """Return the cached result for ``(node, k)`` or None.
+               snapshot: EmbeddingSnapshot | None = None,
+               mode: str | None = None) -> TopK | None:
+        """Return the cached result for ``(node, k, mode)`` or None.
 
         Only results computed against ``snapshot``'s version qualify
         (the *current* store snapshot when omitted); a hit refreshes
         LRU recency and counts as ``serving.index.cache_hits``.
         Passing an explicit snapshot pins a multi-request batch to one
         version: a publish landing mid-batch cannot mix newer cache
-        hits into a batch computed against the older snapshot.
+        hits into a batch computed against the older snapshot.  An
+        ``"ivf"`` lookup may also be answered by an ``"exact"`` entry
+        (exact answers have recall 1); the reverse never happens.
         """
+        mode = self._resolve_mode(mode)
         if snapshot is None:
             snapshot = self.store.snapshot()
         with self._lock:
@@ -96,20 +153,25 @@ class RecommendationIndex:
                 # The cache has moved past this snapshot's version; its
                 # entries would answer from a different generation.
                 return None
-            hit = self._cache.get((node, k))
+            hit = self._cache.get((node, k, mode))
+            if hit is None and mode == "ivf":
+                hit = self._cache.get((node, k, "exact"))
+                if hit is not None:
+                    self._cache.move_to_end((node, k, "exact"))
+            elif hit is not None:
+                self._cache.move_to_end((node, k, mode))
             if hit is None:
                 return None
-            self._cache.move_to_end((node, k))
         get_recorder().counter("serving.index.cache_hits")
         return hit
 
     def _fill(self, snapshot: EmbeddingSnapshot, node: int, k: int,
-              result: TopK) -> None:
+              mode: str, result: TopK) -> None:
         with self._lock:
             if self._cache_version != snapshot.version or self.cache_size == 0:
                 return
-            self._cache[(node, k)] = result
-            self._cache.move_to_end((node, k))
+            self._cache[(node, k, mode)] = result
+            self._cache.move_to_end((node, k, mode))
             while len(self._cache) > self.cache_size:
                 self._cache.popitem(last=False)
                 get_recorder().counter("serving.index.cache_evictions")
@@ -121,39 +183,67 @@ class RecommendationIndex:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def top_k(self, node: int, k: int) -> TopK:
+    def top_k(self, node: int, k: int, mode: str | None = None) -> TopK:
         """Top-``k`` nodes for ``node`` (self excluded), best first."""
-        hit = self.cached(node, k)
+        hit = self.cached(node, k, mode=mode)
         if hit is not None:
             return hit
-        return self.top_k_batch([(node, k)])[0]
+        return self.top_k_batch([(node, k, mode)])[0]
 
-    def top_k_batch(self, requests: list[tuple[int, int]]) -> list[TopK]:
-        """Serve many ``(node, k)`` requests with shared block scans.
+    def top_k_batch(self, requests: "list[TopKRequest]") -> list[TopK]:
+        """Serve many requests with shared block scans.
 
-        Cache hits are answered in place; the remaining distinct
+        Each request is ``(node, k)`` or ``(node, k, mode)``.  Cache
+        hits are answered in place; the remaining distinct exact
         requests of each ``k`` share one blocked pass over the matrix,
-        which is what makes micro-batched top-k amortize.  The whole
+        which is what makes micro-batched top-k amortize, while ANN
+        requests score only their probed candidate rows.  The whole
         batch answers from the one snapshot taken here — cache lookups
-        are pinned to its version, so a publish racing the batch can
-        never mix results from two embedding generations in one
-        response.
+        and the ANN index are pinned to its version, so a publish (or
+        an index build) racing the batch can never mix results from two
+        embedding generations in one response.
         """
         snapshot = self.store.snapshot()
         rec = get_recorder()
+        ann_index = None
+        if self.ann is not None:
+            ann_index = self.ann.index_for(snapshot)
         results: dict[int, TopK] = {}
-        misses: dict[int, list[int]] = {}
-        for i, (node, k) in enumerate(requests):
+        exact_misses: dict[int, list[int]] = {}
+        ivf_misses: list[tuple[int, int, int]] = []  # (i, node, k)
+        for i, request in enumerate(requests):
+            node, k = int(request[0]), int(request[1])
+            mode = self._resolve_mode(
+                request[2] if len(request) > 2 else None  # type: ignore[misc]
+            )
             self._validate(snapshot, node, k)
-            hit = self.cached(node, k, snapshot)
+            hit = self.cached(node, k, snapshot, mode)
             if hit is not None:
                 results[i] = hit
-            else:
-                misses.setdefault(k, []).append(i)
-        for k, indices in misses.items():
+                continue
+            if mode == "ivf":
+                if ann_index is None:
+                    # Cold store, build in flight, or store too small.
+                    rec.counter("serving.ann.fallbacks")
+                    rec.counter("serving.ann.fallbacks.no_index")
+                    mode = "exact"
+                else:
+                    ivf_misses.append((i, node, k))
+                    continue
+            exact_misses.setdefault(k, []).append(i)
+
+        for i, node, k in ivf_misses:
+            result = self._compute_ivf(snapshot, ann_index, node, k)
+            if result is None:  # not enough candidates: exact fallback
+                exact_misses.setdefault(k, []).append(i)
+                continue
+            results[i] = result
+            self._fill(snapshot, node, k, "ivf", result)
+
+        for k, indices in exact_misses.items():
             nodes = []
             for i in indices:
-                node = requests[i][0]
+                node = int(requests[i][0])
                 if node not in nodes:
                     nodes.append(node)
             rec.counter("serving.index.cache_misses", len(nodes))
@@ -166,9 +256,9 @@ class RecommendationIndex:
                 result[0].setflags(write=False)
                 result[1].setflags(write=False)
                 computed[node] = result
-                self._fill(snapshot, node, k, result)
+                self._fill(snapshot, node, k, "exact", result)
             for i in indices:
-                results[i] = computed[requests[i][0]]
+                results[i] = computed[int(requests[i][0])]
         return [results[i] for i in range(len(requests))]
 
     def _validate(self, snapshot: EmbeddingSnapshot, node: int,
@@ -181,14 +271,108 @@ class RecommendationIndex:
             raise ServingError(f"k must be >= 1, got {k}")
 
     # ------------------------------------------------------------------
+    # ANN path
+    # ------------------------------------------------------------------
+    def _compute_ivf(self, snapshot: EmbeddingSnapshot, ann_index,
+                     node: int, k: int) -> TopK | None:
+        """One ANN query: probe cells, score candidates exactly.
+
+        Returns None when the probed candidates cannot fill
+        ``min(k, n - 1)`` results (empty probe cells, ``k`` exhausting
+        the indexed rows) — the caller then takes the exact path, so an
+        ANN answer always has the same shape as the exact one.
+        """
+        rec = get_recorder()
+        candidates, probed = ann_index.candidate_rows(node)
+        k_eff = min(k, snapshot.num_nodes - 1)
+        available = len(candidates)
+        if available and np.searchsorted(candidates, node) < available \
+                and candidates[np.searchsorted(candidates, node)] == node:
+            available -= 1  # self-exclusion consumes one candidate
+        if available < k_eff:
+            rec.counter("serving.ann.fallbacks")
+            rec.counter("serving.ann.fallbacks.insufficient_candidates")
+            return None
+        rec.counter("serving.ann.queries")
+        rec.counter("serving.ann.cells_probed", probed)
+        rec.counter("serving.ann.candidates_scored", len(candidates))
+        ids, scores = self._compute_many(
+            snapshot, np.asarray([node], dtype=np.int64), k,
+            row_ids=candidates,
+        )
+        result = (ids[:, 0].copy(), scores[:, 0].copy())
+        result[0].setflags(write=False)
+        result[1].setflags(write=False)
+        self._maybe_sample_recall(snapshot, node, k, result)
+        return result
+
+    def _maybe_sample_recall(self, snapshot: EmbeddingSnapshot, node: int,
+                             k: int, result: TopK) -> None:
+        """Shadow-check every N-th ANN answer against the oracle."""
+        every = self.ann.config.recall_sample_every if self.ann else 0
+        if every <= 0:
+            return
+        with self._lock:
+            self._ann_query_count += 1
+            due = self._ann_query_count % every == 0
+        if not due:
+            return
+        exact_ids, _ = self._compute_many(
+            snapshot, np.asarray([node], dtype=np.int64), k
+        )
+        k_eff = len(exact_ids)
+        recall = 1.0
+        if k_eff:
+            overlap = np.intersect1d(result[0], exact_ids[:, 0])
+            recall = len(overlap) / k_eff
+        rec = get_recorder()
+        rec.counter("serving.ann.recall_samples")
+        rec.observe("serving.ann.recall_at_k", recall)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _select_top(block_scores: np.ndarray, take: int) -> np.ndarray:
+        """Row offsets of the top ``take`` scores per column.
+
+        Exact total order: descending score, ties broken by *lower row
+        offset* (= lower node id, since blocks are id-ascending).  A
+        plain ``argpartition`` keeps an arbitrary subset of boundary
+        ties, which silently violated the documented lower-id tie-break
+        on duplicate-heavy matrices; the threshold + cumulative-count
+        selection below admits exactly the lowest-id ties instead, for
+        one extra cheap pass over the block.
+        """
+        rows, columns = block_scores.shape
+        if take >= rows:
+            return np.broadcast_to(
+                np.arange(rows, dtype=np.int64)[:, None], (rows, columns)
+            )
+        kth = np.partition(block_scores, rows - take, axis=0)[rows - take]
+        above = block_scores > kth
+        need = take - above.sum(axis=0)
+        tied = block_scores == kth
+        selected = above | (tied & (np.cumsum(tied, axis=0) <= need))
+        # Exactly ``take`` per column; nonzero on the transpose walks
+        # column-major, rows ascending within each column.
+        offsets = np.nonzero(selected.T)[1]
+        return offsets.reshape(columns, take).T
+
     def _compute_many(self, snapshot: EmbeddingSnapshot,
-                      nodes: np.ndarray, k: int
+                      nodes: np.ndarray, k: int,
+                      row_ids: np.ndarray | None = None,
                       ) -> tuple[np.ndarray, np.ndarray]:
         """Blocked top-k for ``m`` distinct query nodes at once.
 
         Returns ``(ids, scores)`` of shape ``(k_eff, m)`` with each
         column sorted best-first (ties broken by lower id).  Peak
         memory is O(block_size * m) however large the matrix is.
+
+        ``row_ids`` (sorted ascending) restricts scoring to a candidate
+        subset — the ANN path.  A block of consecutive ids is detected
+        and served from a contiguous slice, so candidates covering the
+        whole id range (``nprobe = nlist``) run the *identical*
+        block/GEMM/selection sequence as the full scan and return
+        bit-identical results.
         """
         rec = get_recorder()
         matrix = snapshot.matrix
@@ -202,43 +386,64 @@ class RecommendationIndex:
         if self.metric == "cosine":
             qnorm = np.where(snapshot.norms[nodes] == 0.0, 1.0,
                              snapshot.norms[nodes])
+        total = n if row_ids is None else len(row_ids)
         cand_ids: list[np.ndarray] = []
         cand_scores: list[np.ndarray] = []
-        for start in range(0, n, self.block_size):
-            stop = min(n, start + self.block_size)
-            block_scores = matrix[start:stop] @ queries  # (bs, m)
+        for start in range(0, total, self.block_size):
+            stop = min(total, start + self.block_size)
+            if row_ids is None:
+                ids_block = None
+                rows = matrix[start:stop]
+                row_norms = snapshot.norms[start:stop]
+            else:
+                ids_block = row_ids[start:stop]
+                lo, hi = int(ids_block[0]), int(ids_block[-1])
+                if hi - lo + 1 == len(ids_block):  # consecutive run
+                    rows = matrix[lo:hi + 1]
+                    row_norms = snapshot.norms[lo:hi + 1]
+                else:
+                    rows = matrix[ids_block]
+                    row_norms = snapshot.norms[ids_block]
+            block_scores = rows @ queries  # (bs, m)
             rec.counter("serving.index.gemm_rows", (stop - start) * m)
             if self.metric == "cosine":
-                norms = np.where(snapshot.norms[start:stop] == 0.0, 1.0,
-                                 snapshot.norms[start:stop])
-                block_scores /= norms[:, None] * qnorm[None, :]
+                norms = np.where(row_norms == 0.0, 1.0, row_norms)
+                denom = norms[:, None] * qnorm[None, :]
+                # Two tiny-but-nonzero norms can *underflow* to a zero
+                # product even though both factors passed the zero
+                # guard; dividing by it put NaN into the ordering.
+                np.maximum(denom, _TINY, out=denom)
+                block_scores /= denom
             # Self-exclusion: a query node inside this block never
             # recommends itself.
-            inside = (nodes >= start) & (nodes < stop)
-            block_scores[nodes[inside] - start, np.flatnonzero(inside)] = (
-                -np.inf
-            )
+            if ids_block is None:
+                inside = (nodes >= start) & (nodes < stop)
+                positions = nodes[inside] - start
+            else:
+                found = np.searchsorted(ids_block, nodes)
+                found = np.minimum(found, len(ids_block) - 1)
+                inside = ids_block[found] == nodes
+                positions = found[inside]
+            block_scores[positions, np.flatnonzero(inside)] = -np.inf
             bs = stop - start
             take = min(k_eff, bs)
-            if take < bs:
-                part = np.argpartition(block_scores, bs - take,
-                                       axis=0)[bs - take:]
+            part = self._select_top(block_scores, take)
+            if ids_block is None:
+                cand_ids.append(part + start)
             else:
-                part = np.broadcast_to(
-                    np.arange(bs, dtype=np.int64)[:, None], (bs, m)
-                )
-            cand_ids.append(part + start)
+                cand_ids.append(ids_block[part])
             cand_scores.append(
                 np.take_along_axis(block_scores, part, axis=0)
             )
         pool_ids = np.concatenate(cand_ids, axis=0)
         pool_scores = np.concatenate(cand_scores, axis=0)
-        out_ids = np.empty((k_eff, m), dtype=np.int64)
-        out_scores = np.empty((k_eff, m), dtype=np.float64)
+        out_k = min(k_eff, len(pool_ids))
+        out_ids = np.empty((out_k, m), dtype=np.int64)
+        out_scores = np.empty((out_k, m), dtype=np.float64)
         for column in range(m):
             order = np.lexsort(
                 (pool_ids[:, column], -pool_scores[:, column])
-            )[:k_eff]
+            )[:out_k]
             out_ids[:, column] = pool_ids[order, column]
             out_scores[:, column] = pool_scores[order, column]
         return out_ids, out_scores

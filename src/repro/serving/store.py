@@ -21,6 +21,13 @@ that handoff point:
 :class:`~repro.tasks.incremental.IncrementalEmbedder` publishes here
 after every ``rebuild()``/``update()`` when constructed with a
 ``store=``, which is the ingest half of the online loop.
+
+:meth:`EmbeddingStore.subscribe` is the publish hook derived systems
+attach to; the ANN layer (:class:`~repro.serving.ann.IvfIndexManager`)
+uses it to rebuild its per-version IVF index asynchronously after every
+publish — the snapshot *version* is the pinning token that keeps an
+index generation from ever being paired with a different matrix
+generation.
 """
 
 from __future__ import annotations

@@ -304,3 +304,92 @@ class TestSchedulerProperties:
         # Makespan is at least serial/threads and at most serial work.
         assert result.makespan >= serial / threads - 1e-9
         assert result.makespan <= serial + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Serving top-k invariants
+# ---------------------------------------------------------------------------
+
+class TestServingTopKProperties:
+    """Exact top-k must be a pure function of (matrix, node, k, metric).
+
+    Block size and batch composition are execution details: they may
+    change which BLAS kernel computes each dot product (so scores are
+    compared with ``allclose``, not bit-equality), but they must never
+    change the returned ids — the selection and the lower-id tie-break
+    have to be invariant to how the scan was chunked or batched.
+    """
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=2, max_value=80),
+        st.integers(min_value=1, max_value=6),
+        st.sampled_from(["dot", "cosine"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_topk_invariant_to_block_size(self, seed, n, dim, metric):
+        from repro.serving import EmbeddingStore, RecommendationIndex
+
+        rng = np.random.default_rng(seed)
+        store = EmbeddingStore()
+        store.publish(rng.standard_normal((n, dim)), generation=0)
+        k = int(rng.integers(1, n + 2))
+        baseline = RecommendationIndex(store, cache_size=0, metric=metric)
+        expected_ids, expected_scores = baseline.top_k(0, k)
+        for block_size in (1, 3, 17, n):
+            index = RecommendationIndex(store, cache_size=0,
+                                        block_size=block_size, metric=metric)
+            ids, scores = index.top_k(0, k)
+            np.testing.assert_array_equal(ids, expected_ids)
+            np.testing.assert_allclose(scores, expected_scores,
+                                       rtol=1e-12, atol=1e-12)
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=3, max_value=60),
+        st.sampled_from(["dot", "cosine"]),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_topk_invariant_to_batch_composition(self, seed, n, metric):
+        from repro.serving import EmbeddingStore, RecommendationIndex
+
+        rng = np.random.default_rng(seed)
+        store = EmbeddingStore()
+        store.publish(rng.standard_normal((n, 4)), generation=0)
+        k = int(rng.integers(1, n))
+        nodes = rng.integers(0, n, size=6)
+        # Singles are the reference; the batch answers (in any request
+        # order) must agree with them.
+        single = RecommendationIndex(store, cache_size=0, metric=metric)
+        expected = [single.top_k(int(node), k) for node in nodes]
+        batched = RecommendationIndex(store, cache_size=0, metric=metric)
+        order = rng.permutation(len(nodes))
+        results = batched.top_k_batch([(int(nodes[i]), k) for i in order])
+        for got, i in zip(results, order):
+            np.testing.assert_array_equal(got[0], expected[i][0])
+            np.testing.assert_allclose(got[1], expected[i][1],
+                                       rtol=1e-12, atol=1e-12)
+
+    def test_duplicate_rows_keep_lowest_id_ties_across_block_sizes(self):
+        """Duplicate rows create huge tie groups; whatever the block
+        size, the selection must admit exactly the lowest-id ties (an
+        arbitrary tie subset would differ between chunkings).  Score
+        *bits* still vary with the chunking — BLAS picks different
+        accumulation orders for different GEMM shapes — which is exactly
+        why ids, not float identity, carry this invariant."""
+        from repro.serving import EmbeddingStore, RecommendationIndex
+
+        rng = np.random.default_rng(7)
+        prototypes = rng.standard_normal((4, 5))
+        matrix = prototypes[rng.integers(0, 4, size=120)]
+        store = EmbeddingStore()
+        store.publish(matrix, generation=0)
+        baseline = RecommendationIndex(store, cache_size=0, block_size=120)
+        expected_ids, expected_scores = baseline.top_k(11, 30)
+        for block_size in (1, 2, 7, 64):
+            index = RecommendationIndex(store, cache_size=0,
+                                        block_size=block_size)
+            ids, scores = index.top_k(11, 30)
+            np.testing.assert_array_equal(ids, expected_ids)
+            np.testing.assert_allclose(scores, expected_scores,
+                                       rtol=1e-12, atol=1e-12)

@@ -304,3 +304,56 @@ class TestStratifiedSplitRegressions:
         for seed in range(5):
             splits = stratified_node_split(labels, 0.4, 0.2, seed=seed)
             assert 1 in set(labels[splits.train])
+
+
+class TestServingIndexRegressions:
+    def test_cosine_denormal_norm_product_cannot_hijack_ranking(self):
+        """Bug: cosine scoring guarded *zero* norms but divided by the
+        raw product ``row_norm * query_norm``.  For rows of magnitude
+        ~1e-162 each factor survives the zero check, yet the product
+        underflows into the denormal range where the division returns
+        garbage: two effectively-zero rows 45 degrees apart scored
+        cosine 1.0 and outranked a genuinely aligned normal-magnitude
+        row.  Fix: clamp the denominator to the smallest normal float,
+        which deterministically sends effectively-zero rows to ~0
+        similarity — the same convention exactly-zero rows already get.
+        """
+        from repro.serving import EmbeddingStore, RecommendationIndex
+
+        tiny = 2.3e-162  # norm survives, but a product of two underflows
+        matrix = np.array([
+            [1.0, 1.0],    # 0: genuinely aligned with the query
+            [tiny, tiny],  # 1: the query - an effectively-zero row
+            [tiny, 0.0],   # 2: effectively zero, 45 degrees off
+            [0.0, 0.0],    # 3: exactly zero
+            [1.0, 0.0],    # 4: normal magnitude, 45 degrees off
+        ])
+        store = EmbeddingStore()
+        store.publish(matrix, generation=0)
+        index = RecommendationIndex(store, cache_size=0, metric="cosine")
+        ids, scores = index.top_k(1, 4)
+        assert np.all(np.isfinite(scores))
+        # Pre-fix order was [0, 2, 4, 3]: row 2 scored 1.0 and beat the
+        # genuinely similar row 4 (0.73).
+        np.testing.assert_array_equal(ids, [0, 4, 2, 3])
+        assert scores[ids == 2][0] <= 1e-10
+
+    def test_block_topk_breaks_ties_by_lower_id(self):
+        """Bug: per-block selection used ``argpartition``, which keeps
+        an *arbitrary* subset of boundary ties — on duplicate-heavy
+        matrices the returned ids depended on block size and violated
+        the documented "ties broken by lower id" order.  Fix: threshold
+        + cumulative-count selection admits exactly the lowest-id ties.
+        """
+        from repro.serving import EmbeddingStore, RecommendationIndex
+
+        matrix = np.tile(np.array([[1.0, -2.0, 0.5]]), (50, 1))
+        store = EmbeddingStore()
+        store.publish(matrix, generation=0)
+        expected = np.array([0, 1, 2, 3, 4])
+        for block_size in (3, 7, 50):
+            index = RecommendationIndex(store, cache_size=0,
+                                        block_size=block_size)
+            ids, scores = index.top_k(10, 5)
+            np.testing.assert_array_equal(ids, expected)
+            np.testing.assert_allclose(scores, 5.25)
