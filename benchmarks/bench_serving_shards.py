@@ -1,0 +1,145 @@
+"""Extension bench — sharded scatter/gather serving: QPS vs shard count.
+
+The sharded tier (:mod:`repro.serving.sharding`) claims that
+partitioning the embedding space across worker processes converts
+per-query scan time into parallel per-shard scans, at the cost of one
+query-vector fetch plus a scatter/gather round-trip per request.  This
+bench drives an exact-scan top-k workload (the worst case for the
+router: every request pays the full fan-out, no result caching, no hot
+set) against a 10^5-node store at 1, 2, and 4 shards and reports
+aggregate QPS, client-side latency percentiles, and the router-side
+``serving.shard.*`` breakdown.
+
+Gate: 4 shards must deliver >= 2x the aggregate top-k QPS of the
+1-shard configuration — enforced when the host has >= 4 cores to run
+the workers on.  As with ``bench_parallel_scaling``, speedup on this
+host is bounded by its core count, so the JSON record carries
+``cpu_count`` to tell "the tier does not scale" apart from "the
+machine has one core"; the fan-out correctness invariants (zero
+errors, zero degraded gathers, full fan-in at every shard count) are
+enforced unconditionally.  Saved to
+``bench_results/serving_shards.json``.
+"""
+
+import os
+
+import numpy as np
+
+from repro.bench import ExperimentRecorder, render_table
+from repro.observability import Recorder, use_recorder
+from repro.serving import (
+    ShardPlan,
+    ShardedFrontend,
+    ShardedPublisher,
+    ShardedServingConfig,
+    run_load,
+)
+
+from conftest import emit
+
+NUM_NODES = 100_000
+DIM = 64
+CLIENTS = 16
+REQUESTS = 1_500
+SHARD_COUNTS = (1, 2, 4)
+
+# No result cache and a uniform (hot-set-free) pure top-k workload:
+# every request pays a full per-shard scan, so the curve isolates the
+# scatter/gather scaling instead of cache behavior.
+CONFIG = ShardedServingConfig(cache_size=0, default_k=10)
+
+
+def _cores_available() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _build_matrix() -> np.ndarray:
+    rng = np.random.default_rng(81)
+    return rng.standard_normal((NUM_NODES, DIM))
+
+
+def _drive(matrix: np.ndarray, num_shards: int,
+           num_requests: int = REQUESTS):
+    """One closed-loop run at ``num_shards``; returns (report, recorder)."""
+    recorder = Recorder()
+    with use_recorder(recorder):
+        with ShardedFrontend(ShardPlan(num_shards, "range"),
+                             CONFIG) as frontend:
+            ShardedPublisher(frontend).publish(matrix, generation=0)
+            report = run_load(
+                frontend,
+                num_requests=num_requests,
+                clients=CLIENTS,
+                topk_fraction=1.0,
+                hot_fraction=0.0,
+                seed=82,
+            )
+    return report, recorder
+
+
+def _row(num_shards, report, recorder):
+    fanin = recorder.histograms.get("serving.shard.gather_fanin")
+    overhead = recorder.histograms.get("serving.shard.router_overhead_s")
+    return {
+        "shards": num_shards,
+        "qps": round(report.qps, 1),
+        "p50 ms": round(report.p50_ms, 3),
+        "p99 ms": round(report.p99_ms, 3),
+        "mean fan-in": round(fanin.mean, 2) if fanin else 0.0,
+        "router ms": (round(overhead.mean * 1e3, 3)
+                      if overhead and overhead.count else 0.0),
+        "degraded": int(
+            recorder.counters.get("serving.shard.degraded_queries", 0)),
+        "errors": report.errors,
+    }
+
+
+def test_serving_shard_scaling(benchmark):
+    matrix = _build_matrix()
+    benchmark.pedantic(
+        lambda: _drive(matrix, 2, num_requests=300),
+        rounds=1, iterations=1,
+    )
+
+    rows = []
+    reports = {}
+    for num_shards in SHARD_COUNTS:
+        report, recorder = _drive(matrix, num_shards)
+        reports[num_shards] = report
+        rows.append(_row(num_shards, report, recorder))
+        assert report.errors == 0
+        assert recorder.counters.get(
+            "serving.shard.degraded_queries", 0) == 0
+        fanin = recorder.histograms["serving.shard.gather_fanin"]
+        assert fanin.mean == float(num_shards)
+
+    cores = _cores_available()
+    emit("")
+    emit(render_table(
+        rows,
+        title=f"Sharded serving: aggregate top-k QPS vs shard count "
+              f"({cores} cores available)",
+    ))
+    speedup = reports[4].qps / reports[1].qps
+    emit(f"4-shard aggregate QPS speedup over 1 shard: {speedup:.2f}x")
+    if cores >= 4:
+        assert speedup >= 2.0, (
+            f"4-shard speedup {speedup:.2f}x < 2x "
+            f"({reports[4].qps:.0f} vs {reports[1].qps:.0f} qps)"
+        )
+    else:
+        emit(f"speedup gate skipped: {cores} core(s) cannot run 4 "
+             f"workers in parallel")
+
+    recorder = ExperimentRecorder("serving_shards")
+    recorder.add("cpu_count", cores)
+    for row in rows:
+        recorder.add(f"shards_{row['shards']}", row)
+    recorder.add("speedup", {
+        "four_shards_over_one": speedup,
+        "gate_enforced": cores >= 4,
+    })
+    recorder.save()

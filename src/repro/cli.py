@@ -427,14 +427,6 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                   f"{dynamic.num_edges} edges; initial embeddings in "
                   f"{build_seconds:.2f}s (generation {dynamic.generation})")
 
-            config = ServingConfig(
-                max_batch_size=args.max_batch_size,
-                max_delay=args.max_delay_ms / 1e3,
-                default_k=args.k,
-                cache_size=args.cache_size,
-                index=args.index,
-                ann=_ann_config(args),
-            )
             writer_error: list[BaseException] = []
 
             def ingest() -> None:
@@ -449,64 +441,164 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                 except BaseException as exc:  # surfaced after the run
                     writer_error.append(exc)
 
-            with ServingFrontend(store, config) as frontend:
-                if frontend.ann is not None:
-                    # Serve the initial snapshot from the IVF index from
-                    # the first request (later publishes rebuild async).
-                    ready = frontend.ann.wait_ready(timeout=60.0)
-                    index = frontend.ann.current
-                    if ready and index is not None:
-                        print(f"  ann: IVF index v{index.version} — "
-                              f"{index.nlist} cells, nprobe {index.nprobe}, "
-                              f"{index.nbytes / 1e6:.2f} MB, built in "
-                              f"{index.build_seconds:.3f}s")
-                    else:
-                        print("  ann: index not ready, serving exact "
-                              "fallback until the build lands")
-                writer = threading.Thread(target=ingest, daemon=True,
-                                          name="serve-sim-ingest")
-                writer.start()
-                report = run_load(
-                    frontend,
-                    num_requests=args.requests,
-                    clients=args.clients,
-                    topk_fraction=args.topk_fraction,
-                    k=args.k,
-                    seed=args.seed,
+            load_kwargs = dict(
+                num_requests=args.requests,
+                clients=args.clients,
+                topk_fraction=args.topk_fraction,
+                k=args.k,
+                seed=args.seed,
+            )
+            if args.shards > 1:
+                from repro.serving import (
+                    ShardPlan,
+                    ShardedFrontend,
+                    ShardedPublisher,
+                    ShardedServingConfig,
                 )
-                writer.join()
+
+                plan = ShardPlan(args.shards, args.shard_plan)
+                shard_config = ShardedServingConfig(
+                    default_k=args.k,
+                    cache_size=args.cache_size,
+                    index=args.index,
+                    ann=_ann_config(args),
+                )
+                with ShardedFrontend(plan, shard_config) as frontend:
+                    publisher = ShardedPublisher(frontend)
+                    # Installs the warm snapshot now and fans out every
+                    # incremental publish the ingest thread triggers.
+                    publisher.attach(store)
+                    print(f"  shards: {plan.num_shards} workers "
+                          f"({plan.strategy} plan), serving version "
+                          f"{frontend.version}")
+                    writer = threading.Thread(target=ingest, daemon=True,
+                                              name="serve-sim-ingest")
+                    writer.start()
+                    report = run_load(frontend, **load_kwargs)
+                    writer.join()
+                    publisher.detach()
+            else:
+                config = ServingConfig(
+                    max_batch_size=args.max_batch_size,
+                    max_delay=args.max_delay_ms / 1e3,
+                    default_k=args.k,
+                    cache_size=args.cache_size,
+                    index=args.index,
+                    ann=_ann_config(args),
+                )
+                with ServingFrontend(store, config) as frontend:
+                    if frontend.ann is not None:
+                        # Serve the initial snapshot from the IVF index
+                        # from the first request (later publishes rebuild
+                        # async).
+                        ready = frontend.ann.wait_ready(timeout=60.0)
+                        index = frontend.ann.current
+                        if ready and index is not None:
+                            print(
+                                f"  ann: IVF index v{index.version} — "
+                                f"{index.nlist} cells, nprobe "
+                                f"{index.nprobe}, "
+                                f"{index.nbytes / 1e6:.2f} MB, built in "
+                                f"{index.build_seconds:.3f}s")
+                        else:
+                            print("  ann: index not ready, serving exact "
+                                  "fallback until the build lands")
+                    writer = threading.Thread(target=ingest, daemon=True,
+                                              name="serve-sim-ingest")
+                    writer.start()
+                    report = run_load(frontend, **load_kwargs)
+                    writer.join()
             if writer_error:
                 raise writer_error[0]
 
             counters = recorder.counters
-            hits = counters.get("serving.index.cache_hits", 0)
-            misses = counters.get("serving.index.cache_misses", 0)
-            batch_hist = recorder.histograms.get("serving.batch.size")
             print()
             print(render_table([report.as_row()],
                                title="Closed-loop load (client side)"))
-            print()
-            print(render_table(
-                [{
-                    "publishes": int(
-                        counters.get("serving.store.publishes", 0)),
-                    "served generation": int(store.generation),
-                    "cache hit rate": (
-                        round(hits / (hits + misses), 3)
-                        if hits + misses else 0.0
-                    ),
-                    "mean batch": (round(batch_hist.mean, 2)
-                                   if batch_hist else 0.0),
-                    "gemm rows": int(
-                        counters.get("serving.index.gemm_rows", 0)),
-                }],
-                title="Serving internals (recorder)",
-            ))
-            if args.index == "ivf":
+            if args.shards > 1:
                 print()
-                print(render_table([_ann_row(recorder)],
-                                   title="ANN index internals (recorder)"))
+                print(render_table([_shard_row(recorder)],
+                                   title="Sharded tier (recorder)"))
+                print()
+                print(render_table(
+                    _per_shard_rows(recorder, args.shards, report.seconds),
+                    title="Per-shard breakdown (recorder)",
+                ))
+            else:
+                hits = counters.get("serving.index.cache_hits", 0)
+                misses = counters.get("serving.index.cache_misses", 0)
+                batch_hist = recorder.histograms.get("serving.batch.size")
+                print()
+                print(render_table(
+                    [{
+                        "publishes": int(
+                            counters.get("serving.store.publishes", 0)),
+                        "served generation": int(store.generation),
+                        "cache hit rate": (
+                            round(hits / (hits + misses), 3)
+                            if hits + misses else 0.0
+                        ),
+                        "mean batch": (round(batch_hist.mean, 2)
+                                       if batch_hist else 0.0),
+                        "gemm rows": int(
+                            counters.get("serving.index.gemm_rows", 0)),
+                    }],
+                    title="Serving internals (recorder)",
+                ))
+                if args.index == "ivf":
+                    print()
+                    print(render_table(
+                        [_ann_row(recorder)],
+                        title="ANN index internals (recorder)"))
     return 0
+
+
+def _shard_row(recorder) -> dict:
+    """One summary row of router-side ``serving.shard.*`` metrics.
+
+    Worker-internal metrics (per-shard index cache and GEMM counters)
+    live in the worker processes' own recorders and are not aggregated
+    here; the router-side view covers publishes, fan-out, overhead, and
+    degradation.
+    """
+    counters = recorder.counters
+    fanin = recorder.histograms.get("serving.shard.gather_fanin")
+    overhead = recorder.histograms.get("serving.shard.router_overhead_s")
+    install = recorder.histograms.get("serving.shard.install_s")
+    return {
+        "publishes": int(counters.get("serving.shard.publishes", 0)),
+        "version": int(recorder.gauges.get("serving.shard.version", 0)),
+        "install s": round(install.total, 3) if install else 0.0,
+        "topk": int(counters.get("serving.shard.requests.topk", 0)),
+        "score": int(counters.get("serving.shard.requests.score", 0)),
+        "mean fan-in": round(fanin.mean, 2) if fanin else 0.0,
+        "router ms": (round(overhead.mean * 1e3, 3)
+                      if overhead and overhead.count else 0.0),
+        "degraded": int(
+            counters.get("serving.shard.degraded_queries", 0)),
+        "stale retries": int(
+            counters.get("serving.shard.stale_retries", 0)),
+        "vector fetches": int(
+            counters.get("serving.shard.vector_fetches", 0)),
+        "cache hits": int(counters.get("serving.shard.cache_hits", 0)),
+    }
+
+
+def _per_shard_rows(recorder, num_shards: int, wall: float) -> list[dict]:
+    """Per-shard QPS / worker latency rows from the router's counters."""
+    rows = []
+    for shard in range(num_shards):
+        requests = int(
+            recorder.counters.get(f"serving.shard.{shard}.requests", 0))
+        seconds = recorder.histograms.get(f"serving.shard.{shard}.seconds")
+        rows.append({
+            "shard": shard,
+            "requests": requests,
+            "qps": round(requests / wall, 1) if wall > 0 else 0.0,
+            "mean ms": (round(seconds.mean * 1e3, 3)
+                        if seconds and seconds.count else 0.0),
+        })
+    return rows
 
 
 def _ann_config(args: argparse.Namespace):
@@ -844,6 +936,12 @@ def build_parser() -> argparse.ArgumentParser:
                       help="micro-batch max wait in milliseconds")
     load.add_argument("--cache-size", type=int, default=4096,
                       help="top-k LRU cache entries (0 disables)")
+    load.add_argument("--shards", type=int, default=1,
+                      help="shard worker processes (>1 serves through the "
+                           "scatter/gather sharded tier)")
+    load.add_argument("--shard-plan", default="hash",
+                      choices=["hash", "range"],
+                      help="node-id partitioner for --shards > 1")
     _add_ann_arguments(load)
     load.add_argument("--update-batches", type=int, default=0,
                       help="hold back 30%% of the stream and replay it "

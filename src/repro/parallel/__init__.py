@@ -31,6 +31,7 @@ what :func:`repro.hwmodel.threads.compare_to_measured` validates the
 analytic scheduler model against.
 """
 
+from repro.parallel.shared_array import SharedArray, SharedArraySpec
 from repro.parallel.shared_graph import SharedCsrGraph, SharedGraphSpec
 from repro.parallel.sgns import ParallelSgnsTrainer
 from repro.parallel.supervisor import (
@@ -41,6 +42,8 @@ from repro.parallel.supervisor import (
 from repro.parallel.walks import merge_walk_stats, run_parallel_walks, shard_indices
 
 __all__ = [
+    "SharedArray",
+    "SharedArraySpec",
     "SharedCsrGraph",
     "SharedGraphSpec",
     "ParallelSgnsTrainer",

@@ -21,6 +21,11 @@ ingest half already exists (:class:`~repro.graph.dynamic
   brute-force path stays the oracle and the automatic fallback;
 - :class:`ServingFrontend` — the thread-safe query surface (link
   scores + top-k) client threads call;
+- :class:`ShardPlan` / :class:`ShardedFrontend` /
+  :class:`ShardedPublisher` — the scatter/gather sharded tier: the
+  embedding space partitioned across worker processes, per-shard local
+  top-k merged bit-identically to the single-process oracle, snapshots
+  sliced and installed version-atomically across every shard;
 - :func:`run_load` — a closed-loop load generator for the ``serve-sim``
   CLI subcommand and ``bench_serving_throughput``.
 
@@ -34,11 +39,19 @@ from repro.serving.batching import BatchFuture, BatchScheduler
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.index import RecommendationIndex
 from repro.serving.loadgen import LoadReport, run_load
+from repro.serving.sharding import (
+    EmbeddingShard,
+    ShardPlan,
+    ShardedFrontend,
+    ShardedPublisher,
+    ShardedServingConfig,
+)
 from repro.serving.store import EmbeddingSnapshot, EmbeddingStore
 
 __all__ = [
     "BatchFuture",
     "BatchScheduler",
+    "EmbeddingShard",
     "EmbeddingSnapshot",
     "EmbeddingStore",
     "IvfConfig",
@@ -48,5 +61,9 @@ __all__ = [
     "RecommendationIndex",
     "ServingConfig",
     "ServingFrontend",
+    "ShardPlan",
+    "ShardedFrontend",
+    "ShardedPublisher",
+    "ShardedServingConfig",
     "run_load",
 ]

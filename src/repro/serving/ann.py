@@ -209,8 +209,19 @@ class IvfIndex:
     # ------------------------------------------------------------------
     def probe_order(self, node: int) -> np.ndarray:
         """All cell ids best-first for ``node`` (ties -> lower cell id)."""
-        query = self.snapshot.matrix[node]
-        affinity = self._rank_centroids @ query
+        return self.probe_order_for(self.snapshot.matrix[node])
+
+    def probe_order_for(self, query: np.ndarray) -> np.ndarray:
+        """All cell ids best-first for a raw query vector.
+
+        The sharded tier routes mostly *remote* query nodes through a
+        shard's index — the query row lives on another shard, so the
+        probe ranks cells against the shipped vector instead of a local
+        row.  ``probe_order(node)`` is exactly this on the node's own
+        row.
+        """
+        affinity = self._rank_centroids @ np.asarray(query,
+                                                     dtype=np.float64)
         return np.lexsort((np.arange(self.nlist), -affinity))
 
     def candidate_rows(self, node: int, nprobe: int | None = None
@@ -222,9 +233,15 @@ class IvfIndex:
         cells partition the id space), which is what makes exact-mode
         IVF bit-identical to the brute-force path.
         """
+        return self.candidate_rows_for(self.snapshot.matrix[node], nprobe)
+
+    def candidate_rows_for(self, query: np.ndarray,
+                           nprobe: int | None = None
+                           ) -> tuple[np.ndarray, int]:
+        """:meth:`candidate_rows` for a raw query vector."""
         nprobe = self.nprobe if nprobe is None else nprobe
         nprobe = max(1, min(nprobe, self.nlist))
-        probed = self.probe_order(node)[:nprobe]
+        probed = self.probe_order_for(query)[:nprobe]
         candidates = np.concatenate([self.cells[j] for j in probed])
         candidates.sort()
         return candidates, int(nprobe)

@@ -118,6 +118,11 @@ class ServingFrontend:
             name="top-k",
         )
 
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in the served snapshot (the load generator's id space)."""
+        return self.store.snapshot().num_nodes
+
     # ------------------------------------------------------------------
     def start(self) -> "ServingFrontend":
         """Start both schedulers (idempotent); returns self."""

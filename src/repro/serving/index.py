@@ -261,6 +261,43 @@ class RecommendationIndex:
                 results[i] = computed[int(requests[i][0])]
         return [results[i] for i in range(len(requests))]
 
+    def top_k_vector(self, vector: np.ndarray, k: int,
+                     exclude_row: int = -1,
+                     row_ids: np.ndarray | None = None) -> TopK:
+        """Top-``k`` rows for a raw query vector, best first.
+
+        The sharded serving tier's scatter path: every shard scores the
+        *shipped* query vector against its local rows, so the query
+        node's own row only exists (and is excluded, via
+        ``exclude_row``) on the owning shard.  ``row_ids`` restricts
+        scoring to a sorted candidate subset (the per-shard IVF path).
+        Results are not cached here — the shard worker keys its own LRU
+        by the global query node id, which this index never sees.
+        """
+        snapshot = self.store.snapshot()
+        vector = np.asarray(vector, dtype=np.float64).reshape(-1)
+        if vector.shape[0] != snapshot.dim:
+            raise ServingError(
+                f"query vector has dim {vector.shape[0]}, "
+                f"snapshot has dim {snapshot.dim}"
+            )
+        if k < 1:
+            raise ServingError(f"k must be >= 1, got {k}")
+        if exclude_row >= snapshot.num_nodes:
+            raise ServingError(
+                f"exclude_row {exclude_row} out of range "
+                f"[0, {snapshot.num_nodes})"
+            )
+        ids, scores = self._compute_many(
+            snapshot, None, k, row_ids=row_ids,
+            queries=vector[None, :],
+            exclude=np.asarray([exclude_row], dtype=np.int64),
+        )
+        result = (ids[:, 0].copy(), scores[:, 0].copy())
+        result[0].setflags(write=False)
+        result[1].setflags(write=False)
+        return result
+
     def _validate(self, snapshot: EmbeddingSnapshot, node: int,
                   k: int) -> None:
         if not 0 <= node < snapshot.num_nodes:
@@ -358,8 +395,10 @@ class RecommendationIndex:
         return offsets.reshape(columns, take).T
 
     def _compute_many(self, snapshot: EmbeddingSnapshot,
-                      nodes: np.ndarray, k: int,
+                      nodes: np.ndarray | None, k: int,
                       row_ids: np.ndarray | None = None,
+                      queries: np.ndarray | None = None,
+                      exclude: np.ndarray | None = None,
                       ) -> tuple[np.ndarray, np.ndarray]:
         """Blocked top-k for ``m`` distinct query nodes at once.
 
@@ -373,19 +412,38 @@ class RecommendationIndex:
         whole id range (``nprobe = nlist``) run the *identical*
         block/GEMM/selection sequence as the full scan and return
         bit-identical results.
+
+        ``queries`` (shape ``(m, d)``) scores raw vectors instead of
+        ``matrix[nodes]`` — the sharded scatter path, where the query
+        row usually lives on another shard.  ``exclude`` then carries
+        one row id per query to mask (-1 = none); with ``nodes`` the
+        exclusion is the query node itself, exactly as before.
         """
         rec = get_recorder()
         matrix = snapshot.matrix
         n = snapshot.num_nodes
-        m = len(nodes)
-        k_eff = min(k, n - 1)
+        if queries is None:
+            assert nodes is not None
+            exclude = nodes
+            query_rows = matrix[nodes]
+            query_norms = snapshot.norms[nodes]
+        else:
+            query_rows = np.ascontiguousarray(queries, dtype=np.float64)
+            if exclude is None:
+                exclude = np.full(len(query_rows), -1, dtype=np.int64)
+            # Same per-row reduction as the snapshot's own norms, so a
+            # shipped copy of a row scores bit-identically to the row.
+            query_norms = np.linalg.norm(query_rows, axis=1)
+        m = len(query_rows)
+        # Self-exclusion consumes one candidate; a query with no local
+        # exclusion row (remote shard) can use all n.
+        k_eff = min(k, n - 1) if bool(np.all(exclude >= 0)) else min(k, n)
         if k_eff <= 0:
             empty = np.empty((0, m), dtype=np.int64)
             return empty, np.empty((0, m), dtype=np.float64)
-        queries = matrix[nodes].T  # (d, m)
+        queries = query_rows.T  # (d, m)
         if self.metric == "cosine":
-            qnorm = np.where(snapshot.norms[nodes] == 0.0, 1.0,
-                             snapshot.norms[nodes])
+            qnorm = np.where(query_norms == 0.0, 1.0, query_norms)
         total = n if row_ids is None else len(row_ids)
         cand_ids: list[np.ndarray] = []
         cand_scores: list[np.ndarray] = []
@@ -404,7 +462,17 @@ class RecommendationIndex:
                 else:
                     rows = matrix[ids_block]
                     row_norms = snapshot.norms[ids_block]
-            block_scores = rows @ queries  # (bs, m)
+            if m == 1:
+                # Per-row deterministic kernel: einsum's reduction order
+                # depends only on d, never on the block's row count,
+                # where BLAS GEMV picks shape-dependent accumulation
+                # orders.  Single-query scores are therefore a pure
+                # function of (row bits, query bits) — the property that
+                # makes a shard worker scoring its slice bit-identical
+                # to this oracle scanning the full matrix.
+                block_scores = np.einsum("nd,dm->nm", rows, queries)
+            else:
+                block_scores = rows @ queries  # (bs, m)
             rec.counter("serving.index.gemm_rows", (stop - start) * m)
             if self.metric == "cosine":
                 norms = np.where(row_norms == 0.0, 1.0, row_norms)
@@ -415,14 +483,14 @@ class RecommendationIndex:
                 np.maximum(denom, _TINY, out=denom)
                 block_scores /= denom
             # Self-exclusion: a query node inside this block never
-            # recommends itself.
+            # recommends itself (-1 entries never match any block).
             if ids_block is None:
-                inside = (nodes >= start) & (nodes < stop)
-                positions = nodes[inside] - start
+                inside = (exclude >= start) & (exclude < stop)
+                positions = exclude[inside] - start
             else:
-                found = np.searchsorted(ids_block, nodes)
+                found = np.searchsorted(ids_block, exclude)
                 found = np.minimum(found, len(ids_block) - 1)
-                inside = ids_block[found] == nodes
+                inside = ids_block[found] == exclude
                 positions = found[inside]
             block_scores[positions, np.flatnonzero(inside)] = -np.inf
             bs = stop - start

@@ -24,7 +24,6 @@ import numpy as np
 from repro.errors import ServingError
 from repro.observability import get_recorder
 from repro.rng import SeedLike, make_rng
-from repro.serving.frontend import ServingFrontend
 
 
 @dataclass(frozen=True)
@@ -57,7 +56,7 @@ class LoadReport:
 
 
 def run_load(
-    frontend: ServingFrontend,
+    frontend,
     num_requests: int = 2000,
     clients: int = 4,
     topk_fraction: float = 0.5,
@@ -68,7 +67,14 @@ def run_load(
 ) -> LoadReport:
     """Run a closed-loop load test; returns the client-side report.
 
-    ``num_requests`` is split evenly across ``clients`` threads.
+    ``frontend`` is any query surface with ``top_k(node, k)``,
+    ``score_link(src, dst)`` and ``num_nodes``
+    (:class:`~repro.serving.frontend.ServingFrontend` or
+    :class:`~repro.serving.sharding.ShardedFrontend`).
+    ``num_requests`` is split across ``clients`` threads — near-evenly,
+    with the remainder spread one request each over the first
+    ``num_requests % clients`` clients, so exactly ``num_requests``
+    requests are issued whatever the division leaves over.
     ``topk_fraction`` of requests are top-k recommendations, the rest
     link scores.  ``hot_fraction`` of query nodes come from a hot set
     of ``hot_nodes`` ids (cache-friendly skew); the rest are uniform.
@@ -85,7 +91,7 @@ def run_load(
         raise ServingError(
             f"hot_fraction must be in [0, 1], got {hot_fraction}"
         )
-    num_nodes = frontend.store.snapshot().num_nodes
+    num_nodes = frontend.num_nodes
     rng = make_rng(seed)
     hot = rng.permutation(num_nodes)[:max(1, min(hot_nodes, num_nodes))]
 
@@ -97,13 +103,17 @@ def run_load(
         return nodes
 
     # Pregenerate every client's request tape so the measured loop does
-    # nothing but issue requests and read the clock.
-    per_client = -(-num_requests // clients)
+    # nothing but issue requests and read the clock.  The remainder of
+    # num_requests / clients goes one extra request to each of the
+    # first few tapes: rounding every tape up would issue up to
+    # clients - 1 requests beyond what the caller asked for.
+    base, remainder = divmod(num_requests, clients)
     tapes = []
-    for _ in range(clients):
-        is_topk = rng.random(per_client) < topk_fraction
-        nodes = draw_nodes(per_client)
-        peers = draw_nodes(per_client)
+    for idx in range(clients):
+        tape_len = base + (1 if idx < remainder else 0)
+        is_topk = rng.random(tape_len) < topk_fraction
+        nodes = draw_nodes(tape_len)
+        peers = draw_nodes(tape_len)
         tapes.append((is_topk, nodes, peers))
 
     latencies: list[list[float]] = [[] for _ in range(clients)]
@@ -115,7 +125,7 @@ def run_load(
         is_topk, nodes, peers = tapes[idx]
         local_lat = latencies[idx]
         barrier.wait()
-        for i in range(per_client):
+        for i in range(len(is_topk)):
             start = time.monotonic()
             try:
                 if is_topk[i]:
@@ -152,7 +162,10 @@ def run_load(
     # serving.* internals (no-op under the NullRecorder).
     for value in lat_ms:
         rec.observe("loadgen.latency_ms", float(value))
-    if errors:
+    # errors is a [0] * clients list — truthy even when every count is
+    # zero — so guard on the sum, not the list, or every clean run
+    # emits a spurious loadgen.errors = 0.
+    if sum(errors):
         rec.counter("loadgen.errors", int(sum(errors)))
     return LoadReport(
         requests=total,

@@ -1,0 +1,1002 @@
+"""Sharded scatter/gather serving: the embedding space across processes.
+
+Everything up to PR 7 serves from one process; the "millions of users"
+scenario needs the embedding space *partitioned* across real processes
+with a router in front — the same ingest → train → publish → route
+pipeline that "Towards Real-Time Temporal Graph Learning" overlaps
+across CPU/GPU stages, here spread across shard workers.  Four pieces:
+
+- :class:`ShardPlan` — the deterministic partitioner.  ``hash`` spreads
+  node ids via a Fibonacci mixing hash (load-balanced, stable per id);
+  ``range`` assigns contiguous id ranges (locality-preserving, and
+  re-balanced automatically when the node count grows between
+  publishes).
+- :class:`EmbeddingShard` workers — one process per shard, each owning
+  a shard-local :class:`~repro.serving.store.EmbeddingStore` +
+  :class:`~repro.serving.index.RecommendationIndex` (exact, or a
+  per-shard :class:`~repro.serving.ann.IvfIndex`) plus an LRU of
+  answered sub-queries.  Slices arrive through
+  :class:`~repro.parallel.shared_array.SharedArray` blocks, not the
+  command pipe.
+- :class:`ShardedFrontend` — the router.  ``top_k`` is a
+  scatter/gather: fetch the query vector from the owning shard (router
+  LRU caches it per version), broadcast it, take each shard's local
+  top-k, merge with the documented (score desc, lower global id)
+  tie-break — **bit-identical** to the single-process oracle.
+  ``score_link`` routes to the owning shard of one endpoint and ships
+  the other endpoint's vector when the pair spans shards.  When a
+  worker dies the router degrades: surviving shards still answer and
+  every partial gather is counted (``serving.shard.degraded_queries``).
+- :class:`ShardedPublisher` — slices each new snapshot per shard,
+  installs every slice under one new version, and only then flips the
+  router's served version.  Queries carry the version they were routed
+  under and workers retain the previous version, so **no gather can
+  ever mix two versions across shards** (the sharded analogue of the
+  store's atomic snapshot swap).
+
+Known trade-off: each worker handles its command pipe serially, so a
+publish (slice install + optional IVF build) briefly queues behind /
+ahead of that shard's sub-queries — availability is bounded by install
+time, never correctness.
+
+Oracle harness: ``tests/test_serving_shards.py`` (``pytest -m
+shards``); capacity curve: ``benchmarks/bench_serving_shards.py``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from multiprocessing import resource_tracker
+
+import numpy as np
+
+from repro.errors import ServingError
+from repro.observability import get_recorder
+from repro.parallel.shared_array import SharedArray, SharedArraySpec
+from repro.parallel.supervisor import _mp_context
+from repro.serving.ann import INDEX_CHOICES, IvfConfig, IvfIndex
+from repro.serving.index import METRIC_CHOICES, RecommendationIndex, TopK
+from repro.serving.store import EmbeddingStore
+
+PLAN_CHOICES = ("hash", "range")
+
+#: Knuth's 64-bit golden-ratio multiplier; mixes consecutive node ids
+#: into well-spread shard assignments.
+_GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+
+
+class _ShardDownError(ServingError):
+    """The target worker process is dead (gathers degrade on this)."""
+
+
+class _StaleVersionError(ServingError):
+    """The worker already dropped the requested version (router retries)."""
+
+
+# ---------------------------------------------------------------------------
+# Partitioner
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardPlan:
+    """Deterministic node-id → shard assignment.
+
+    ``hash`` mixes each id with the 64-bit golden-ratio multiplier and
+    takes the high bits modulo ``num_shards`` — stable per id however
+    the node count grows.  ``range`` splits ``[0, num_nodes)`` into
+    contiguous near-equal ranges (the same :func:`numpy.linspace`
+    bounds as :func:`repro.parallel.walks.shard_indices`); ownership is
+    a function of the *current* node count, so a growing store
+    rebalances naturally at the next publish.  Both sides of the wire
+    (publisher and worker) recompute ownership from this same plan, so
+    they can never disagree.
+    """
+
+    num_shards: int
+    strategy: str = "hash"
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ServingError(
+                f"num_shards must be >= 1, got {self.num_shards}"
+            )
+        if self.strategy not in PLAN_CHOICES:
+            raise ServingError(
+                f"unknown shard strategy {self.strategy!r}; options: "
+                f"{list(PLAN_CHOICES)}"
+            )
+
+    # ------------------------------------------------------------------
+    def _bounds(self, num_nodes: int) -> np.ndarray:
+        return np.linspace(0, num_nodes,
+                           self.num_shards + 1).astype(np.int64)
+
+    def shard_of_many(self, nodes: np.ndarray, num_nodes: int) -> np.ndarray:
+        """Owning shard id for every node in ``nodes`` (vectorized)."""
+        nodes = np.asarray(nodes, dtype=np.int64)
+        if self.strategy == "hash":
+            with np.errstate(over="ignore"):
+                mixed = nodes.astype(np.uint64) * _GOLDEN
+            return ((mixed >> np.uint64(33))
+                    % np.uint64(self.num_shards)).astype(np.int64)
+        bounds = self._bounds(num_nodes)
+        return (np.searchsorted(bounds, nodes, side="right") - 1
+                ).astype(np.int64)
+
+    def shard_of(self, node: int, num_nodes: int) -> int:
+        """Owning shard id of one node."""
+        return int(self.shard_of_many(
+            np.asarray([node], dtype=np.int64), num_nodes)[0])
+
+    def owned_ids(self, shard: int, num_nodes: int) -> np.ndarray:
+        """Global node ids owned by ``shard``, ascending.
+
+        Ascending order is load-bearing: a slice built from it keeps
+        local row order equal to global id order, which is what lets a
+        shard's local lower-row tie-break stand in for the oracle's
+        lower-*id* tie-break.
+        """
+        if not 0 <= shard < self.num_shards:
+            raise ServingError(
+                f"shard {shard} out of range [0, {self.num_shards})"
+            )
+        if self.strategy == "range":
+            bounds = self._bounds(num_nodes)
+            return np.arange(bounds[shard], bounds[shard + 1],
+                             dtype=np.int64)
+        everyone = np.arange(num_nodes, dtype=np.int64)
+        return everyone[self.shard_of_many(everyone, num_nodes) == shard]
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class _WorkerConfig:
+    """Picklable per-worker knobs (derived from ShardedServingConfig)."""
+
+    metric: str
+    block_size: int
+    cache_size: int
+    index: str
+    ann: IvfConfig | None
+    keep_versions: int
+
+
+class _ShardVersion:
+    """One installed slice version inside a worker."""
+
+    __slots__ = ("store", "index", "ivf", "ids", "num_nodes", "lru")
+
+    def __init__(self, store: EmbeddingStore | None,
+                 index: RecommendationIndex | None, ivf: IvfIndex | None,
+                 ids: np.ndarray, num_nodes: int) -> None:
+        self.store = store
+        self.index = index
+        self.ivf = ivf
+        self.ids = ids
+        self.num_nodes = num_nodes
+        self.lru: OrderedDict[tuple[int, int], TopK] = OrderedDict()
+
+
+def _local_row(sv: _ShardVersion, node: int) -> int:
+    """Local row of global ``node`` in this shard's slice, or -1."""
+    pos = int(np.searchsorted(sv.ids, node))
+    if pos < len(sv.ids) and int(sv.ids[pos]) == node:
+        return pos
+    return -1
+
+
+class _WorkerState:
+    """Everything a shard worker holds between commands."""
+
+    def __init__(self, shard_id: int, plan: ShardPlan,
+                 cfg: _WorkerConfig) -> None:
+        self.shard_id = shard_id
+        self.plan = plan
+        self.cfg = cfg
+        self.versions: OrderedDict[int, _ShardVersion] = OrderedDict()
+
+    # -- commands ------------------------------------------------------
+    def _resolve(self, version: int) -> _ShardVersion:
+        sv = self.versions.get(version)
+        if sv is None:
+            raise _StaleVersionError(
+                f"shard {self.shard_id} no longer holds version {version}"
+            )
+        return sv
+
+    def install(self, version: int, generation: int, num_nodes: int,
+                spec: SharedArraySpec | None) -> bool:
+        ids = self.plan.owned_ids(self.shard_id, num_nodes)
+        if spec is None or len(ids) == 0:
+            sv = _ShardVersion(None, None, None, ids, num_nodes)
+        else:
+            shared = SharedArray.attach(spec)
+            try:
+                local = np.array(shared.array, dtype=np.float64, copy=True)
+            finally:
+                shared.close()
+            if local.shape[0] != len(ids):
+                raise ServingError(
+                    f"shard {self.shard_id} slice has {local.shape[0]} "
+                    f"rows, plan owns {len(ids)}"
+                )
+            store = EmbeddingStore()
+            snapshot = store.publish(local, generation)
+            index = RecommendationIndex(
+                store, cache_size=0, block_size=self.cfg.block_size,
+                metric=self.cfg.metric,
+            )
+            ivf = None
+            if self.cfg.index == "ivf":
+                ann = self.cfg.ann or IvfConfig()
+                if len(ids) >= ann.min_index_nodes:
+                    ivf = IvfIndex.build(snapshot, ann, self.cfg.metric)
+            sv = _ShardVersion(store, index, ivf, ids, num_nodes)
+        self.versions[version] = sv
+        while len(self.versions) > max(1, self.cfg.keep_versions):
+            self.versions.popitem(last=False)
+        return True
+
+    def topk(self, version: int, node: int, k: int, vec: np.ndarray
+             ) -> tuple[np.ndarray, np.ndarray, bool]:
+        sv = self._resolve(version)
+        if sv.store is None:  # empty shard: nothing to contribute
+            return (np.empty(0, dtype=np.int64),
+                    np.empty(0, dtype=np.float64), False)
+        key = (int(node), int(k))
+        hit = sv.lru.get(key)
+        if hit is not None:
+            sv.lru.move_to_end(key)
+            return hit[0], hit[1], True
+        exclude_row = _local_row(sv, node)
+        row_ids = None
+        if sv.ivf is not None:
+            candidates, _probed = sv.ivf.candidate_rows_for(vec)
+            available = len(candidates)
+            if exclude_row >= 0:
+                pos = int(np.searchsorted(candidates, exclude_row))
+                if pos < available and int(candidates[pos]) == exclude_row:
+                    available -= 1
+            local_n = len(sv.ids)
+            k_eff = min(k, local_n - 1 if exclude_row >= 0 else local_n)
+            if available >= k_eff:
+                row_ids = candidates
+        local_ids, scores = sv.index.top_k_vector(
+            vec, k, exclude_row=exclude_row, row_ids=row_ids,
+        )
+        gids = sv.ids[local_ids]
+        gids.setflags(write=False)
+        if self.cfg.cache_size > 0:
+            sv.lru[key] = (gids, scores)
+            while len(sv.lru) > self.cfg.cache_size:
+                sv.lru.popitem(last=False)
+        return gids, scores, False
+
+    def vector(self, version: int, node: int) -> np.ndarray:
+        sv = self._resolve(version)
+        row = -1 if sv.store is None else _local_row(sv, node)
+        if row < 0:
+            raise ServingError(
+                f"node {node} is not owned by shard {self.shard_id}"
+            )
+        return np.array(sv.store.snapshot().matrix[row], copy=True)
+
+    def score(self, version: int, src: int, dst: int | None,
+              dst_vec: np.ndarray | None) -> float:
+        sv = self._resolve(version)
+        row = -1 if sv.store is None else _local_row(sv, src)
+        if row < 0:
+            raise ServingError(
+                f"node {src} is not owned by shard {self.shard_id}"
+            )
+        matrix = sv.store.snapshot().matrix
+        if dst_vec is None:
+            peer_row = _local_row(sv, int(dst))
+            if peer_row < 0:
+                raise ServingError(
+                    f"node {dst} is not owned by shard {self.shard_id}"
+                )
+            dst_vec = matrix[peer_row]
+        # Same einsum as ServingFrontend._process_scores, so a sharded
+        # link score is bit-identical to the single-process one.
+        return float(np.einsum("bd,bd->b", matrix[row][None, :],
+                               np.asarray(dst_vec)[None, :])[0])
+
+
+def _shard_worker_main(conn, shard_id: int, plan: ShardPlan,
+                       cfg: _WorkerConfig) -> None:
+    """Worker entry point: serve commands until ``stop`` or EOF.
+
+    Replies are ``(request_id, ok, payload, seconds)``; a failure
+    payload is ``(kind, message)`` with ``kind`` either ``"stale"``
+    (router refreshes its version and retries) or ``"error"``.
+    """
+    state = _WorkerState(shard_id, plan, cfg)
+    handlers = {
+        "install": state.install,
+        "topk": state.topk,
+        "vector": state.vector,
+        "score": state.score,
+        "ping": lambda: shard_id,
+    }
+    while True:
+        try:
+            request_id, op, payload = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            break
+        start = time.perf_counter()
+        if op == "stop":
+            try:
+                conn.send((request_id, True, None, 0.0))
+            except (OSError, BrokenPipeError):
+                pass
+            break
+        try:
+            handler = handlers[op]
+            result = handler(*payload) if payload is not None else handler()
+            reply = (request_id, True, result,
+                     time.perf_counter() - start)
+        except _StaleVersionError as exc:
+            reply = (request_id, False, ("stale", str(exc)),
+                     time.perf_counter() - start)
+        except Exception as exc:
+            reply = (request_id, False,
+                     ("error", f"{type(exc).__name__}: {exc}"),
+                     time.perf_counter() - start)
+        try:
+            conn.send(reply)
+        except (OSError, BrokenPipeError):
+            break
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Router side: one client per worker
+# ---------------------------------------------------------------------------
+class _Reply:
+    """One in-flight worker reply (event-resolved by the receiver)."""
+
+    __slots__ = ("_event", "_ok", "_payload", "_seconds", "_error")
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._ok = False
+        self._payload = None
+        self._seconds = 0.0
+        self._error: ServingError | None = None
+
+    def _resolve(self, ok: bool, payload, seconds: float) -> None:
+        self._ok = ok
+        self._payload = payload
+        self._seconds = seconds
+        self._event.set()
+
+    def _fail(self, error: ServingError) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None):
+        """``(payload, worker_seconds)``; raises on failure/timeout."""
+        if not self._event.wait(timeout):
+            raise ServingError(
+                f"shard request timed out after {timeout}s"
+            )
+        if self._error is not None:
+            raise self._error
+        if not self._ok:
+            kind, message = self._payload
+            if kind == "stale":
+                raise _StaleVersionError(message)
+            raise ServingError(f"shard worker error: {message}")
+        return self._payload, self._seconds
+
+
+class EmbeddingShard:
+    """Router-side handle to one shard worker process.
+
+    Wraps the command pipe with request-id multiplexing: any router
+    thread may issue requests concurrently; a dedicated receiver thread
+    dispatches replies.  A dead worker (EOF on the pipe, failed send)
+    flips :attr:`alive` and fails every pending request with
+    :class:`_ShardDownError`, which is what the router's degraded mode
+    keys on.
+    """
+
+    def __init__(self, shard_id: int, process, conn) -> None:
+        self.shard_id = shard_id
+        self._process = process
+        self._conn = conn
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: dict[int, _Reply] = {}
+        self._next_id = 0
+        self._alive = True
+        self._receiver = threading.Thread(
+            target=self._recv_loop, daemon=True,
+            name=f"shard-recv-{shard_id}",
+        )
+        self._receiver.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    # ------------------------------------------------------------------
+    def request_async(self, op: str, payload) -> _Reply:
+        reply = _Reply()
+        if not self._alive:
+            reply._fail(_ShardDownError(
+                f"shard {self.shard_id} worker is down"))
+            return reply
+        with self._pending_lock:
+            self._next_id += 1
+            request_id = self._next_id
+            self._pending[request_id] = reply
+        try:
+            with self._send_lock:
+                self._conn.send((request_id, op, payload))
+        except (OSError, ValueError, BrokenPipeError):
+            self._mark_dead()
+        return reply
+
+    def request(self, op: str, payload, timeout: float | None = None):
+        return self.request_async(op, payload).result(timeout)
+
+    # ------------------------------------------------------------------
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                request_id, ok, payload, seconds = self._conn.recv()
+            except (EOFError, OSError, ValueError):
+                self._mark_dead()
+                return
+            with self._pending_lock:
+                reply = self._pending.pop(request_id, None)
+            if reply is not None:
+                reply._resolve(ok, payload, seconds)
+
+    def _mark_dead(self) -> None:
+        self._alive = False
+        with self._pending_lock:
+            pending, self._pending = self._pending, {}
+        for reply in pending.values():
+            reply._fail(_ShardDownError(
+                f"shard {self.shard_id} worker is down"))
+
+    # ------------------------------------------------------------------
+    def kill(self) -> None:
+        """Hard-kill the worker (tests / chaos): no goodbye message."""
+        try:
+            self._process.kill()
+        except Exception:
+            pass
+        self._process.join(5.0)
+        self._mark_dead()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Graceful shutdown; escalates to terminate/kill on a hang."""
+        if self._alive:
+            try:
+                self.request_async("stop", None)
+            except Exception:
+                pass
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(1.0)
+        if self._process.is_alive():  # pragma: no cover - last resort
+            self._process.kill()
+            self._process.join(1.0)
+        self._mark_dead()
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Router
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ShardedServingConfig:
+    """Knobs of the sharded tier (router + every worker).
+
+    ``index``/``ann`` select each shard's local index exactly like
+    :class:`~repro.serving.frontend.ServingConfig` does for the
+    single-process frontend (per-shard IVF indexes are built at install
+    time against the shard's slice).  ``keep_versions`` is how many
+    installed versions each worker retains — 2 lets queries routed just
+    before a publish finish against the version they were routed under.
+    ``vector_cache_size`` bounds the router's per-version query-vector
+    LRU; ``cache_size`` bounds each worker's answered-sub-query LRU.
+    """
+
+    default_k: int = 10
+    metric: str = "dot"
+    block_size: int = 8192
+    cache_size: int = 4096
+    index: str = "exact"
+    ann: IvfConfig | None = None
+    keep_versions: int = 2
+    vector_cache_size: int = 4096
+    request_timeout: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.default_k < 1:
+            raise ServingError(
+                f"default_k must be >= 1, got {self.default_k}")
+        if self.metric not in METRIC_CHOICES:
+            raise ServingError(
+                f"unknown metric {self.metric!r}; options: "
+                f"{list(METRIC_CHOICES)}")
+        if self.block_size < 1:
+            raise ServingError(
+                f"block_size must be >= 1, got {self.block_size}")
+        if self.cache_size < 0:
+            raise ServingError(
+                f"cache_size must be >= 0, got {self.cache_size}")
+        if self.index not in INDEX_CHOICES:
+            raise ServingError(
+                f"unknown index {self.index!r}; options: "
+                f"{list(INDEX_CHOICES)}")
+        if self.keep_versions < 1:
+            raise ServingError(
+                f"keep_versions must be >= 1, got {self.keep_versions}")
+        if self.vector_cache_size < 0:
+            raise ServingError(
+                "vector_cache_size must be >= 0, got "
+                f"{self.vector_cache_size}")
+        if self.request_timeout <= 0:
+            raise ServingError(
+                f"request_timeout must be > 0, got {self.request_timeout}")
+
+
+@dataclass(frozen=True)
+class _VersionInfo:
+    """The router's currently served (version, id-space, generation)."""
+
+    version: int
+    num_nodes: int
+    generation: int
+
+
+class ShardedFrontend:
+    """Scatter/gather query router over :class:`EmbeddingShard` workers."""
+
+    def __init__(self, plan: ShardPlan,
+                 config: ShardedServingConfig | None = None,
+                 mp_context=None) -> None:
+        self.plan = plan
+        self.config = config or ShardedServingConfig()
+        self._ctx = mp_context or _mp_context()
+        self._clients: list[EmbeddingShard] = []
+        self._started = False
+        self._closed = False
+        self._publish_lock = threading.Lock()
+        self._version_counter = 0
+        self._current: _VersionInfo | None = None
+        self._vector_lock = threading.Lock()
+        self._vector_cache: OrderedDict[tuple[int, int], np.ndarray] = (
+            OrderedDict())
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ShardedFrontend":
+        """Spawn the shard workers (idempotent); returns self."""
+        if self._started:
+            return self
+        cfg = self.config
+        worker_cfg = _WorkerConfig(
+            metric=cfg.metric, block_size=cfg.block_size,
+            cache_size=cfg.cache_size, index=cfg.index, ann=cfg.ann,
+            keep_versions=cfg.keep_versions,
+        )
+        # Start the parent's shared-memory resource tracker *before*
+        # forking, so every worker inherits it.  A worker forked first
+        # would lazily start a private tracker at its first publish
+        # attach, and that tracker would warn about — and try to
+        # re-unlink — blocks the publisher already cleaned up.
+        resource_tracker.ensure_running()
+        for shard_id in range(self.plan.num_shards):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_shard_worker_main,
+                args=(child_conn, shard_id, self.plan, worker_cfg),
+                daemon=True, name=f"embedding-shard-{shard_id}",
+            )
+            process.start()
+            # Drop the parent's copy of the child end *before* spawning
+            # the next worker, so a dead worker reads as EOF and later
+            # workers never inherit this pipe.
+            child_conn.close()
+            self._clients.append(
+                EmbeddingShard(shard_id, process, parent_conn))
+        self._started = True
+        # One synchronous round-trip per worker: surface spawn failures
+        # here, not on the first query.
+        for client in self._clients:
+            client.request("ping", None, timeout=cfg.request_timeout)
+        return self
+
+    def close(self) -> None:
+        """Stop every worker process (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for client in self._clients:
+            client.stop()
+
+    def __enter__(self) -> "ShardedFrontend":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def alive_shards(self) -> int:
+        """Workers currently able to answer."""
+        return sum(1 for client in self._clients if client.alive)
+
+    def _require_current(self) -> _VersionInfo:
+        info = self._current
+        if info is None:
+            raise ServingError(
+                "no embeddings published to the sharded tier yet; "
+                "publish through a ShardedPublisher first"
+            )
+        return info
+
+    @property
+    def num_nodes(self) -> int:
+        """Nodes in the served version (the load generator's id space)."""
+        return self._require_current().num_nodes
+
+    @property
+    def version(self) -> int:
+        """Served version (0 before the first publish)."""
+        info = self._current
+        return info.version if info is not None else 0
+
+    @property
+    def generation(self) -> int:
+        """Served generation (-1 before the first publish)."""
+        info = self._current
+        return info.generation if info is not None else -1
+
+    def kill_shard(self, shard_id: int) -> None:
+        """Hard-kill one worker (tests / chaos drills)."""
+        self._clients[shard_id].kill()
+
+    # ------------------------------------------------------------------
+    def _install(self, version: int, num_nodes: int,
+                 generation: int) -> None:
+        """Flip the served version (publisher-only, under its lock)."""
+        self._version_counter = version
+        self._current = _VersionInfo(version, num_nodes, generation)
+
+    def _fetch_vector(self, info: _VersionInfo, node: int) -> np.ndarray:
+        """The query vector of ``node`` under ``info`` (router-cached)."""
+        rec = get_recorder()
+        key = (info.version, node)
+        with self._vector_lock:
+            hit = self._vector_cache.get(key)
+            if hit is not None:
+                self._vector_cache.move_to_end(key)
+        if hit is not None:
+            rec.counter("serving.shard.vector_cache_hits")
+            return hit
+        shard = self.plan.shard_of(node, info.num_nodes)
+        client = self._clients[shard]
+        if not client.alive:
+            raise ServingError(
+                f"cannot fetch the query vector of node {node}: owning "
+                f"shard {shard} is down and the vector is not cached"
+            )
+        vector, _seconds = client.request(
+            "vector", (info.version, node),
+            timeout=self.config.request_timeout,
+        )
+        rec.counter("serving.shard.vector_fetches")
+        if self.config.vector_cache_size > 0:
+            with self._vector_lock:
+                self._vector_cache[key] = vector
+                while len(self._vector_cache) > self.config.vector_cache_size:
+                    self._vector_cache.popitem(last=False)
+        return vector
+
+    def _with_stale_retry(self, fn):
+        """Run ``fn`` once more under the refreshed version on staleness.
+
+        A worker only drops a version after ``keep_versions`` newer
+        publishes landed, so one retry against the *new* current
+        version always finds installed slices (the publisher flips the
+        router's version last).
+        """
+        try:
+            return fn()
+        except _StaleVersionError:
+            get_recorder().counter("serving.shard.stale_retries")
+            try:
+                return fn()
+            except _StaleVersionError as exc:
+                raise ServingError(
+                    f"shard versions churned during retry: {exc}"
+                ) from exc
+
+    # ------------------------------------------------------------------
+    def top_k(self, node: int, k: int | None = None,
+              timeout: float | None = None) -> TopK:
+        """Top-``k`` nodes for ``node``, best first — the scatter/gather.
+
+        Bit-identical to the single-process oracle while all shards
+        live; with dead shards the merge covers the surviving slices
+        and the query counts as ``serving.shard.degraded_queries``.
+        """
+        rec = get_recorder()
+        start = time.monotonic()
+        result = self._with_stale_retry(
+            lambda: self._top_k_once(int(node), k, timeout))
+        if rec.enabled:
+            rec.counter("serving.shard.requests.topk")
+            rec.observe("serving.shard.latency.topk_s",
+                        time.monotonic() - start)
+        return result
+
+    def _top_k_once(self, node: int, k: int | None,
+                    timeout: float | None) -> TopK:
+        k = self.config.default_k if k is None else int(k)
+        if k < 1:
+            raise ServingError(f"k must be >= 1, got {k}")
+        info = self._require_current()
+        if not 0 <= node < info.num_nodes:
+            raise ServingError(
+                f"node {node} out of range [0, {info.num_nodes})"
+            )
+        timeout = self.config.request_timeout if timeout is None else timeout
+        rec = get_recorder()
+        start = time.monotonic()
+        vector = self._fetch_vector(info, node)
+        pending = [
+            (client, client.request_async(
+                "topk", (info.version, node, k, vector)))
+            for client in self._clients if client.alive
+        ]
+        replies: list[tuple[int, tuple, float]] = []
+        stale: _StaleVersionError | None = None
+        for client, reply in pending:
+            try:
+                payload, seconds = reply.result(timeout)
+                replies.append((client.shard_id, payload, seconds))
+            except _StaleVersionError as exc:
+                stale = exc
+            except _ShardDownError:
+                pass  # died mid-gather: degrade below
+        if stale is not None:
+            raise stale
+        if not replies:
+            raise ServingError(
+                "top-k gather failed: no shard worker answered"
+            )
+        wall = time.monotonic() - start
+        merged = self._merge_topk(info, k, replies)
+        if rec.enabled:
+            self._record_gather(rec, replies, wall)
+        return merged
+
+    def _merge_topk(self, info: _VersionInfo, k: int,
+                    replies: list[tuple[int, tuple, float]]) -> TopK:
+        """Merge per-shard local top-k pools under the oracle's order.
+
+        Any row in the true global top-k is inside its own shard's
+        local top-k (at most k rows of that shard precede it in the
+        total order), so concatenating the pools and re-sorting by
+        (score desc, lower global id) reproduces the oracle exactly.
+        """
+        pool_ids = np.concatenate(
+            [payload[0] for _sid, payload, _s in replies])
+        pool_scores = np.concatenate(
+            [payload[1] for _sid, payload, _s in replies])
+        k_eff = min(k, info.num_nodes - 1, len(pool_ids))
+        order = np.lexsort((pool_ids, -pool_scores))[:k_eff]
+        ids = pool_ids[order].copy()
+        scores = pool_scores[order].copy()
+        ids.setflags(write=False)
+        scores.setflags(write=False)
+        return ids, scores
+
+    def _record_gather(self, rec, replies, wall: float) -> None:
+        rec.observe("serving.shard.gather_fanin", len(replies))
+        slowest = 0.0
+        for shard_id, payload, seconds in replies:
+            rec.counter(f"serving.shard.{shard_id}.requests")
+            rec.observe(f"serving.shard.{shard_id}.seconds", seconds)
+            slowest = max(slowest, seconds)
+            if len(payload) > 2 and payload[2]:
+                rec.counter("serving.shard.cache_hits")
+        rec.observe("serving.shard.router_overhead_s",
+                    max(0.0, wall - slowest))
+        if len(replies) < len(self._clients):
+            rec.counter("serving.shard.degraded_queries")
+
+    # ------------------------------------------------------------------
+    def score_link(self, src: int, dst: int,
+                   timeout: float | None = None) -> float:
+        """Similarity score of ``(src, dst)``, routed to an owning shard.
+
+        Served by ``src``'s shard when it is up (``dst``'s vector ships
+        along unless the pair is co-located), by ``dst``'s shard —
+        scores are symmetric — when only that one survives.
+        """
+        rec = get_recorder()
+        start = time.monotonic()
+        result = self._with_stale_retry(
+            lambda: self._score_once(int(src), int(dst), timeout))
+        if rec.enabled:
+            rec.counter("serving.shard.requests.score")
+            rec.observe("serving.shard.latency.score_s",
+                        time.monotonic() - start)
+        return result
+
+    def _score_once(self, src: int, dst: int,
+                    timeout: float | None) -> float:
+        info = self._require_current()
+        for node in (src, dst):
+            if not 0 <= node < info.num_nodes:
+                raise ServingError(
+                    f"node {node} out of range [0, {info.num_nodes})"
+                )
+        timeout = self.config.request_timeout if timeout is None else timeout
+        src_shard = self.plan.shard_of(src, info.num_nodes)
+        dst_shard = self.plan.shard_of(dst, info.num_nodes)
+        if self._clients[src_shard].alive:
+            anchor, anchor_shard, peer, peer_shard = (
+                src, src_shard, dst, dst_shard)
+        elif self._clients[dst_shard].alive:
+            anchor, anchor_shard, peer, peer_shard = (
+                dst, dst_shard, src, src_shard)
+        else:
+            raise ServingError(
+                f"link score ({src}, {dst}) unservable: shards "
+                f"{src_shard} and {dst_shard} are both down"
+            )
+        if peer_shard == anchor_shard:
+            payload = (info.version, anchor, peer, None)
+        else:
+            payload = (info.version, anchor, None,
+                       self._fetch_vector(info, peer))
+        score, seconds = self._clients[anchor_shard].request(
+            "score", payload, timeout=timeout)
+        rec = get_recorder()
+        if rec.enabled:
+            rec.counter(f"serving.shard.{anchor_shard}.requests")
+            rec.observe(f"serving.shard.{anchor_shard}.seconds", seconds)
+        return float(score)
+
+
+# ---------------------------------------------------------------------------
+# Publisher
+# ---------------------------------------------------------------------------
+class ShardedPublisher:
+    """Slices snapshots per shard and installs them version-atomically.
+
+    Every publish: slice the matrix by the frontend's plan, copy each
+    slice into a :class:`~repro.parallel.shared_array.SharedArray`
+    block, install all slices on their workers under one new version,
+    and only after every live worker acked flip the router's served
+    version.  Queries are tagged with the version they were routed
+    under and workers retain ``keep_versions`` installed versions, so a
+    gather can never pair one shard's new slice with another's old one.
+
+    :meth:`attach` subscribes to an :class:`EmbeddingStore` so an
+    :class:`~repro.tasks.incremental.IncrementalEmbedder` (or the
+    stream controller) publishing there fans out here automatically —
+    the same hook the ANN manager uses.
+    """
+
+    def __init__(self, frontend: ShardedFrontend,
+                 timeout: float = 120.0) -> None:
+        if timeout <= 0:
+            raise ServingError(f"timeout must be > 0, got {timeout}")
+        self.frontend = frontend
+        self._timeout = timeout
+        self._attached: list[tuple[EmbeddingStore, object]] = []
+
+    # ------------------------------------------------------------------
+    def publish(self, matrix: np.ndarray, generation: int = 0) -> int:
+        """Install ``matrix`` across every shard; returns the version."""
+        frontend = self.frontend
+        if not frontend._started:
+            raise ServingError(
+                "sharded frontend is not started; enter its context "
+                "(or call start()) before publishing"
+            )
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[0] < 1:
+            raise ServingError(
+                "published embeddings must be a non-empty 2-D matrix, "
+                f"got shape {matrix.shape}"
+            )
+        start = time.perf_counter()
+        with frontend._publish_lock:
+            current = frontend._current
+            if current is not None and generation < current.generation:
+                raise ServingError(
+                    f"stale publish: generation {generation} is older "
+                    f"than the served generation {current.generation}"
+                )
+            version = frontend._version_counter + 1
+            num_nodes = matrix.shape[0]
+            blocks: list[SharedArray] = []
+            try:
+                pending = []
+                for client in frontend._clients:
+                    if not client.alive:
+                        continue
+                    ids = frontend.plan.owned_ids(
+                        client.shard_id, num_nodes)
+                    if len(ids) == 0:
+                        spec = None
+                    else:
+                        block = SharedArray.create(matrix[ids])
+                        blocks.append(block)
+                        spec = block.spec
+                    pending.append(client.request_async(
+                        "install", (version, generation, num_nodes, spec)))
+                if not pending:
+                    raise ServingError(
+                        "sharded publish failed: every worker is down"
+                    )
+                for reply in pending:
+                    try:
+                        reply.result(self._timeout)
+                    except _ShardDownError:
+                        # Died mid-install; the tier serves degraded
+                        # from the surviving shards.
+                        pass
+            finally:
+                for block in blocks:
+                    block.close()
+            # The flip: queries issued from here on are tagged with the
+            # fully-installed new version.
+            frontend._install(version, num_nodes, int(generation))
+        rec = get_recorder()
+        rec.counter("serving.shard.publishes")
+        rec.gauge("serving.shard.version", version)
+        rec.gauge("serving.shard.generation", int(generation))
+        rec.observe("serving.shard.install_s",
+                    time.perf_counter() - start)
+        return version
+
+    # ------------------------------------------------------------------
+    def attach(self, store: EmbeddingStore) -> None:
+        """Fan out every future publish of ``store`` to the shards.
+
+        The store's current snapshot (if any) is published immediately,
+        so attaching to a warm store brings the tier up to date.
+        """
+
+        def _on_publish(snapshot) -> None:
+            self.publish(snapshot.matrix, snapshot.generation)
+
+        store.subscribe(_on_publish)
+        self._attached.append((store, _on_publish))
+        if not store.empty:
+            snapshot = store.snapshot()
+            self.publish(snapshot.matrix, snapshot.generation)
+
+    def detach(self) -> None:
+        """Unsubscribe from every attached store (idempotent)."""
+        attached, self._attached = self._attached, []
+        for store, callback in attached:
+            store.unsubscribe(callback)

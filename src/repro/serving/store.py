@@ -32,6 +32,7 @@ generation.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from typing import Callable
@@ -40,6 +41,8 @@ import numpy as np
 
 from repro.errors import ServingError
 from repro.observability import get_recorder
+
+log = logging.getLogger(__name__)
 
 
 class EmbeddingSnapshot:
@@ -129,7 +132,18 @@ class EmbeddingStore:
         rec.gauge("serving.store.generation", snapshot.generation)
         rec.gauge("serving.store.version", snapshot.version)
         for callback in subscribers:
-            callback(snapshot)
+            try:
+                callback(snapshot)
+            except Exception:
+                # A broken subscriber must not abort the publisher
+                # mid-loop (starving later subscribers) once the
+                # snapshot is already installed — same isolation as
+                # DynamicTemporalGraph's generation hooks.
+                rec.counter("serving.store.subscriber_errors")
+                log.warning(
+                    "publish subscriber %r raised on version %d",
+                    callback, snapshot.version, exc_info=True,
+                )
         return snapshot
 
     # ------------------------------------------------------------------
@@ -164,9 +178,28 @@ class EmbeddingStore:
     def subscribe(self, callback: Callable[[EmbeddingSnapshot], None]
                   ) -> None:
         """Run ``callback(snapshot)`` after every publish (writer thread,
-        outside the store lock)."""
+        outside the store lock).
+
+        An exception from one callback is logged and counted
+        (``serving.store.subscriber_errors``) but neither skips the
+        remaining callbacks nor propagates into the publishing thread.
+        """
         with self._lock:
             self._subscribers.append(callback)
+
+    def unsubscribe(self, callback: Callable[[EmbeddingSnapshot], None]
+                    ) -> bool:
+        """Deregister ``callback``; returns False when it wasn't registered.
+
+        Idempotent, so shutdown paths (e.g. a sharded publisher's
+        ``detach()``) may call it unconditionally.
+        """
+        with self._lock:
+            try:
+                self._subscribers.remove(callback)
+                return True
+            except ValueError:
+                return False
 
     def wait_for_generation(self, generation: int,
                             timeout: float | None = None) -> bool:

@@ -165,6 +165,37 @@ class TestEmbeddingStore:
         assert recorder.counters["serving.store.publishes"] == 2
         assert recorder.gauges["serving.store.generation"] == 1
 
+    def test_subscriber_exception_is_isolated_and_counted(self):
+        """Regression: a raising subscriber used to propagate out of
+        ``publish`` *after* the snapshot swap — the publisher saw a
+        failure for a publish that had in fact landed, and later
+        subscribers were skipped entirely."""
+        recorder = Recorder()
+        seen: list[int] = []
+
+        def exploding(snapshot) -> None:
+            raise RuntimeError("publish hook boom")
+
+        with use_recorder(recorder):
+            store = EmbeddingStore()
+            store.subscribe(exploding)
+            store.subscribe(lambda snapshot: seen.append(snapshot.version))
+            snapshot = store.publish(np.ones((2, 2)), generation=0)
+        assert snapshot.version == 1       # the publish itself landed
+        assert seen == [1]                 # later subscribers still ran
+        assert recorder.counters["serving.store.subscriber_errors"] == 1
+
+    def test_unsubscribe(self):
+        store = EmbeddingStore()
+        seen: list[int] = []
+        callback = lambda snapshot: seen.append(snapshot.version)  # noqa: E731
+        store.subscribe(callback)
+        store.publish(np.ones((2, 2)), generation=0)
+        assert store.unsubscribe(callback) is True
+        assert store.unsubscribe(callback) is False  # already removed
+        store.publish(np.ones((2, 2)), generation=1)
+        assert seen == [1]
+
 
 # ---------------------------------------------------------------------------
 # BatchScheduler
@@ -516,3 +547,50 @@ class TestServingFrontend:
                 run_load(frontend, clients=0)
             with pytest.raises(ServingError, match="topk_fraction"):
                 run_load(frontend, topk_fraction=1.5)
+
+    def test_run_load_issues_exactly_num_requests(self, rng):
+        """Regression: every client tape was rounded up to
+        ``ceil(num_requests / clients)``, so 10 requests over 4 clients
+        issued 12.  The remainder must spread one request each over the
+        first few clients instead."""
+        matrix = rng.standard_normal((20, 4))
+        with ServingFrontend(make_store(matrix), FAST_CONFIG) as frontend:
+            report = run_load(frontend, num_requests=10, clients=4,
+                              topk_fraction=0.5, k=3, seed=0)
+        assert report.requests == 10
+        assert report.score_requests + report.topk_requests == 10
+
+    def test_run_load_clean_run_emits_no_error_counter(self, rng):
+        """Regression: the error counter was guarded with ``if errors:``
+        on a ``[0] * clients`` list — always truthy — so every clean
+        run exported a spurious ``loadgen.errors = 0``."""
+        matrix = rng.standard_normal((20, 4))
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with ServingFrontend(make_store(matrix),
+                                 FAST_CONFIG) as frontend:
+                report = run_load(frontend, num_requests=20, clients=3,
+                                  topk_fraction=0.5, k=3, seed=0)
+        assert report.errors == 0
+        assert "loadgen.errors" not in recorder.counters
+
+    def test_run_load_counts_errors_when_requests_fail(self):
+        """The guard must not eat *real* errors: a frontend that always
+        raises ServingError yields errors == requests and the counter."""
+
+        class ExplodingFrontend:
+            num_nodes = 10
+
+            def top_k(self, node, k=None):
+                raise ServingError("boom")
+
+            def score_link(self, src, dst):
+                raise ServingError("boom")
+
+        recorder = Recorder()
+        with use_recorder(recorder):
+            report = run_load(ExplodingFrontend(), num_requests=9,
+                              clients=2, topk_fraction=0.5, seed=0)
+        assert report.requests == 9
+        assert report.errors == 9
+        assert recorder.counters["loadgen.errors"] == 9
