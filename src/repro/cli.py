@@ -369,6 +369,7 @@ def cmd_characterize(args: argparse.Namespace) -> int:
 
 def cmd_serve_sim(args: argparse.Namespace) -> int:
     """``repro serve-sim``: closed-loop online serving simulation."""
+    import itertools
     import threading
     import time as time_mod
 
@@ -462,20 +463,64 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     cache_size=args.cache_size,
                     index=args.index,
                     ann=_ann_config(args),
+                    replication_factor=args.replicas,
                 )
                 with ShardedFrontend(plan, shard_config) as frontend:
                     publisher = ShardedPublisher(frontend)
                     # Installs the warm snapshot now and fans out every
                     # incremental publish the ingest thread triggers.
                     publisher.attach(store)
-                    print(f"  shards: {plan.num_shards} workers "
-                          f"({plan.strategy} plan), serving version "
-                          f"{frontend.version}")
+                    print(f"  shards: {plan.num_shards} x "
+                          f"{args.replicas} workers ({plan.strategy} "
+                          f"plan), serving version {frontend.version}")
+                    stop_chaos = threading.Event()
+                    chaos = []
+                    if args.kill_replica is not None:
+                        shard_id, replica, delay = _parse_kill_replica(
+                            args.kill_replica, args.shards, args.replicas)
+
+                        def killer() -> None:
+                            if not stop_chaos.wait(delay):
+                                frontend.kill_replica(shard_id, replica)
+                                print(f"  chaos: killed shard {shard_id} "
+                                      f"replica {replica} after "
+                                      f"{delay:.2f}s")
+
+                        chaos.append(threading.Thread(
+                            target=killer, daemon=True,
+                            name="serve-sim-kill"))
+                    if args.rebalance_every > 0:
+                        other = ("range" if args.shard_plan == "hash"
+                                 else "hash")
+
+                        def rebalancer() -> None:
+                            strategies = itertools.cycle(
+                                [other, args.shard_plan])
+                            while not stop_chaos.wait(
+                                    args.rebalance_every):
+                                strategy = next(strategies)
+                                rebalanced = frontend.rebalance(
+                                    ShardPlan(args.shards, strategy))
+                                print(f"  rebalance: -> {strategy} plan "
+                                      f"in {rebalanced.seconds:.3f}s "
+                                      f"(drained={rebalanced.drained})")
+
+                        chaos.append(threading.Thread(
+                            target=rebalancer, daemon=True,
+                            name="serve-sim-rebalance"))
+                    for thread in chaos:
+                        thread.start()
                     writer = threading.Thread(target=ingest, daemon=True,
                                               name="serve-sim-ingest")
                     writer.start()
                     report = run_load(frontend, **load_kwargs)
+                    stop_chaos.set()
                     writer.join()
+                    for thread in chaos:
+                        thread.join()
+                    # Pull worker-internal recorder state back to the
+                    # router before the workers go away.
+                    frontend.worker_metrics()
                     publisher.detach()
             else:
                 config = ServingConfig(
@@ -524,6 +569,11 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     _per_shard_rows(recorder, args.shards, report.seconds),
                     title="Per-shard breakdown (recorder)",
                 ))
+                print()
+                print(render_table(
+                    [_worker_row(recorder)],
+                    title="Worker internals (aggregated over replicas)",
+                ))
             else:
                 hits = counters.get("serving.index.cache_hits", 0)
                 misses = counters.get("serving.index.cache_misses", 0)
@@ -556,10 +606,10 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
 def _shard_row(recorder) -> dict:
     """One summary row of router-side ``serving.shard.*`` metrics.
 
-    Worker-internal metrics (per-shard index cache and GEMM counters)
-    live in the worker processes' own recorders and are not aggregated
-    here; the router-side view covers publishes, fan-out, overhead, and
-    degradation.
+    Covers publishes, fan-out, overhead, degradation, replica
+    failovers, and rebalances; worker-internal metrics are pulled over
+    separately by ``ShardedFrontend.worker_metrics`` and rendered by
+    :func:`_worker_row`.
     """
     counters = recorder.counters
     fanin = recorder.histograms.get("serving.shard.gather_fanin")
@@ -576,6 +626,10 @@ def _shard_row(recorder) -> dict:
                       if overhead and overhead.count else 0.0),
         "degraded": int(
             counters.get("serving.shard.degraded_queries", 0)),
+        "failovers": int(
+            counters.get("serving.shard.replica.failovers", 0)),
+        "rebalances": int(
+            counters.get("serving.shard.rebalance.count", 0)),
         "stale retries": int(
             counters.get("serving.shard.stale_retries", 0)),
         "vector fetches": int(
@@ -599,6 +653,61 @@ def _per_shard_rows(recorder, num_shards: int, wall: float) -> list[dict]:
                         if seconds and seconds.count else 0.0),
         })
     return rows
+
+
+def _worker_row(recorder) -> dict:
+    """Aggregated worker-internal metrics (``serving.shard.workers.*``).
+
+    These counters accumulate inside the shard worker processes and are
+    merged back by ``ShardedFrontend.worker_metrics`` at the end of the
+    run — per-shard index GEMM rows, slice installs, and ANN internals
+    that previously died with the workers.
+    """
+    counters = recorder.counters
+    prefix = "serving.shard.workers."
+    hits = counters.get(prefix + "serving.index.cache_hits", 0)
+    misses = counters.get(prefix + "serving.index.cache_misses", 0)
+    return {
+        "workers": int(recorder.gauges.get(prefix + "reporting", 0)),
+        "slice installs": int(
+            counters.get(prefix + "serving.store.publishes", 0)),
+        "gemm rows": int(
+            counters.get(prefix + "serving.index.gemm_rows", 0)),
+        "index cache hits": int(hits),
+        "index cache misses": int(misses),
+        "ann builds": int(counters.get(prefix + "serving.ann.builds", 0)),
+        "ann queries": int(
+            counters.get(prefix + "serving.ann.queries", 0)),
+    }
+
+
+def _parse_kill_replica(spec: str, num_shards: int,
+                        num_replicas: int) -> tuple[int, int, float]:
+    """Parse ``--kill-replica SHARD[:REPLICA[:DELAY_S]]``."""
+    parts = spec.split(":")
+    if len(parts) > 3:
+        raise SystemExit(
+            f"--kill-replica expects SHARD[:REPLICA[:DELAY_S]], "
+            f"got {spec!r}")
+    try:
+        shard = int(parts[0])
+        replica = int(parts[1]) if len(parts) > 1 else 0
+        delay = float(parts[2]) if len(parts) > 2 else 0.2
+    except ValueError:
+        raise SystemExit(
+            f"--kill-replica expects SHARD[:REPLICA[:DELAY_S]], "
+            f"got {spec!r}") from None
+    if not 0 <= shard < num_shards:
+        raise SystemExit(
+            f"--kill-replica shard {shard} out of range "
+            f"[0, {num_shards})")
+    if not 0 <= replica < num_replicas:
+        raise SystemExit(
+            f"--kill-replica replica {replica} out of range "
+            f"[0, {num_replicas})")
+    if delay < 0:
+        raise SystemExit(f"--kill-replica delay must be >= 0, got {delay}")
+    return shard, replica, delay
 
 
 def _ann_config(args: argparse.Namespace):
@@ -942,6 +1051,20 @@ def build_parser() -> argparse.ArgumentParser:
     load.add_argument("--shard-plan", default="hash",
                       choices=["hash", "range"],
                       help="node-id partitioner for --shards > 1")
+    load.add_argument("--replicas", type=int, default=1,
+                      help="worker replicas per shard slice (reads "
+                           "fan out round-robin and fail over to a "
+                           "live sibling)")
+    load.add_argument("--rebalance-every", type=float, default=0.0,
+                      metavar="SECONDS",
+                      help="live-rebalance the sharded tier between "
+                           "hash and range plans at this interval "
+                           "during the load run (0 disables)")
+    load.add_argument("--kill-replica", default=None,
+                      metavar="SHARD[:REPLICA[:DELAY_S]]",
+                      help="chaos drill: hard-kill one shard worker "
+                           "DELAY_S seconds (default 0.2) into the "
+                           "load run")
     _add_ann_arguments(load)
     load.add_argument("--update-batches", type=int, default=0,
                       help="hold back 30%% of the stream and replay it "

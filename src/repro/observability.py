@@ -111,6 +111,33 @@ class Histogram:
             "std": self.std,
         }
 
+    def state(self) -> dict[str, float]:
+        """Raw mergeable fields — exact, unlike :meth:`summary`'s
+        derived ``std`` (which cannot be merged losslessly)."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "sum_sq": self.sum_sq,
+        }
+
+    def merge_state(self, state: dict[str, float]) -> None:
+        """Fold another histogram's :meth:`state` into this one.
+
+        Exact: count/total/sum-of-squares add, min/max combine, so the
+        merged mean/std equal what one histogram observing both streams
+        would report.  An empty state is a no-op.
+        """
+        count = int(state.get("count", 0))
+        if count <= 0:
+            return
+        self.count += count
+        self.total += float(state["total"])
+        self.sum_sq += float(state["sum_sq"])
+        self.min = min(self.min, float(state["min"]))
+        self.max = max(self.max, float(state["max"]))
+
 
 class Span:
     """One timed, attributed node of the trace tree.
@@ -322,6 +349,42 @@ class Recorder:
             },
         }
 
+    def export_state(self) -> dict[str, Any]:
+        """All metrics with *mergeable* histogram fields.
+
+        Unlike :meth:`metrics` (whose histogram summaries carry derived
+        statistics), the returned document round-trips losslessly
+        through :meth:`merge_state` — this is what shard workers ship
+        back to the router over the command pipe.
+        """
+        return {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "histograms": {
+                name: hist.state()
+                for name, hist in self.histograms.items()
+            },
+        }
+
+    def merge_state(self, state: dict[str, Any],
+                    prefix: str = "") -> None:
+        """Fold another recorder's :meth:`export_state` into this one.
+
+        Counters add, gauges take the incoming value (last write wins),
+        histograms merge exactly.  ``prefix`` namespaces every incoming
+        metric (e.g. ``"serving.shard.workers."``) so aggregated
+        worker-process metrics cannot collide with this process's own.
+        """
+        for name, value in state.get("counters", {}).items():
+            self.counter(prefix + name, value)
+        for name, value in state.get("gauges", {}).items():
+            self.gauge(prefix + name, value)
+        for name, hist_state in state.get("histograms", {}).items():
+            hist = self.histograms.get(prefix + name)
+            if hist is None:
+                hist = self.histograms[prefix + name] = Histogram()
+            hist.merge_state(hist_state)
+
     def trace(self) -> list[dict[str, Any]]:
         """Every span as a flat JSON-safe dict, depth-first."""
         return [span.to_dict() for span in self.spans()]
@@ -373,6 +436,10 @@ class NullRecorder(Recorder):
         pass
 
     def observe(self, name: str, value: float) -> None:
+        pass
+
+    def merge_state(self, state: dict[str, Any],
+                    prefix: str = "") -> None:
         pass
 
     @contextmanager

@@ -23,9 +23,12 @@ ingest half already exists (:class:`~repro.graph.dynamic
   scores + top-k) client threads call;
 - :class:`ShardPlan` / :class:`ShardedFrontend` /
   :class:`ShardedPublisher` — the scatter/gather sharded tier: the
-  embedding space partitioned across worker processes, per-shard local
-  top-k merged bit-identically to the single-process oracle, snapshots
-  sliced and installed version-atomically across every shard;
+  embedding space partitioned across worker processes (R replicas per
+  shard with transparent read failover), per-shard local top-k merged
+  bit-identically to the single-process oracle, snapshots sliced and
+  installed version-atomically across every shard, and live plan
+  migration via :meth:`ShardedFrontend.rebalance` (returns a
+  :class:`RebalanceReport`) without stopping reads;
 - :func:`run_load` — a closed-loop load generator for the ``serve-sim``
   CLI subcommand and ``bench_serving_throughput``.
 
@@ -41,6 +44,7 @@ from repro.serving.index import RecommendationIndex
 from repro.serving.loadgen import LoadReport, run_load
 from repro.serving.sharding import (
     EmbeddingShard,
+    RebalanceReport,
     ShardPlan,
     ShardedFrontend,
     ShardedPublisher,
@@ -58,6 +62,7 @@ __all__ = [
     "IvfIndex",
     "IvfIndexManager",
     "LoadReport",
+    "RebalanceReport",
     "RecommendationIndex",
     "ServingConfig",
     "ServingFrontend",

@@ -4,57 +4,76 @@ Everything up to PR 7 serves from one process; the "millions of users"
 scenario needs the embedding space *partitioned* across real processes
 with a router in front — the same ingest → train → publish → route
 pipeline that "Towards Real-Time Temporal Graph Learning" overlaps
-across CPU/GPU stages, here spread across shard workers.  Four pieces:
+across CPU/GPU stages, here spread across shard workers.  Five pieces:
 
 - :class:`ShardPlan` — the deterministic partitioner.  ``hash`` spreads
   node ids via a Fibonacci mixing hash (load-balanced, stable per id);
   ``range`` assigns contiguous id ranges (locality-preserving, and
   re-balanced automatically when the node count grows between
   publishes).
-- :class:`EmbeddingShard` workers — one process per shard, each owning
-  a shard-local :class:`~repro.serving.store.EmbeddingStore` +
+- :class:`EmbeddingShard` workers — ``replication_factor`` processes
+  per shard, each owning a shard-local
+  :class:`~repro.serving.store.EmbeddingStore` +
   :class:`~repro.serving.index.RecommendationIndex` (exact, or a
   per-shard :class:`~repro.serving.ann.IvfIndex`) plus an LRU of
   answered sub-queries.  Slices arrive through
   :class:`~repro.parallel.shared_array.SharedArray` blocks, not the
-  command pipe.
+  command pipe; sibling replicas attach the same block.
 - :class:`ShardedFrontend` — the router.  ``top_k`` is a
   scatter/gather: fetch the query vector from the owning shard (router
-  LRU caches it per version), broadcast it, take each shard's local
-  top-k, merge with the documented (score desc, lower global id)
-  tie-break — **bit-identical** to the single-process oracle.
-  ``score_link`` routes to the owning shard of one endpoint and ships
-  the other endpoint's vector when the pair spans shards.  When a
-  worker dies the router degrades: surviving shards still answer and
-  every partial gather is counted (``serving.shard.degraded_queries``).
+  LRU caches it per version), broadcast it to one replica per shard
+  (round-robin), take each shard's local top-k, merge with the
+  documented (score desc, lower global id) tie-break —
+  **bit-identical** to the single-process oracle.  ``score_link``
+  routes to an owning shard of one endpoint and ships the other
+  endpoint's vector when the pair spans shards.  A dead replica fails
+  over to a live sibling transparently (``serving.shard.replica
+  .failovers``); only when *every* replica of a shard is gone does the
+  router degrade — surviving shards still answer and every partial
+  gather is counted (``serving.shard.degraded_queries``).
 - :class:`ShardedPublisher` — slices each new snapshot per shard,
-  installs every slice under one new version, and only then flips the
-  router's served version.  Queries carry the version they were routed
-  under and workers retain the previous version, so **no gather can
-  ever mix two versions across shards** (the sharded analogue of the
-  store's atomic snapshot swap).
+  installs every slice on every live replica under one new version,
+  and only then flips the router's served version.  Queries carry the
+  version they were routed under and workers retain the previous
+  version, so **no gather can ever mix two versions across shards**
+  (the sharded analogue of the store's atomic snapshot swap).
+- :meth:`ShardedFrontend.rebalance` — live migration between
+  :class:`ShardPlan`\\ s without a stop-the-world republish: spawn the
+  new worker set, install the served version's slices under the new
+  plan, flip the routing table in one reference assignment, drain the
+  queries still in flight under the old plan, retire the old workers.
+  A query routes entirely against one table snapshot, so a gather can
+  never combine old-plan and new-plan slices.
+
+Worker-internal recorder metrics (per-shard index counters, GEMM rows,
+ANN counters) are aggregated back to the router by
+:meth:`ShardedFrontend.worker_metrics` via a ``metrics`` op and land in
+the ambient recorder under ``serving.shard.workers.<name>``.
 
 Known trade-off: each worker handles its command pipe serially, so a
 publish (slice install + optional IVF build) briefly queues behind /
 ahead of that shard's sub-queries — availability is bounded by install
 time, never correctness.
 
-Oracle harness: ``tests/test_serving_shards.py`` (``pytest -m
-shards``); capacity curve: ``benchmarks/bench_serving_shards.py``.
+Oracle harness: ``tests/test_serving_shards.py`` and
+``tests/test_serving_replication.py`` (``pytest -m shards``); capacity
+and availability curves: ``benchmarks/bench_serving_shards.py``.
 """
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import resource_tracker
 
 import numpy as np
 
 from repro.errors import ServingError
-from repro.observability import get_recorder
+from repro.observability import Recorder, get_recorder, use_recorder
 from repro.parallel.shared_array import SharedArray, SharedArraySpec
 from repro.parallel.supervisor import _mp_context
 from repro.serving.ann import INDEX_CHOICES, IvfConfig, IvfIndex
@@ -69,7 +88,8 @@ _GOLDEN = np.uint64(0x9E3779B97F4A7C15)
 
 
 class _ShardDownError(ServingError):
-    """The target worker process is dead (gathers degrade on this)."""
+    """The target worker process is dead (the router fails over to a
+    sibling replica, then degrades the gather)."""
 
 
 class _StaleVersionError(ServingError):
@@ -314,43 +334,52 @@ def _shard_worker_main(conn, shard_id: int, plan: ShardPlan,
     Replies are ``(request_id, ok, payload, seconds)``; a failure
     payload is ``(kind, message)`` with ``kind`` either ``"stale"``
     (router refreshes its version and retries) or ``"error"``.
+
+    The worker runs under its own :class:`~repro.observability
+    .Recorder`, so index/ANN/store metrics recorded by shard-local
+    components accumulate here instead of vanishing; the ``metrics`` op
+    ships the recorder's mergeable state back to the router.
     """
+    recorder = Recorder()
     state = _WorkerState(shard_id, plan, cfg)
     handlers = {
         "install": state.install,
         "topk": state.topk,
         "vector": state.vector,
         "score": state.score,
+        "metrics": recorder.export_state,
         "ping": lambda: shard_id,
     }
-    while True:
-        try:
-            request_id, op, payload = conn.recv()
-        except (EOFError, OSError, KeyboardInterrupt):
-            break
-        start = time.perf_counter()
-        if op == "stop":
+    with use_recorder(recorder):
+        while True:
             try:
-                conn.send((request_id, True, None, 0.0))
+                request_id, op, payload = conn.recv()
+            except (EOFError, OSError, KeyboardInterrupt):
+                break
+            start = time.perf_counter()
+            if op == "stop":
+                try:
+                    conn.send((request_id, True, None, 0.0))
+                except (OSError, BrokenPipeError):
+                    pass
+                break
+            try:
+                handler = handlers[op]
+                result = (handler(*payload) if payload is not None
+                          else handler())
+                reply = (request_id, True, result,
+                         time.perf_counter() - start)
+            except _StaleVersionError as exc:
+                reply = (request_id, False, ("stale", str(exc)),
+                         time.perf_counter() - start)
+            except Exception as exc:
+                reply = (request_id, False,
+                         ("error", f"{type(exc).__name__}: {exc}"),
+                         time.perf_counter() - start)
+            try:
+                conn.send(reply)
             except (OSError, BrokenPipeError):
-                pass
-            break
-        try:
-            handler = handlers[op]
-            result = handler(*payload) if payload is not None else handler()
-            reply = (request_id, True, result,
-                     time.perf_counter() - start)
-        except _StaleVersionError as exc:
-            reply = (request_id, False, ("stale", str(exc)),
-                     time.perf_counter() - start)
-        except Exception as exc:
-            reply = (request_id, False,
-                     ("error", f"{type(exc).__name__}: {exc}"),
-                     time.perf_counter() - start)
-        try:
-            conn.send(reply)
-        except (OSError, BrokenPipeError):
-            break
+                break
     try:
         conn.close()
     except OSError:
@@ -405,12 +434,15 @@ class EmbeddingShard:
     thread may issue requests concurrently; a dedicated receiver thread
     dispatches replies.  A dead worker (EOF on the pipe, failed send)
     flips :attr:`alive` and fails every pending request with
-    :class:`_ShardDownError`, which is what the router's degraded mode
-    keys on.
+    :class:`_ShardDownError`, which is what the router's replica
+    failover and degraded mode key on.  ``replica`` distinguishes
+    sibling workers of one shard when ``replication_factor > 1``.
     """
 
-    def __init__(self, shard_id: int, process, conn) -> None:
+    def __init__(self, shard_id: int, process, conn,
+                 replica: int = 0) -> None:
         self.shard_id = shard_id
+        self.replica = replica
         self._process = process
         self._conn = conn
         self._send_lock = threading.Lock()
@@ -420,7 +452,7 @@ class EmbeddingShard:
         self._alive = True
         self._receiver = threading.Thread(
             target=self._recv_loop, daemon=True,
-            name=f"shard-recv-{shard_id}",
+            name=f"shard-recv-{shard_id}.{replica}",
         )
         self._receiver.start()
 
@@ -433,7 +465,8 @@ class EmbeddingShard:
         reply = _Reply()
         if not self._alive:
             reply._fail(_ShardDownError(
-                f"shard {self.shard_id} worker is down"))
+                f"shard {self.shard_id} replica {self.replica} worker "
+                f"is down"))
             return reply
         with self._pending_lock:
             self._next_id += 1
@@ -468,7 +501,8 @@ class EmbeddingShard:
             pending, self._pending = self._pending, {}
         for reply in pending.values():
             reply._fail(_ShardDownError(
-                f"shard {self.shard_id} worker is down"))
+                f"shard {self.shard_id} replica {self.replica} worker "
+                f"is down"))
 
     # ------------------------------------------------------------------
     def kill(self) -> None:
@@ -479,9 +513,21 @@ class EmbeddingShard:
             pass
         self._process.join(5.0)
         self._mark_dead()
+        # Process death closes the pipe's far end, so the receiver sees
+        # EOF; the bounded join keeps chaos drills from leaking threads.
+        self._receiver.join(2.0)
+        try:
+            self._conn.close()
+        except OSError:
+            pass
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Graceful shutdown; escalates to terminate/kill on a hang."""
+        """Graceful shutdown; escalates to terminate/kill on a hang.
+
+        Joins the receiver thread (bounded) after the process is down —
+        the pipe EOF is what wakes it — and closes the router's pipe
+        end, so a stopped shard holds no thread or fd.
+        """
         if self._alive:
             try:
                 self.request_async("stop", None)
@@ -495,6 +541,7 @@ class EmbeddingShard:
             self._process.kill()
             self._process.join(1.0)
         self._mark_dead()
+        self._receiver.join(2.0)
         try:
             self._conn.close()
         except OSError:
@@ -511,11 +558,18 @@ class ShardedServingConfig:
     ``index``/``ann`` select each shard's local index exactly like
     :class:`~repro.serving.frontend.ServingConfig` does for the
     single-process frontend (per-shard IVF indexes are built at install
-    time against the shard's slice).  ``keep_versions`` is how many
+    time against the shard's slice).  ``replication_factor`` spawns
+    that many workers per shard slice: reads fan out to one replica per
+    shard (round-robin) and fail over to a live sibling when the chosen
+    replica is dead — with R >= 2, killing one replica of every shard
+    costs zero degraded queries.  ``keep_versions`` is how many
     installed versions each worker retains — 2 lets queries routed just
     before a publish finish against the version they were routed under.
     ``vector_cache_size`` bounds the router's per-version query-vector
     LRU; ``cache_size`` bounds each worker's answered-sub-query LRU.
+    ``stop_timeout`` bounds each worker's graceful-stop wait before
+    escalation (close/rebalance stop workers concurrently, so a hung
+    worker costs one timeout, not one per worker).
     """
 
     default_k: int = 10
@@ -527,6 +581,8 @@ class ShardedServingConfig:
     keep_versions: int = 2
     vector_cache_size: int = 4096
     request_timeout: float = 60.0
+    replication_factor: int = 1
+    stop_timeout: float = 5.0
 
     def __post_init__(self) -> None:
         if self.default_k < 1:
@@ -556,6 +612,13 @@ class ShardedServingConfig:
         if self.request_timeout <= 0:
             raise ServingError(
                 f"request_timeout must be > 0, got {self.request_timeout}")
+        if self.replication_factor < 1:
+            raise ServingError(
+                "replication_factor must be >= 1, got "
+                f"{self.replication_factor}")
+        if self.stop_timeout <= 0:
+            raise ServingError(
+                f"stop_timeout must be > 0, got {self.stop_timeout}")
 
 
 @dataclass(frozen=True)
@@ -567,30 +630,119 @@ class _VersionInfo:
     generation: int
 
 
+@dataclass(frozen=True)
+class RebalanceReport:
+    """One live rebalance's measurements (returned by
+    :meth:`ShardedFrontend.rebalance`)."""
+
+    seconds: float
+    install_seconds: float
+    drain_seconds: float
+    drained: bool
+    old_plan: ShardPlan
+    new_plan: ShardPlan
+
+
+class _RoutingTable:
+    """One routing epoch: a plan plus its spawned replica groups.
+
+    Every query snapshots the frontend's table once and routes entirely
+    against it, so a live rebalance is a single reference flip on the
+    frontend: queries still in flight finish under the plan *and*
+    worker set they were routed on (tracked by the in-flight counter,
+    which the rebalance drains before retiring the old workers), and a
+    gather can never combine old-plan and new-plan slices.
+    """
+
+    __slots__ = ("plan", "groups", "replication", "_rr", "_cond",
+                 "_inflight", "_retired")
+
+    def __init__(self, plan: ShardPlan,
+                 groups: list[list[EmbeddingShard]]) -> None:
+        self.plan = plan
+        self.groups = groups
+        self.replication = len(groups[0]) if groups else 1
+        # itertools.count.__next__ is atomic under the GIL, so the
+        # round-robin cursor needs no lock of its own.
+        self._rr = [itertools.count() for _ in groups]
+        self._cond = threading.Condition()
+        self._inflight = 0
+        self._retired = False
+
+    # ------------------------------------------------------------------
+    def live_replicas(self, shard_id: int) -> list[EmbeddingShard]:
+        """Live workers of ``shard_id``, rotated round-robin.
+
+        The first entry is the chosen replica for this request; the
+        rest are the failover order if it dies mid-request.
+        """
+        group = self.groups[shard_id]
+        if len(group) == 1:
+            client = group[0]
+            return [client] if client.alive else []
+        start = next(self._rr[shard_id]) % len(group)
+        rotated = group[start:] + group[:start]
+        return [client for client in rotated if client.alive]
+
+    def all_clients(self) -> list[EmbeddingShard]:
+        return [client for group in self.groups for client in group]
+
+    # ------------------------------------------------------------------
+    def enter(self) -> bool:
+        """Register an in-flight query; False once the table retired."""
+        with self._cond:
+            if self._retired:
+                return False
+            self._inflight += 1
+            return True
+
+    def exit(self) -> None:
+        with self._cond:
+            self._inflight -= 1
+            if self._inflight <= 0:
+                self._cond.notify_all()
+
+    def retire(self) -> None:
+        """Refuse new entrants (they re-read the frontend's table)."""
+        with self._cond:
+            self._retired = True
+
+    def wait_drained(self, timeout: float) -> bool:
+        """Block until every in-flight query exited, or ``timeout``."""
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._inflight > 0:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+            return True
+
+
 class ShardedFrontend:
     """Scatter/gather query router over :class:`EmbeddingShard` workers."""
 
     def __init__(self, plan: ShardPlan,
                  config: ShardedServingConfig | None = None,
                  mp_context=None) -> None:
-        self.plan = plan
+        self._initial_plan = plan
         self.config = config or ShardedServingConfig()
         self._ctx = mp_context or _mp_context()
-        self._clients: list[EmbeddingShard] = []
+        self._table: _RoutingTable | None = None
+        self._epoch = 0
         self._started = False
         self._closed = False
         self._publish_lock = threading.Lock()
         self._version_counter = 0
         self._current: _VersionInfo | None = None
+        self._last_matrix: np.ndarray | None = None
         self._vector_lock = threading.Lock()
         self._vector_cache: OrderedDict[tuple[int, int], np.ndarray] = (
             OrderedDict())
 
     # ------------------------------------------------------------------
-    def start(self) -> "ShardedFrontend":
-        """Spawn the shard workers (idempotent); returns self."""
-        if self._started:
-            return self
+    def _spawn_table(self, plan: ShardPlan) -> _RoutingTable:
+        """Fork ``num_shards x replication_factor`` workers for ``plan``."""
         cfg = self.config
         worker_cfg = _WorkerConfig(
             metric=cfg.metric, block_size=cfg.block_size,
@@ -603,34 +755,81 @@ class ShardedFrontend:
         # attach, and that tracker would warn about — and try to
         # re-unlink — blocks the publisher already cleaned up.
         resource_tracker.ensure_running()
-        for shard_id in range(self.plan.num_shards):
-            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-            process = self._ctx.Process(
-                target=_shard_worker_main,
-                args=(child_conn, shard_id, self.plan, worker_cfg),
-                daemon=True, name=f"embedding-shard-{shard_id}",
-            )
-            process.start()
-            # Drop the parent's copy of the child end *before* spawning
-            # the next worker, so a dead worker reads as EOF and later
-            # workers never inherit this pipe.
-            child_conn.close()
-            self._clients.append(
-                EmbeddingShard(shard_id, process, parent_conn))
+        self._epoch += 1
+        epoch = self._epoch
+        groups: list[list[EmbeddingShard]] = []
+        for shard_id in range(plan.num_shards):
+            group: list[EmbeddingShard] = []
+            for replica in range(cfg.replication_factor):
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=_shard_worker_main,
+                    args=(child_conn, shard_id, plan, worker_cfg),
+                    daemon=True,
+                    name=f"embedding-shard-e{epoch}-{shard_id}.{replica}",
+                )
+                process.start()
+                # Drop the parent's copy of the child end *before*
+                # spawning the next worker, so a dead worker reads as
+                # EOF and later workers never inherit this pipe.
+                child_conn.close()
+                group.append(EmbeddingShard(
+                    shard_id, process, parent_conn, replica=replica))
+            groups.append(group)
+        return _RoutingTable(plan, groups)
+
+    def start(self) -> "ShardedFrontend":
+        """Spawn the shard workers (idempotent); returns self."""
+        if self._started:
+            return self
+        self._table = self._spawn_table(self._initial_plan)
         self._started = True
         # One synchronous round-trip per worker: surface spawn failures
         # here, not on the first query.
-        for client in self._clients:
-            client.request("ping", None, timeout=cfg.request_timeout)
+        for client in self._table.all_clients():
+            client.request("ping", None, timeout=self.config.request_timeout)
         return self
 
-    def close(self) -> None:
-        """Stop every worker process (idempotent)."""
+    def close(self, timeout: float | None = None) -> None:
+        """Stop every worker process concurrently (idempotent).
+
+        A hung worker costs one ``stop_timeout`` escalation, not one
+        per worker; receiver threads are joined (bounded) and the
+        router's query-vector cache is cleared.
+        """
         if self._closed:
             return
         self._closed = True
-        for client in self._clients:
-            client.stop()
+        timeout = self.config.stop_timeout if timeout is None else timeout
+        table = self._table
+        if table is not None:
+            table.retire()
+            self._stop_table(table, timeout)
+        with self._vector_lock:
+            self._vector_cache.clear()
+
+    @staticmethod
+    def _stop_table(table: _RoutingTable, stop_timeout: float) -> None:
+        """Stop every worker of ``table`` concurrently (bounded)."""
+        clients = table.all_clients()
+        if not clients:
+            return
+        if len(clients) == 1:
+            clients[0].stop(stop_timeout)
+            return
+        threads = []
+        for client in clients:
+            thread = threading.Thread(
+                target=client.stop, args=(stop_timeout,), daemon=True,
+                name=f"shard-stop-{client.shard_id}.{client.replica}",
+            )
+            thread.start()
+            threads.append(thread)
+        # stop() itself escalates within ~stop_timeout + 2s of joins;
+        # anything still hanging past that is left to its daemon thread.
+        deadline = time.monotonic() + stop_timeout + 4.0
+        for thread in threads:
+            thread.join(max(0.1, deadline - time.monotonic()))
 
     def __enter__(self) -> "ShardedFrontend":
         return self.start()
@@ -640,13 +839,33 @@ class ShardedFrontend:
 
     # ------------------------------------------------------------------
     @property
+    def plan(self) -> ShardPlan:
+        """The currently routed plan (flips on :meth:`rebalance`)."""
+        table = self._table
+        return table.plan if table is not None else self._initial_plan
+
+    @property
     def num_shards(self) -> int:
         return self.plan.num_shards
 
     @property
     def alive_shards(self) -> int:
-        """Workers currently able to answer."""
-        return sum(1 for client in self._clients if client.alive)
+        """Shards with at least one live replica."""
+        table = self._table
+        if table is None:
+            return 0
+        return sum(
+            1 for group in table.groups
+            if any(client.alive for client in group)
+        )
+
+    @property
+    def alive_workers(self) -> int:
+        """Worker processes currently able to answer (all replicas)."""
+        table = self._table
+        if table is None:
+            return 0
+        return sum(1 for client in table.all_clients() if client.alive)
 
     def _require_current(self) -> _VersionInfo:
         info = self._current
@@ -656,6 +875,28 @@ class ShardedFrontend:
                 "publish through a ShardedPublisher first"
             )
         return info
+
+    @contextmanager
+    def _routed(self):
+        """Snapshot the routing table and hold it in-flight.
+
+        Loops on ``enter()`` so a query racing a rebalance lands on
+        exactly one table: either the old one (still counted, drained
+        before its workers retire) or the new one — never a mix.
+        """
+        while True:
+            table = self._table
+            if table is None:
+                raise ServingError(
+                    "sharded frontend is not started; enter its context "
+                    "(or call start()) first"
+                )
+            if table.enter():
+                break
+        try:
+            yield table
+        finally:
+            table.exit()
 
     @property
     def num_nodes(self) -> int:
@@ -675,18 +916,90 @@ class ShardedFrontend:
         return info.generation if info is not None else -1
 
     def kill_shard(self, shard_id: int) -> None:
-        """Hard-kill one worker (tests / chaos drills)."""
-        self._clients[shard_id].kill()
+        """Hard-kill every replica of one shard (tests / chaos drills)."""
+        table = self._table
+        if table is None:
+            raise ServingError("sharded frontend is not started")
+        for client in table.groups[shard_id]:
+            client.kill()
+
+    def kill_replica(self, shard_id: int, replica: int) -> None:
+        """Hard-kill one replica of one shard (tests / chaos drills)."""
+        table = self._table
+        if table is None:
+            raise ServingError("sharded frontend is not started")
+        table.groups[shard_id][replica].kill()
 
     # ------------------------------------------------------------------
-    def _install(self, version: int, num_nodes: int,
-                 generation: int) -> None:
-        """Flip the served version (publisher-only, under its lock)."""
+    def _install(self, version: int, num_nodes: int, generation: int,
+                 matrix: np.ndarray | None = None) -> None:
+        """Flip the served version (publisher-only, under its lock).
+
+        Retains ``matrix`` so a later :meth:`rebalance` can re-slice
+        the served version under a new plan, and purges query vectors
+        of superseded versions from the router LRU: stale
+        ``(old_version, node)`` entries can never be read again — every
+        fetch keys on the current version — but would squat in the LRU
+        and evict hot current-version vectors.
+        """
         self._version_counter = version
         self._current = _VersionInfo(version, num_nodes, generation)
+        if matrix is not None:
+            self._last_matrix = matrix
+        with self._vector_lock:
+            stale = [key for key in self._vector_cache
+                     if key[0] != version]
+            for key in stale:
+                del self._vector_cache[key]
 
-    def _fetch_vector(self, info: _VersionInfo, node: int) -> np.ndarray:
-        """The query vector of ``node`` under ``info`` (router-cached)."""
+    def _install_slices(self, table: _RoutingTable, version: int,
+                        generation: int, num_nodes: int,
+                        matrix: np.ndarray, timeout: float
+                        ) -> tuple[int, int]:
+        """Install ``matrix`` sliced per ``table.plan`` on every live
+        worker under ``version``; returns ``(acked, issued)`` counts.
+
+        One shared block per shard slice — sibling replicas attach the
+        same pages and copy locally.
+        """
+        blocks: list[SharedArray] = []
+        acked = 0
+        try:
+            pending: list[_Reply] = []
+            for shard_id, group in enumerate(table.groups):
+                live = [client for client in group if client.alive]
+                if not live:
+                    continue
+                ids = table.plan.owned_ids(shard_id, num_nodes)
+                spec = None
+                if len(ids) > 0:
+                    block = SharedArray.create(matrix[ids])
+                    blocks.append(block)
+                    spec = block.spec
+                for client in live:
+                    pending.append(client.request_async(
+                        "install", (version, generation, num_nodes, spec)))
+            issued = len(pending)
+            for reply in pending:
+                try:
+                    reply.result(timeout)
+                    acked += 1
+                except _ShardDownError:
+                    # Died mid-install; sibling replicas (or the
+                    # degraded gather) cover for it.
+                    pass
+        finally:
+            for block in blocks:
+                block.close()
+        return acked, issued
+
+    def _fetch_vector(self, table: _RoutingTable, info: _VersionInfo,
+                      node: int) -> np.ndarray:
+        """The query vector of ``node`` under ``info`` (router-cached).
+
+        Tries each live replica of the owning shard in round-robin
+        order; a replica dying mid-fetch fails over to its sibling.
+        """
         rec = get_recorder()
         key = (info.version, node)
         with self._vector_lock:
@@ -696,17 +1009,25 @@ class ShardedFrontend:
         if hit is not None:
             rec.counter("serving.shard.vector_cache_hits")
             return hit
-        shard = self.plan.shard_of(node, info.num_nodes)
-        client = self._clients[shard]
-        if not client.alive:
+        shard = table.plan.shard_of(node, info.num_nodes)
+        candidates = table.live_replicas(shard)
+        vector = None
+        for position, client in enumerate(candidates):
+            try:
+                vector, _seconds = client.request(
+                    "vector", (info.version, node),
+                    timeout=self.config.request_timeout,
+                )
+                break
+            except _ShardDownError:
+                if position + 1 < len(candidates) and rec.enabled:
+                    rec.counter("serving.shard.replica.failovers")
+                continue
+        if vector is None:
             raise ServingError(
                 f"cannot fetch the query vector of node {node}: owning "
                 f"shard {shard} is down and the vector is not cached"
             )
-        vector, _seconds = client.request(
-            "vector", (info.version, node),
-            timeout=self.config.request_timeout,
-        )
         rec.counter("serving.shard.vector_fetches")
         if self.config.vector_cache_size > 0:
             with self._vector_lock:
@@ -739,9 +1060,11 @@ class ShardedFrontend:
               timeout: float | None = None) -> TopK:
         """Top-``k`` nodes for ``node``, best first — the scatter/gather.
 
-        Bit-identical to the single-process oracle while all shards
-        live; with dead shards the merge covers the surviving slices
-        and the query counts as ``serving.shard.degraded_queries``.
+        Bit-identical to the single-process oracle while every shard
+        has a live replica (a dead replica fails over to a sibling
+        transparently); with whole shards dead the merge covers the
+        surviving slices and the query counts as
+        ``serving.shard.degraded_queries``.
         """
         rec = get_recorder()
         start = time.monotonic()
@@ -766,36 +1089,60 @@ class ShardedFrontend:
         timeout = self.config.request_timeout if timeout is None else timeout
         rec = get_recorder()
         start = time.monotonic()
-        vector = self._fetch_vector(info, node)
-        pending = [
-            (client, client.request_async(
-                "topk", (info.version, node, k, vector)))
-            for client in self._clients if client.alive
-        ]
-        replies: list[tuple[int, tuple, float]] = []
-        stale: _StaleVersionError | None = None
-        for client, reply in pending:
-            try:
-                payload, seconds = reply.result(timeout)
-                replies.append((client.shard_id, payload, seconds))
-            except _StaleVersionError as exc:
-                stale = exc
-            except _ShardDownError:
-                pass  # died mid-gather: degrade below
-        if stale is not None:
-            raise stale
-        if not replies:
-            raise ServingError(
-                "top-k gather failed: no shard worker answered"
-            )
-        wall = time.monotonic() - start
-        merged = self._merge_topk(info, k, replies)
-        if rec.enabled:
-            self._record_gather(rec, replies, wall)
-        return merged
+        with self._routed() as table:
+            vector = self._fetch_vector(table, info, node)
+            payload = (info.version, node, k, vector)
+            pending = []
+            for shard_id in range(table.plan.num_shards):
+                order = table.live_replicas(shard_id)
+                if not order:
+                    continue  # whole shard dead: degrade at the merge
+                pending.append(
+                    (shard_id, order, order[0].request_async("topk",
+                                                             payload)))
+            replies: list[tuple[int, int, tuple, float]] = []
+            stale: _StaleVersionError | None = None
+            for shard_id, order, reply in pending:
+                position = 0
+                while True:
+                    try:
+                        answer, seconds = reply.result(timeout)
+                        replies.append((shard_id, order[position].replica,
+                                        answer, seconds))
+                        break
+                    except _StaleVersionError as exc:
+                        stale = exc
+                        break
+                    except _ShardDownError:
+                        # The chosen replica died between routing and
+                        # reply: re-issue to the next live sibling; only
+                        # a shard with no survivors degrades the gather.
+                        nxt = next(
+                            (i for i in range(position + 1, len(order))
+                             if order[i].alive), None)
+                        if nxt is None:
+                            if rec.enabled:
+                                rec.counter("serving.shard.gather_drops")
+                            break
+                        position = nxt
+                        if rec.enabled:
+                            rec.counter("serving.shard.replica.failovers")
+                        reply = order[position].request_async(
+                            "topk", payload)
+            if stale is not None:
+                raise stale
+            if not replies:
+                raise ServingError(
+                    "top-k gather failed: no shard worker answered"
+                )
+            wall = time.monotonic() - start
+            merged = self._merge_topk(info, k, replies)
+            if rec.enabled:
+                self._record_gather(rec, table, replies, wall)
+            return merged
 
     def _merge_topk(self, info: _VersionInfo, k: int,
-                    replies: list[tuple[int, tuple, float]]) -> TopK:
+                    replies: list[tuple[int, int, tuple, float]]) -> TopK:
         """Merge per-shard local top-k pools under the oracle's order.
 
         Any row in the true global top-k is inside its own shard's
@@ -804,9 +1151,9 @@ class ShardedFrontend:
         (score desc, lower global id) reproduces the oracle exactly.
         """
         pool_ids = np.concatenate(
-            [payload[0] for _sid, payload, _s in replies])
+            [answer[0] for _sid, _rep, answer, _s in replies])
         pool_scores = np.concatenate(
-            [payload[1] for _sid, payload, _s in replies])
+            [answer[1] for _sid, _rep, answer, _s in replies])
         k_eff = min(k, info.num_nodes - 1, len(pool_ids))
         order = np.lexsort((pool_ids, -pool_scores))[:k_eff]
         ids = pool_ids[order].copy()
@@ -815,18 +1162,24 @@ class ShardedFrontend:
         scores.setflags(write=False)
         return ids, scores
 
-    def _record_gather(self, rec, replies, wall: float) -> None:
+    def _record_gather(self, rec, table: _RoutingTable, replies,
+                       wall: float) -> None:
         rec.observe("serving.shard.gather_fanin", len(replies))
         slowest = 0.0
-        for shard_id, payload, seconds in replies:
+        for shard_id, replica, answer, seconds in replies:
             rec.counter(f"serving.shard.{shard_id}.requests")
             rec.observe(f"serving.shard.{shard_id}.seconds", seconds)
+            if table.replication > 1:
+                rec.counter(
+                    f"serving.shard.{shard_id}.replica.{replica}.requests")
             slowest = max(slowest, seconds)
-            if len(payload) > 2 and payload[2]:
+            if len(answer) > 2 and answer[2]:
                 rec.counter("serving.shard.cache_hits")
         rec.observe("serving.shard.router_overhead_s",
                     max(0.0, wall - slowest))
-        if len(replies) < len(self._clients):
+        # Degraded means a *shard* went unanswered — a dead replica
+        # whose sibling answered is invisible here.
+        if len(replies) < table.plan.num_shards:
             rec.counter("serving.shard.degraded_queries")
 
     # ------------------------------------------------------------------
@@ -834,9 +1187,13 @@ class ShardedFrontend:
                    timeout: float | None = None) -> float:
         """Similarity score of ``(src, dst)``, routed to an owning shard.
 
-        Served by ``src``'s shard when it is up (``dst``'s vector ships
-        along unless the pair is co-located), by ``dst``'s shard —
-        scores are symmetric — when only that one survives.
+        Served by a live replica of ``src``'s shard when one exists
+        (``dst``'s vector ships along unless the pair is co-located);
+        scores are symmetric, so when ``src``'s shard is entirely down
+        — or its chosen replica dies between routing and reply — the
+        request fails over to a sibling replica and then to ``dst``'s
+        shard.  Raises :class:`~repro.errors.ServingError` only when no
+        owning worker survives.
         """
         rec = get_recorder()
         start = time.monotonic()
@@ -857,31 +1214,189 @@ class ShardedFrontend:
                     f"node {node} out of range [0, {info.num_nodes})"
                 )
         timeout = self.config.request_timeout if timeout is None else timeout
-        src_shard = self.plan.shard_of(src, info.num_nodes)
-        dst_shard = self.plan.shard_of(dst, info.num_nodes)
-        if self._clients[src_shard].alive:
-            anchor, anchor_shard, peer, peer_shard = (
-                src, src_shard, dst, dst_shard)
-        elif self._clients[dst_shard].alive:
-            anchor, anchor_shard, peer, peer_shard = (
-                dst, dst_shard, src, src_shard)
-        else:
-            raise ServingError(
-                f"link score ({src}, {dst}) unservable: shards "
-                f"{src_shard} and {dst_shard} are both down"
-            )
-        if peer_shard == anchor_shard:
-            payload = (info.version, anchor, peer, None)
-        else:
-            payload = (info.version, anchor, None,
-                       self._fetch_vector(info, peer))
-        score, seconds = self._clients[anchor_shard].request(
-            "score", payload, timeout=timeout)
         rec = get_recorder()
+        with self._routed() as table:
+            src_shard = table.plan.shard_of(src, info.num_nodes)
+            dst_shard = table.plan.shard_of(dst, info.num_nodes)
+            # Liveness is rechecked per attempt, not only up front: a
+            # replica dying between routing and reply surfaces as
+            # _ShardDownError from request(), and the next candidate —
+            # sibling replica first, then dst's shard — takes over.
+            attempts: list[tuple[EmbeddingShard, int, int, int]] = []
+            for anchor, a_shard, peer, p_shard in (
+                    (src, src_shard, dst, dst_shard),
+                    (dst, dst_shard, src, src_shard)):
+                for client in table.live_replicas(a_shard):
+                    attempts.append((client, anchor, peer, p_shard))
+                if src_shard == dst_shard:
+                    break  # co-located: both directions are one shard
+            if not attempts:
+                raise ServingError(
+                    f"link score ({src}, {dst}) unservable: shards "
+                    f"{src_shard} and {dst_shard} are both down"
+                )
+            last_error: ServingError | None = None
+            attempted = 0
+            for client, anchor, peer, p_shard in attempts:
+                if not client.alive:
+                    continue
+                if attempted and rec.enabled:
+                    rec.counter("serving.shard.replica.failovers")
+                attempted += 1
+                try:
+                    if p_shard == client.shard_id:
+                        payload = (info.version, anchor, peer, None)
+                    else:
+                        payload = (info.version, anchor, None,
+                                   self._fetch_vector(table, info, peer))
+                    score, seconds = client.request(
+                        "score", payload, timeout=timeout)
+                except _StaleVersionError:
+                    raise
+                except _ShardDownError as exc:
+                    last_error = exc
+                    continue
+                except ServingError as exc:
+                    # E.g. the peer's vector is unfetchable from this
+                    # direction; the mirrored anchor may still serve a
+                    # co-located pair.
+                    last_error = exc
+                    continue
+                if rec.enabled:
+                    rec.counter(f"serving.shard.{client.shard_id}.requests")
+                    rec.observe(f"serving.shard.{client.shard_id}.seconds",
+                                seconds)
+                    if table.replication > 1:
+                        rec.counter(
+                            f"serving.shard.{client.shard_id}.replica."
+                            f"{client.replica}.requests")
+                return float(score)
+            raise ServingError(
+                f"link score ({src}, {dst}) unservable: no owning "
+                f"worker survives"
+            ) from last_error
+
+    # ------------------------------------------------------------------
+    def rebalance(self, new_plan: ShardPlan,
+                  timeout: float | None = None,
+                  drain_timeout: float | None = None) -> RebalanceReport:
+        """Migrate the live tier to ``new_plan`` without stopping reads.
+
+        Spawns the new worker set, installs the *served* version's
+        slices under the new plan, flips the routing table in one
+        reference assignment (queries in flight finish under the table
+        — plan and workers — they were routed on; new queries route
+        under the new plan), waits for the old table to drain, then
+        retires the old workers concurrently.  Serialized against
+        publishes, so the version a query carries always matches the
+        slices of the table it routed on.  Zero query errors, zero
+        degraded gathers, zero mixed-plan responses by construction.
+        """
+        if not isinstance(new_plan, ShardPlan):
+            raise ServingError(
+                f"rebalance needs a ShardPlan, got {type(new_plan).__name__}"
+            )
+        if not self._started:
+            raise ServingError(
+                "sharded frontend is not started; enter its context "
+                "(or call start()) before rebalancing"
+            )
+        if self._closed:
+            raise ServingError("sharded frontend is closed")
+        timeout = self.config.request_timeout if timeout is None else timeout
+        drain_timeout = (self.config.request_timeout
+                         if drain_timeout is None else drain_timeout)
+        rec = get_recorder()
+        start = time.perf_counter()
+        install_s = 0.0
+        with self._publish_lock:
+            old_table = self._table
+            new_table = self._spawn_table(new_plan)
+            try:
+                for client in new_table.all_clients():
+                    client.request("ping", None, timeout=timeout)
+                info = self._current
+                if info is not None:
+                    if self._last_matrix is None:  # pragma: no cover
+                        raise ServingError(
+                            "rebalance cannot re-slice: the served "
+                            "matrix was not retained"
+                        )
+                    t0 = time.perf_counter()
+                    acked, issued = self._install_slices(
+                        new_table, info.version, info.generation,
+                        info.num_nodes, self._last_matrix, timeout)
+                    install_s = time.perf_counter() - t0
+                    if issued and not acked:
+                        raise ServingError(
+                            "rebalance failed: no new worker installed "
+                            "the served version"
+                        )
+            except BaseException:
+                self._stop_table(new_table, self.config.stop_timeout)
+                raise
+            # THE flip: queries from here route under new_plan against
+            # workers that already hold the served version.
+            self._table = new_table
+        # Outside the publish lock: let in-flight old-plan queries
+        # finish, then retire the old worker set.
+        old_table.retire()
+        t0 = time.monotonic()
+        drained = old_table.wait_drained(drain_timeout)
+        drain_s = time.monotonic() - t0
+        self._stop_table(old_table, self.config.stop_timeout)
+        wall = time.perf_counter() - start
         if rec.enabled:
-            rec.counter(f"serving.shard.{anchor_shard}.requests")
-            rec.observe(f"serving.shard.{anchor_shard}.seconds", seconds)
-        return float(score)
+            rec.counter("serving.shard.rebalance.count")
+            rec.observe("serving.shard.rebalance.seconds", wall)
+            rec.observe("serving.shard.rebalance.install_s", install_s)
+            rec.observe("serving.shard.rebalance.drain_s", drain_s)
+            rec.gauge("serving.shard.rebalance.num_shards",
+                      new_plan.num_shards)
+            if not drained:
+                rec.counter("serving.shard.rebalance.forced_stops")
+        return RebalanceReport(
+            seconds=wall, install_seconds=install_s,
+            drain_seconds=drain_s, drained=drained,
+            old_plan=old_table.plan, new_plan=new_plan,
+        )
+
+    # ------------------------------------------------------------------
+    def worker_metrics(self, timeout: float | None = None
+                       ) -> dict[str, object]:
+        """Aggregate every live worker's recorder state at the router.
+
+        Scatters a ``metrics`` op to every replica and merges the
+        returned recorder states exactly (counters add, histograms
+        merge by moments, gauges last-write-wins).  The merged document
+        is returned and — when the ambient recorder is enabled — folded
+        into it under ``serving.shard.workers.<name>`` (plus a
+        ``serving.shard.workers.reporting`` gauge), so ``serve-sim``
+        exports carry per-shard index/ANN internals that previously
+        died with the worker processes.  Counters are cumulative over a
+        worker's lifetime: call once per run, not per interval.
+        """
+        if not self._started:
+            raise ServingError("sharded frontend is not started")
+        timeout = self.config.request_timeout if timeout is None else timeout
+        merged = Recorder()
+        reporting = 0
+        with self._routed() as table:
+            pending = [client.request_async("metrics", None)
+                       for client in table.all_clients() if client.alive]
+            for reply in pending:
+                try:
+                    state, _seconds = reply.result(timeout)
+                except ServingError:
+                    continue  # died mid-scatter: report the survivors
+                merged.merge_state(state)
+                reporting += 1
+        doc = merged.export_state()
+        rec = get_recorder()
+        if rec.enabled and reporting:
+            rec.merge_state(doc, prefix="serving.shard.workers.")
+            rec.gauge("serving.shard.workers.reporting", reporting)
+        return doc
 
 
 # ---------------------------------------------------------------------------
@@ -890,13 +1405,14 @@ class ShardedFrontend:
 class ShardedPublisher:
     """Slices snapshots per shard and installs them version-atomically.
 
-    Every publish: slice the matrix by the frontend's plan, copy each
-    slice into a :class:`~repro.parallel.shared_array.SharedArray`
-    block, install all slices on their workers under one new version,
-    and only after every live worker acked flip the router's served
-    version.  Queries are tagged with the version they were routed
-    under and workers retain ``keep_versions`` installed versions, so a
-    gather can never pair one shard's new slice with another's old one.
+    Every publish: slice the matrix by the frontend's current plan,
+    copy each slice into a :class:`~repro.parallel.shared_array
+    .SharedArray` block, install all slices on every live replica under
+    one new version, and only after every live worker acked flip the
+    router's served version.  Queries are tagged with the version they
+    were routed under and workers retain ``keep_versions`` installed
+    versions, so a gather can never pair one shard's new slice with
+    another's old one.
 
     :meth:`attach` subscribes to an :class:`EmbeddingStore` so an
     :class:`~repro.tasks.incremental.IncrementalEmbedder` (or the
@@ -937,39 +1453,17 @@ class ShardedPublisher:
                 )
             version = frontend._version_counter + 1
             num_nodes = matrix.shape[0]
-            blocks: list[SharedArray] = []
-            try:
-                pending = []
-                for client in frontend._clients:
-                    if not client.alive:
-                        continue
-                    ids = frontend.plan.owned_ids(
-                        client.shard_id, num_nodes)
-                    if len(ids) == 0:
-                        spec = None
-                    else:
-                        block = SharedArray.create(matrix[ids])
-                        blocks.append(block)
-                        spec = block.spec
-                    pending.append(client.request_async(
-                        "install", (version, generation, num_nodes, spec)))
-                if not pending:
-                    raise ServingError(
-                        "sharded publish failed: every worker is down"
-                    )
-                for reply in pending:
-                    try:
-                        reply.result(self._timeout)
-                    except _ShardDownError:
-                        # Died mid-install; the tier serves degraded
-                        # from the surviving shards.
-                        pass
-            finally:
-                for block in blocks:
-                    block.close()
+            table = frontend._table
+            _acked, issued = frontend._install_slices(
+                table, version, int(generation), num_nodes, matrix,
+                self._timeout)
+            if issued == 0:
+                raise ServingError(
+                    "sharded publish failed: every worker is down"
+                )
             # The flip: queries issued from here on are tagged with the
             # fully-installed new version.
-            frontend._install(version, num_nodes, int(generation))
+            frontend._install(version, num_nodes, int(generation), matrix)
         rec = get_recorder()
         rec.counter("serving.shard.publishes")
         rec.gauge("serving.shard.version", version)
