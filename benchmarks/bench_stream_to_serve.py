@@ -1,0 +1,348 @@
+"""Extension bench — end-to-end stream→serve pipeline + control plane.
+
+PR 10 closes the deployment loop: edge batches flow through the bounded
+ingest queue into the :class:`~repro.stream.controller.StreamController`
+(WAL, apply, policy-driven incremental refresh), every refreshed
+snapshot fans out through :meth:`~repro.serving.sharding
+.ShardedPublisher.attach` to the replicated sharded tier, and the
+:class:`~repro.serving.controlplane.ControlPlane` supervises the
+workers.  This bench measures what that loop costs and what the
+supervisor buys:
+
+1. **Ingest-to-servable latency** — wall-clock from ``queue.put`` of a
+   refresh-triggering batch to the routed tier serving the bumped
+   version (walk + SGNS refresh dominates; the publish fan-out tax is
+   isolated separately).
+2. **Publish cost vs replication** — sharded snapshot install seconds
+   at R=1 vs R=2 (two installs per shard slice instead of one, same
+   version flip).
+3. **Skew-triggered rebalance** — a hot contiguous id range drives all
+   load to one shard of a ``range`` plan; the control plane's skew
+   watch (hysteresis + cooldown) must fire a live rebalance to
+   ``hash``, after which the tier still answers bit-identically.
+4. **Recovery after kill** — killing one replica of every shard at
+   R=2 under closed-loop load: zero errors, zero degraded queries, the
+   control plane respawns every slot, and the measured
+   kill-to-recovered wall seconds are recorded.
+
+Saved to ``bench_results/stream_to_serve.json``.
+"""
+
+import json
+import threading
+import time
+
+import numpy as np
+
+from repro.bench import ExperimentRecorder, render_table
+from repro.embedding import SgnsConfig
+from repro.graph import DynamicTemporalGraph, generators
+from repro.observability import Recorder, use_recorder
+from repro.serving import (
+    ControlPlane,
+    ControlPlaneConfig,
+    EmbeddingStore,
+    RecommendationIndex,
+    ShardPlan,
+    ShardedFrontend,
+    ShardedPublisher,
+    ShardedServingConfig,
+    run_load,
+)
+from repro.stream import EveryNEdges, IngestQueue, StreamController
+from repro.tasks.incremental import IncrementalEmbedder
+from repro.walk import WalkConfig
+
+from conftest import emit
+
+NUM_NODES = 600
+NUM_EDGES = 6_000
+DIM = 8
+LIVE_BATCHES = 4
+REFRESH_EDGES = 200
+
+PUBLISH_NODES = 20_000
+PUBLISH_DIM = 64
+PUBLISH_REPS = 5
+
+
+def _recorder_with_existing() -> ExperimentRecorder:
+    """``stream_to_serve`` recorder pre-seeded with the saved record
+    (sections accumulate across test functions in any run order)."""
+    recorder = ExperimentRecorder("stream_to_serve")
+    path = recorder.results_dir / "stream_to_serve.json"
+    if path.exists():
+        with open(path, encoding="utf-8") as handle:
+            recorder.data.update(json.load(handle))
+    return recorder
+
+
+def _oracle_check(frontend, matrix: np.ndarray, nodes, k: int = 10) -> None:
+    store = EmbeddingStore()
+    store.publish(matrix, generation=0)
+    oracle = RecommendationIndex(store, cache_size=0)
+    for node in nodes:
+        ids, scores = frontend.top_k(int(node), k)
+        exp_ids, exp_scores = oracle.top_k(int(node), k)
+        np.testing.assert_array_equal(ids, exp_ids)
+        np.testing.assert_array_equal(scores, exp_scores)
+
+
+def _pipeline_parts(seed: int = 90):
+    """Initial graph + embedder + live batches for the stream sections."""
+    edges = generators.erdos_renyi_temporal(NUM_NODES, NUM_EDGES, seed=seed)
+    ordered = edges.sorted_by_time()
+    cut = int(0.6 * len(ordered))
+    initial = ordered.take(np.arange(cut))
+    step = max(1, (len(ordered) - cut) // LIVE_BATCHES)
+    batches = []
+    for i in range(LIVE_BATCHES):
+        stop = (cut + (i + 1) * step if i < LIVE_BATCHES - 1
+                else len(ordered))
+        if stop > cut + i * step:
+            batches.append(ordered.take(np.arange(cut + i * step, stop)))
+    dynamic = DynamicTemporalGraph()
+    dynamic.append(initial)
+    store = EmbeddingStore()
+    embedder = IncrementalEmbedder(
+        dynamic,
+        walk_config=WalkConfig(num_walks_per_node=2, max_walk_length=4),
+        sgns_config=SgnsConfig(dim=DIM, epochs=1),
+        seed=seed,
+        store=store,
+    )
+    embedder.rebuild()
+    return dynamic, store, embedder, batches
+
+
+def test_ingest_to_servable_latency(benchmark):
+    """Wall-clock from enqueuing a refresh-triggering batch to the
+    sharded tier serving the bumped version."""
+    dynamic, store, embedder, batches = _pipeline_parts()
+    recorder = Recorder()
+    latencies = []
+    with use_recorder(recorder):
+        queue = IngestQueue(max_edges=50_000, policy="block")
+        controller = StreamController(
+            dynamic, queue, embedder=embedder,
+            policy=EveryNEdges(REFRESH_EDGES), final_refresh=False)
+        config = ShardedServingConfig(replication_factor=2, cache_size=0)
+        with ShardedFrontend(ShardPlan(2, "hash"), config) as frontend:
+            publisher = ShardedPublisher(frontend)
+            publisher.attach(store)
+
+            def stream_all() -> None:
+                with controller:
+                    for batch in batches:
+                        before = frontend.version
+                        t0 = time.perf_counter()
+                        queue.put(batch)
+                        deadline = t0 + 60.0
+                        while (frontend.version == before
+                               and time.perf_counter() < deadline):
+                            time.sleep(0.002)
+                        assert frontend.version > before, (
+                            "refresh never reached the tier")
+                        latencies.append(time.perf_counter() - t0)
+
+            benchmark.pedantic(stream_all, rounds=1, iterations=1)
+            assert frontend.version == len(batches) + 1
+            publisher.detach()
+    assert len(latencies) == len(batches)
+    mean_s = float(np.mean(latencies))
+    worst_s = float(np.max(latencies))
+    publishes = int(recorder.counters.get("serving.shard.publishes", 0))
+    assert publishes >= len(batches)
+    emit("")
+    emit(render_table(
+        [{
+            "live batches": len(batches),
+            "refreshes": len(latencies),
+            "mean s": round(mean_s, 3),
+            "worst s": round(worst_s, 3),
+            "publishes": publishes,
+        }],
+        title="Ingest-to-servable latency (stream -> refresh -> "
+              "sharded publish -> routed)",
+    ))
+
+    saved = _recorder_with_existing()
+    saved.add("ingest_to_servable", {
+        "live_batches": len(batches),
+        "refresh_every_edges": REFRESH_EDGES,
+        "mean_seconds": round(mean_s, 4),
+        "worst_seconds": round(worst_s, 4),
+        "publishes": publishes,
+    })
+    saved.save()
+
+
+def test_publish_cost_vs_replication(benchmark):
+    """Sharded snapshot install seconds at R=1 vs R=2."""
+    rng = np.random.default_rng(91)
+    matrix = rng.standard_normal((PUBLISH_NODES, PUBLISH_DIM))
+    results = {}
+    for replicas in (1, 2):
+        config = ShardedServingConfig(replication_factor=replicas,
+                                      cache_size=0)
+        with ShardedFrontend(ShardPlan(2, "hash"), config) as frontend:
+            publisher = ShardedPublisher(frontend)
+            publisher.publish(matrix, generation=0)  # warm the tier
+            seconds = []
+            for rep in range(PUBLISH_REPS):
+                t0 = time.perf_counter()
+                publisher.publish(matrix, generation=rep + 1)
+                seconds.append(time.perf_counter() - t0)
+            results[replicas] = float(np.mean(seconds))
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    tax = results[2] / results[1] if results[1] > 0 else 0.0
+    emit("")
+    emit(render_table(
+        [{"replicas": r, "mean publish s": round(s, 4)}
+         for r, s in sorted(results.items())],
+        title=f"Publish cost vs replication ({PUBLISH_NODES} nodes, "
+              f"2 shards, {PUBLISH_REPS} reps)",
+    ))
+    emit(f"R=2 publish cost over R=1: {tax:.2f}x "
+         f"(two installs per slice, same version flip)")
+
+    saved = _recorder_with_existing()
+    saved.add("publish_cost", {
+        "nodes": PUBLISH_NODES,
+        "dim": PUBLISH_DIM,
+        "shards": 2,
+        "r1_mean_seconds": round(results[1], 4),
+        "r2_mean_seconds": round(results[2], 4),
+        "r2_over_r1": round(tax, 3),
+    })
+    saved.save()
+
+
+def test_skew_triggered_rebalance(benchmark):
+    """A hot contiguous id range on a ``range`` plan must trip the
+    control plane's skew watch into a live rebalance to ``hash``."""
+    rng = np.random.default_rng(92)
+    matrix = rng.standard_normal((4_000, 32))
+    # score_link requests route to the *owning* shard (top-k scatters
+    # to every shard, so it can never skew the per-shard request
+    # counters); pairs inside [0, 200) all land on shard 0 of the
+    # range plan.
+    hot_pairs = rng.integers(0, 200, size=(200, 2))
+    config = ShardedServingConfig(cache_size=0, default_k=10)
+    recorder = Recorder()
+    with use_recorder(recorder):
+        with ShardedFrontend(ShardPlan(2, "range"), config) as frontend:
+            ShardedPublisher(frontend).publish(matrix, generation=0)
+            plane = ControlPlane(frontend, ControlPlaneConfig(
+                skew_threshold=1.5, skew_observations=2,
+                min_requests=50, rebalance_cooldown=0.0))
+            plane.step()  # baseline sweep
+            ratios = []
+            rebalanced_after = None
+            t0 = time.perf_counter()
+
+            def drive_hot_burst() -> None:
+                for src, dst in hot_pairs:
+                    frontend.score_link(int(src), int(dst))
+
+            benchmark.pedantic(drive_hot_burst, rounds=1, iterations=1)
+            for burst in range(4):
+                report = plane.step()
+                ratios.append(report.skew_ratio)
+                if report.rebalanced_to is not None:
+                    rebalanced_after = burst + 1
+                    break
+                drive_hot_burst()
+            rebalance_s = time.perf_counter() - t0
+            assert rebalanced_after is not None, "skew watch never fired"
+            assert frontend.plan == ShardPlan(2, "hash")
+            _oracle_check(frontend, matrix, (5, 150, 3_999))
+    assert recorder.counters["serving.controlplane.rebalance_decisions"] == 1
+    assert recorder.counters["serving.shard.rebalance.count"] == 1
+    emit("")
+    emit(f"skew-triggered rebalance: hot range [0, 200) on a 2-shard "
+         f"range plan — ratio {max(ratios):.2f} (threshold 1.5), "
+         f"rebalanced to hash after {rebalanced_after} skewed sweeps, "
+         f"{rebalance_s:.2f}s from first hot burst; answers stay "
+         f"bit-identical")
+
+    saved = _recorder_with_existing()
+    saved.add("skew_rebalance", {
+        "plan_before": "range:2",
+        "plan_after": "hash:2",
+        "max_skew_ratio": round(max(ratios), 3),
+        "sweeps_to_rebalance": rebalanced_after,
+        "seconds_from_first_burst": round(rebalance_s, 3),
+    })
+    saved.save()
+
+
+def test_recovery_after_kill(benchmark):
+    """Kill one replica of every shard at R=2 under load with the
+    control plane supervising: zero errors, zero degraded queries,
+    every slot respawned; records kill-to-recovered wall seconds."""
+    rng = np.random.default_rng(93)
+    matrix = rng.standard_normal((20_000, 64))
+    plan = ShardPlan(2, "range")
+    config = ShardedServingConfig(cache_size=0, default_k=10,
+                                  replication_factor=2)
+    recorder = Recorder()
+    recovery = {}
+    with use_recorder(recorder):
+        with ShardedFrontend(plan, config) as frontend:
+            ShardedPublisher(frontend).publish(matrix, generation=0)
+            with ControlPlane(frontend,
+                              ControlPlaneConfig(health_period=0.02)):
+
+                def killer() -> None:
+                    time.sleep(0.15)
+                    t0 = time.perf_counter()
+                    for shard in range(plan.num_shards):
+                        frontend.kill_replica(shard, 0)
+                    while frontend.alive_workers < 2 * plan.num_shards:
+                        if time.perf_counter() - t0 > 30.0:
+                            return
+                        time.sleep(0.01)
+                    recovery["seconds"] = time.perf_counter() - t0
+
+                thread = threading.Thread(target=killer, daemon=True)
+                thread.start()
+                report = benchmark.pedantic(
+                    lambda: run_load(frontend, num_requests=2_000,
+                                     clients=8, topk_fraction=1.0,
+                                     hot_fraction=0.0, seed=94),
+                    rounds=1, iterations=1,
+                )
+                thread.join()
+            assert "seconds" in recovery, "tier never fully recovered"
+            assert frontend.alive_workers == 2 * plan.num_shards
+            # The healed tier (respawned replicas included) answers
+            # bit for bit: kill the survivors so only respawns serve.
+            for shard in range(plan.num_shards):
+                frontend.kill_replica(shard, 1)
+            _oracle_check(frontend, matrix, (0, 9_999, 19_999))
+    counters = recorder.counters
+    respawns = int(counters.get("serving.controlplane.respawns", 0))
+    degraded = int(counters.get("serving.shard.degraded_queries", 0))
+    assert report.errors == 0
+    assert degraded == 0
+    assert respawns >= plan.num_shards
+    emit("")
+    emit(f"recovery after kill: one replica of each of "
+         f"{plan.num_shards} shards killed mid-load — "
+         f"{report.qps:.0f} qps, {report.errors} errors, {degraded} "
+         f"degraded, {respawns} respawns, full replication back in "
+         f"{recovery['seconds']:.2f}s")
+
+    saved = _recorder_with_existing()
+    saved.add("recovery_after_kill", {
+        "shards": plan.num_shards,
+        "replicas": 2,
+        "killed_replicas": plan.num_shards,
+        "qps": round(report.qps, 1),
+        "errors": report.errors,
+        "degraded_queries": degraded,
+        "respawns": respawns,
+        "recovery_seconds": round(recovery["seconds"], 3),
+    })
+    saved.save()

@@ -25,7 +25,13 @@ the equivalent front door:
   append, then graph apply, then policy-driven embedding refresh)
   while the serving frontend takes query load; ``--replay-only``
   recovers and reports a previous run's WAL, which is how the CI
-  stream-smoke job verifies crash recovery.
+  stream-smoke job verifies crash recovery;
+- ``repro pipeline-sim`` — the end-to-end stream→serve loop: ingest
+  queue + optional WAL + policy-driven incremental refresh fanned out
+  to the replicated sharded tier (:mod:`repro.serving.sharding`) under
+  :class:`~repro.serving.controlplane.ControlPlane` supervision, all
+  while a closed-loop load generator queries the tier; chaos kills are
+  auto-respawned by the control plane.
 
 Every command takes ``--seed`` and the pipeline hyperparameters the
 artifact exposes (walks, walk length, dimension, epochs...).  Run
@@ -473,6 +479,8 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     print(f"  shards: {plan.num_shards} x "
                           f"{args.replicas} workers ({plan.strategy} "
                           f"plan), serving version {frontend.version}")
+                    controlplane = (_start_controlplane(args, frontend)
+                                    if args.autoscale else None)
                     stop_chaos = threading.Event()
                     chaos = []
                     if args.kill_replica is not None:
@@ -518,6 +526,10 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     writer.join()
                     for thread in chaos:
                         thread.join()
+                    if controlplane is not None:
+                        _settle_controlplane(frontend, controlplane,
+                                             args.shards * args.replicas)
+                        controlplane.close()
                     # Pull worker-internal recorder state back to the
                     # router before the workers go away.
                     frontend.worker_metrics()
@@ -574,6 +586,11 @@ def cmd_serve_sim(args: argparse.Namespace) -> int:
                     [_worker_row(recorder)],
                     title="Worker internals (aggregated over replicas)",
                 ))
+                if args.autoscale:
+                    print()
+                    print(render_table(
+                        [_controlplane_row(recorder)],
+                        title="Control plane (recorder)"))
             else:
                 hits = counters.get("serving.index.cache_hits", 0)
                 misses = counters.get("serving.index.cache_misses", 0)
@@ -708,6 +725,294 @@ def _parse_kill_replica(spec: str, num_shards: int,
     if delay < 0:
         raise SystemExit(f"--kill-replica delay must be >= 0, got {delay}")
     return shard, replica, delay
+
+
+def _start_controlplane(args: argparse.Namespace, frontend):
+    """Build and start the control plane from the --autoscale knobs."""
+    from repro.faults import FaultPlan
+    from repro.serving import ControlPlane, ControlPlaneConfig
+
+    config = ControlPlaneConfig(
+        health_period=args.health_period,
+        max_respawns=args.max_respawns,
+        skew_threshold=args.skew_threshold,
+        skew_observations=args.skew_observations,
+        rebalance_cooldown=args.rebalance_cooldown,
+    )
+    plane = ControlPlane(frontend, config,
+                         fault_plan=FaultPlan.from_env()).start()
+    print(f"  control plane: sweeping every {config.health_period:.2f}s "
+          f"(max {config.max_respawns} respawns/slot, skew >= "
+          f"{config.skew_threshold:.1f}x over "
+          f"{config.skew_observations} sweeps)")
+    return plane
+
+
+def _settle_controlplane(frontend, controlplane, want_workers: int,
+                         timeout: float = 10.0) -> None:
+    """Give the control plane time to finish in-flight recovery.
+
+    A chaos kill landing near the end of the load run would otherwise
+    race shutdown: the drill's whole point is to observe the respawn,
+    so the clean path waits (bounded) until every slot is live again —
+    or the circuit breaker gave up on one — before stopping the loop.
+    """
+    import time as time_mod
+
+    recorder = get_recorder()
+    deadline = time_mod.monotonic() + timeout
+    while time_mod.monotonic() < deadline:
+        gave_up = recorder.counters.get(
+            "serving.controlplane.respawn_giveup", 0)
+        if frontend.alive_workers >= want_workers or gave_up:
+            return
+        time_mod.sleep(controlplane.config.health_period)
+
+
+def _controlplane_row(recorder) -> dict:
+    """One summary row of the ``serving.controlplane.*`` metrics."""
+    counters = recorder.counters
+    prefix = "serving.controlplane."
+    latency = recorder.histograms.get(prefix + "decision_latency_s")
+    recovery = recorder.histograms.get(prefix + "recovery_seconds")
+    return {
+        "sweeps": int(counters.get(prefix + "sweeps", 0)),
+        "respawns": int(counters.get(prefix + "respawns", 0)),
+        "respawn failures": int(
+            counters.get(prefix + "respawn_failures", 0)),
+        "give-ups": int(counters.get(prefix + "respawn_giveup", 0)),
+        "skew obs": int(counters.get(prefix + "skew_observations", 0)),
+        "rebalances": int(
+            counters.get(prefix + "rebalance_decisions", 0)),
+        "dead workers": int(
+            recorder.gauges.get(prefix + "dead_workers", 0)),
+        "decision ms": (round(latency.mean * 1e3, 3)
+                        if latency and latency.count else 0.0),
+        "recovery s": (round(recovery.mean, 3)
+                       if recovery and recovery.count else 0.0),
+    }
+
+
+def _add_controlplane_arguments(parser: argparse.ArgumentParser,
+                                autoscale_flag: bool) -> None:
+    """Control-plane policy knobs (shared by serve-sim and pipeline-sim).
+
+    ``serve-sim`` gates the plane behind ``--autoscale``;
+    ``pipeline-sim`` always runs it (it *is* the end-to-end loop).
+    """
+    group = parser.add_argument_group("control plane")
+    if autoscale_flag:
+        group.add_argument("--autoscale", action="store_true",
+                           help="supervise the sharded tier: auto-respawn "
+                                "dead replicas and rebalance on sustained "
+                                "load skew (requires --shards > 1)")
+    group.add_argument("--health-period", type=float, default=0.1,
+                       help="seconds between control-plane health sweeps")
+    group.add_argument("--max-respawns", type=int, default=5,
+                       help="respawn attempts per replica slot before the "
+                            "circuit breaker gives up (tier stays "
+                            "degraded, never fork-loops)")
+    group.add_argument("--skew-threshold", type=float, default=3.0,
+                       help="max/mean per-shard request-rate ratio that "
+                            "counts as skew")
+    group.add_argument("--skew-observations", type=int, default=3,
+                       help="consecutive skewed sweeps before a rebalance "
+                            "is armed (hysteresis)")
+    group.add_argument("--rebalance-cooldown", type=float, default=5.0,
+                       help="minimum seconds between control-plane "
+                            "rebalances (no flapping)")
+
+
+def cmd_pipeline_sim(args: argparse.Namespace) -> int:
+    """``repro pipeline-sim``: the end-to-end stream→serve loop.
+
+    One process wires the whole deployment story together: a generator
+    thread feeds edge batches through the bounded ingest queue into the
+    :class:`~repro.stream.controller.StreamController` (WAL-first when
+    ``--wal-dir`` is given, then graph apply, then policy-driven
+    incremental refresh), every refreshed snapshot fans out through
+    :meth:`~repro.serving.sharding.ShardedPublisher.attach` to the
+    replicated sharded tier, the control plane supervises the workers,
+    and a closed-loop load generator queries the tier the whole time.
+    """
+    import threading
+    import time as time_mod
+
+    import numpy as np
+
+    from repro.faults import FaultPlan
+    from repro.graph import DynamicTemporalGraph
+    from repro.serving import (
+        ControlPlane,
+        ControlPlaneConfig,
+        EmbeddingStore,
+        ShardPlan,
+        ShardedFrontend,
+        ShardedPublisher,
+        ShardedServingConfig,
+        run_load,
+    )
+    from repro.stream import (
+        EveryNEdges,
+        IngestQueue,
+        StreamController,
+        WriteAheadLog,
+    )
+    from repro.tasks.incremental import IncrementalEmbedder
+
+    if args.input:
+        edges = read_wel(args.input)
+        source = args.input
+    else:
+        edges = generators.erdos_renyi_temporal(args.nodes, args.edges,
+                                                seed=args.seed)
+        source = f"ER {args.nodes}x{args.edges} (synthetic)"
+    ordered = edges.sorted_by_time()
+
+    # 60% of the stream seeds the initial graph; the tail arrives live.
+    cut = int(0.6 * len(ordered))
+    initial = ordered.take(np.arange(cut))
+    step = max(1, (len(ordered) - cut) // args.batches)
+    batches = []
+    for i in range(args.batches):
+        stop = (cut + (i + 1) * step if i < args.batches - 1
+                else len(ordered))
+        if stop > cut + i * step:
+            batches.append(ordered.take(np.arange(cut + i * step, stop)))
+
+    fault_plan = FaultPlan.from_env()
+    with _observability(args) as obs_recorder:
+        recorder = obs_recorder if obs_recorder is not None else Recorder()
+        with use_recorder(recorder):
+            wal = None
+            if args.wal_dir:
+                wal = WriteAheadLog(args.wal_dir, fault_plan=fault_plan)
+            dynamic = DynamicTemporalGraph()
+            if len(initial):
+                if wal is not None:
+                    wal.append(initial)
+                dynamic.append(initial)
+            store = EmbeddingStore()
+            embedder = IncrementalEmbedder(
+                dynamic,
+                walk_config=WalkConfig(num_walks_per_node=args.walks,
+                                       max_walk_length=args.length,
+                                       bias=args.bias),
+                sgns_config=SgnsConfig(dim=args.dim,
+                                       epochs=args.w2v_epochs),
+                seed=args.seed,
+                store=store,
+                sampler=args.sampler,
+            )
+            build_start = time_mod.perf_counter()
+            embedder.rebuild()
+            print(f"input: {source} — {dynamic.num_nodes} nodes, "
+                  f"{dynamic.num_edges} edges initial; embeddings in "
+                  f"{time_mod.perf_counter() - build_start:.2f}s; "
+                  f"{len(batches)} live batches to stream"
+                  + (f"; WAL at {args.wal_dir}" if wal is not None
+                     else ""))
+
+            queue = IngestQueue(max_edges=args.queue_edges,
+                                policy="block")
+            controller = StreamController(
+                dynamic, queue, wal=wal, embedder=embedder,
+                policy=EveryNEdges(args.refresh_edges),
+                fault_plan=fault_plan,
+            )
+            plan = ShardPlan(args.shards, args.shard_plan)
+            shard_config = ShardedServingConfig(
+                default_k=args.k,
+                replication_factor=args.replicas,
+            )
+            cp_config = ControlPlaneConfig(
+                health_period=args.health_period,
+                max_respawns=args.max_respawns,
+                skew_threshold=args.skew_threshold,
+                skew_observations=args.skew_observations,
+                rebalance_cooldown=args.rebalance_cooldown,
+            )
+            with ShardedFrontend(plan, shard_config) as frontend:
+                publisher = ShardedPublisher(frontend)
+                # Warm snapshot now; every refresh the controller
+                # triggers fans out to the shards automatically.
+                publisher.attach(store)
+                print(f"  shards: {plan.num_shards} x {args.replicas} "
+                      f"workers ({plan.strategy} plan), serving "
+                      f"version {frontend.version}; control plane "
+                      f"sweeping every {cp_config.health_period:.2f}s")
+                controlplane = ControlPlane(frontend, cp_config,
+                                            fault_plan=fault_plan)
+                stop_chaos = threading.Event()
+                chaos = None
+                if args.kill_replica is not None:
+                    shard_id, replica, delay = _parse_kill_replica(
+                        args.kill_replica, args.shards, args.replicas)
+
+                    def killer() -> None:
+                        if not stop_chaos.wait(delay):
+                            frontend.kill_replica(shard_id, replica)
+                            print(f"  chaos: killed shard {shard_id} "
+                                  f"replica {replica} after "
+                                  f"{delay:.2f}s")
+
+                    chaos = threading.Thread(target=killer, daemon=True,
+                                             name="pipeline-sim-kill")
+
+                def produce() -> None:
+                    for edge_batch in batches:
+                        if args.batch_interval > 0:
+                            time_mod.sleep(args.batch_interval)
+                        queue.put(edge_batch)
+
+                with controller, controlplane:
+                    producer = threading.Thread(
+                        target=produce, daemon=True,
+                        name="pipeline-sim-producer")
+                    producer.start()
+                    if chaos is not None:
+                        chaos.start()
+                    report = run_load(
+                        frontend,
+                        num_requests=args.requests,
+                        clients=args.clients,
+                        topk_fraction=args.topk_fraction,
+                        k=args.k,
+                        seed=args.seed,
+                    )
+                    stop_chaos.set()
+                    producer.join()
+                    if chaos is not None:
+                        chaos.join()
+                    _settle_controlplane(frontend, controlplane,
+                                         args.shards * args.replicas)
+                stats = controller.stats
+                frontend.worker_metrics()
+                publisher.detach()
+
+            counters = recorder.counters
+            print()
+            print(render_table([report.as_row()],
+                               title="Closed-loop load (client side)"))
+            print()
+            print(render_table(
+                [{
+                    "batches": stats.batches_applied,
+                    "edges": stats.edges_applied,
+                    "refreshes": stats.refreshes,
+                    "refresh s": round(stats.refresh_seconds, 2),
+                    "wal bytes": int(counters.get("stream.wal.bytes", 0)),
+                    "generation": dynamic.generation,
+                }],
+                title="Streaming ingest (every-n refresh)",
+            ))
+            print()
+            print(render_table([_shard_row(recorder)],
+                               title="Sharded tier (recorder)"))
+            print()
+            print(render_table([_controlplane_row(recorder)],
+                               title="Control plane (recorder)"))
+    return 0
 
 
 def _ann_config(args: argparse.Namespace):
@@ -1066,6 +1371,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "DELAY_S seconds (default 0.2) into the "
                            "load run")
     _add_ann_arguments(load)
+    _add_controlplane_arguments(serve, autoscale_flag=True)
     load.add_argument("--update-batches", type=int, default=0,
                       help="hold back 30%% of the stream and replay it "
                            "as this many live edge batches + incremental "
@@ -1164,6 +1470,77 @@ def build_parser() -> argparse.ArgumentParser:
                      help="write the span trace as JSONL")
     stream.add_argument("--seed", type=int, default=0)
     stream.set_defaults(func=cmd_stream_sim)
+
+    pipe = sub.add_parser(
+        "pipeline-sim",
+        help="end-to-end stream→serve pipeline: ingest queue + WAL + "
+             "incremental refresh fanned out to the replicated sharded "
+             "tier under control-plane supervision and query load",
+    )
+    pipe.add_argument("--input", default=None,
+                      help=".wel temporal graph (omit for synthetic ER)")
+    pipe.add_argument("--nodes", type=int, default=1_000,
+                      help="ER nodes when --input is omitted")
+    pipe.add_argument("--edges", type=int, default=10_000,
+                      help="ER edges when --input is omitted")
+    emb = pipe.add_argument_group("embedding hyperparameters")
+    emb.add_argument("--sampler", default="cdf",
+                     choices=["cdf", "gumbel", "batched"],
+                     help="walk kernel for incremental refresh walks")
+    emb.add_argument("--walks", type=int, default=2,
+                     help="random walks per node (K)")
+    emb.add_argument("--length", type=int, default=4,
+                     help="maximum walk length in nodes (L)")
+    emb.add_argument("--bias", default="softmax-recency",
+                     choices=["uniform", "softmax-late",
+                              "softmax-recency", "linear"],
+                     help="Eq. 1 transition bias")
+    emb.add_argument("--dim", type=int, default=8,
+                     help="embedding dimension (d)")
+    emb.add_argument("--w2v-epochs", type=int, default=1,
+                     help="word2vec epochs")
+    ingest = pipe.add_argument_group("ingest")
+    ingest.add_argument("--wal-dir", default=None,
+                        help="write-ahead-log directory (omit to stream "
+                             "without durability)")
+    ingest.add_argument("--queue-edges", type=int, default=50_000,
+                        help="ingest queue bound, in edges")
+    ingest.add_argument("--refresh-edges", type=int, default=500,
+                        help="incremental refresh every N applied edges")
+    ingest.add_argument("--batches", type=int, default=6,
+                        help="live batches the generator streams (40%% of "
+                             "the input is held back for them)")
+    ingest.add_argument("--batch-interval", type=float, default=0.02,
+                        help="seconds between generated batches")
+    load = pipe.add_argument_group("sharded serving and load")
+    load.add_argument("--shards", type=int, default=2,
+                      help="shard worker processes")
+    load.add_argument("--shard-plan", default="hash",
+                      choices=["hash", "range"],
+                      help="node-id partitioner")
+    load.add_argument("--replicas", type=int, default=2,
+                      help="worker replicas per shard slice")
+    load.add_argument("--kill-replica", default=None,
+                      metavar="SHARD[:REPLICA[:DELAY_S]]",
+                      help="chaos drill: hard-kill one shard worker "
+                           "DELAY_S seconds (default 0.2) into the load "
+                           "run; the control plane respawns it")
+    load.add_argument("--clients", type=int, default=4,
+                      help="closed-loop client threads")
+    load.add_argument("--requests", type=int, default=1_000,
+                      help="total requests across all clients")
+    load.add_argument("--topk-fraction", type=float, default=0.5,
+                      help="fraction of requests that are top-k")
+    load.add_argument("--k", type=int, default=10,
+                      help="recommendations per top-k request")
+    _add_controlplane_arguments(pipe, autoscale_flag=False)
+    obs = pipe.add_argument_group("observability")
+    obs.add_argument("--metrics-out", default=None, metavar="FILE",
+                     help="write run counters/gauges/histograms as JSON")
+    obs.add_argument("--trace-out", default=None, metavar="FILE",
+                     help="write the span trace as JSONL")
+    pipe.add_argument("--seed", type=int, default=0)
+    pipe.set_defaults(func=cmd_pipeline_sim)
 
     return parser
 

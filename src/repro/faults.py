@@ -74,7 +74,17 @@ GENERIC_SITES = ("shards",)
 #: the controller picks a batch off the ingest queue, before any write.
 STREAM_SITES = ("stream.wal.write", "stream.wal.fsync",
                 "stream.controller.drain")
-SITES = WORKER_SITES + PIPELINE_SITES + GENERIC_SITES + STREAM_SITES
+#: Control-plane sites (:mod:`repro.serving.controlplane`), fired with
+#: the shard id as the shard: ``controlplane.health`` fires at the top
+#: of each supervision sweep in the *router* process (an ``error``
+#: there skips the sweep; the loop must survive it);
+#: ``controlplane.respawn`` fires inside a *respawned* worker before it
+#: serves its first command, with ``attempt`` = how many respawns this
+#: slot has already burned — ``crash`` there is the crash-loop drill
+#: that must trip the ``max_respawns`` circuit breaker.
+CONTROLPLANE_SITES = ("controlplane.health", "controlplane.respawn")
+SITES = (WORKER_SITES + PIPELINE_SITES + GENERIC_SITES + STREAM_SITES
+         + CONTROLPLANE_SITES)
 
 
 @dataclass(frozen=True)

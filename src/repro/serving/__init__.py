@@ -29,6 +29,12 @@ ingest half already exists (:class:`~repro.graph.dynamic
   installed version-atomically across every shard, and live plan
   migration via :meth:`ShardedFrontend.rebalance` (returns a
   :class:`RebalanceReport`) without stopping reads;
+- :class:`ControlPlane` / :class:`ControlPlaneConfig` — the
+  self-healing policy layer over the sharded tier: periodic health
+  sweeps that auto-respawn dead replicas under the served version
+  (crash-loop backoff + ``max_respawns`` circuit breaker) and trigger
+  :meth:`ShardedFrontend.rebalance` on sustained per-shard load skew
+  or catalog growth (hysteresis + cooldown);
 - :func:`run_load` — a closed-loop load generator for the ``serve-sim``
   CLI subcommand and ``bench_serving_throughput``.
 
@@ -39,6 +45,11 @@ recall/latency trade-offs.
 
 from repro.serving.ann import IvfConfig, IvfIndex, IvfIndexManager
 from repro.serving.batching import BatchFuture, BatchScheduler
+from repro.serving.controlplane import (
+    ControlPlane,
+    ControlPlaneConfig,
+    SweepReport,
+)
 from repro.serving.frontend import ServingConfig, ServingFrontend
 from repro.serving.index import RecommendationIndex
 from repro.serving.loadgen import LoadReport, run_load
@@ -55,6 +66,8 @@ from repro.serving.store import EmbeddingSnapshot, EmbeddingStore
 __all__ = [
     "BatchFuture",
     "BatchScheduler",
+    "ControlPlane",
+    "ControlPlaneConfig",
     "EmbeddingShard",
     "EmbeddingSnapshot",
     "EmbeddingStore",
@@ -70,5 +83,6 @@ __all__ = [
     "ShardedFrontend",
     "ShardedPublisher",
     "ShardedServingConfig",
+    "SweepReport",
     "run_load",
 ]

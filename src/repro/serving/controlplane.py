@@ -1,0 +1,401 @@
+"""Control-plane autoscaler: self-healing policy over the sharded tier.
+
+PR 8/9 gave the sharded tier every *mechanism* — replication,
+transparent failover, live :meth:`~repro.serving.sharding
+.ShardedFrontend.rebalance` — but no *policy*: a killed replica stayed
+dead until an operator intervened and nothing reacted to per-shard load
+skew.  This module is the missing supervisor, the router-side analogue
+of the deployment loop "Towards Real-Time Temporal Graph Learning"
+keeps running around its ingest → train → serve pipeline:
+
+- **Health sweeps.**  A daemon thread (injectable ``clock``, à la the
+  :class:`~repro.stream.queue.TokenBucket` rate limiter, so tests drive
+  :meth:`ControlPlane.step` synchronously with a fake clock) checks
+  every replica slot each ``health_period``.  A dead slot is respawned
+  through :meth:`~repro.serving.sharding.ShardedFrontend
+  .respawn_replica`, which re-slices the retained served matrix into
+  the replacement under the currently-served version — recovery is
+  invisible to readers.  Respawn attempts back off exponentially
+  (``respawn_backoff`` × ``backoff_multiplier``^n) and a slot that
+  burns ``max_respawns`` attempts trips a circuit breaker: the tier
+  stays up degraded (siblings keep answering) instead of fork-looping,
+  and ``serving.controlplane.respawn_giveup`` records the give-up.
+- **Skew watch.**  Each sweep diffs the router's per-shard
+  ``serving.shard.<i>.requests`` counters.  When the max/mean request
+  rate crosses ``skew_threshold`` for ``skew_observations`` consecutive
+  sweeps (hysteresis) *and* ``rebalance_cooldown`` has elapsed since
+  the last move (no flapping), the plane picks a new
+  :class:`~repro.serving.sharding.ShardPlan` from the observed rates
+  (:meth:`ControlPlane.choose_plan`) and triggers a live rebalance.
+  Catalog growth (``nodes_per_shard``) widens the tier the same way.
+- **Observability + faults.**  Everything lands under
+  ``serving.controlplane.*`` (sweeps, respawns, failures, give-ups,
+  skew observations, rebalance decisions, decision latency, recovery
+  seconds, a ``dead_workers`` gauge), and two deterministic fault sites
+  hook the loop: ``controlplane.health`` fires at the top of each sweep
+  in the router, ``controlplane.respawn`` fires inside a respawned
+  worker before it serves — a ``crash`` spec there is the crash-loop
+  drill the circuit breaker is tested against.
+
+Exercised by ``serve-sim --autoscale`` and the end-to-end
+``pipeline-sim`` CLI path; measured by
+``benchmarks/bench_stream_to_serve.py``; tested in
+``tests/test_serving_controlplane.py`` (``pytest -m shards``).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import FaultInjected, ServingError
+from repro.faults import FaultPlan
+from repro.observability import get_recorder
+from repro.serving.sharding import PLAN_CHOICES, ShardedFrontend, ShardPlan
+
+_METRIC = "serving.controlplane."
+
+
+@dataclass(frozen=True)
+class ControlPlaneConfig:
+    """Policy knobs of the control plane (see ``docs/serving.md``).
+
+    ``health_period`` paces the supervision sweep.  ``respawn_backoff``
+    is the delay after a failed respawn attempt, multiplied by
+    ``backoff_multiplier`` per consecutive failure; ``max_respawns``
+    attempts per slot trips the circuit breaker (the slot stays dead,
+    the tier stays up degraded).  A slot that stays healthy for
+    ``healthy_reset_s`` earns its attempt budget back, so one transient
+    crash a day never accumulates into a give-up.
+
+    ``skew_threshold`` is the max/mean per-shard request-rate ratio
+    that counts as skewed; only sweeps with at least ``min_requests``
+    new requests are judged (idle tiers are never "skewed").
+    ``skew_observations`` consecutive skewed sweeps arm a rebalance
+    (hysteresis) and ``rebalance_cooldown`` seconds must separate
+    moves (no flapping).  ``nodes_per_shard`` (optional) additionally
+    widens the tier when the served catalog outgrows the plan;
+    ``max_shards`` caps every growth decision.
+    """
+
+    health_period: float = 0.25
+    respawn_backoff: float = 0.2
+    backoff_multiplier: float = 2.0
+    max_respawns: int = 5
+    healthy_reset_s: float = 5.0
+    skew_threshold: float = 3.0
+    skew_observations: int = 3
+    rebalance_cooldown: float = 5.0
+    min_requests: int = 50
+    nodes_per_shard: int | None = None
+    max_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if self.health_period <= 0:
+            raise ServingError(
+                f"health_period must be > 0, got {self.health_period}")
+        if self.respawn_backoff < 0:
+            raise ServingError(
+                f"respawn_backoff must be >= 0, got {self.respawn_backoff}")
+        if self.backoff_multiplier < 1:
+            raise ServingError(
+                "backoff_multiplier must be >= 1, got "
+                f"{self.backoff_multiplier}")
+        if self.max_respawns < 1:
+            raise ServingError(
+                f"max_respawns must be >= 1, got {self.max_respawns}")
+        if self.healthy_reset_s < 0:
+            raise ServingError(
+                f"healthy_reset_s must be >= 0, got {self.healthy_reset_s}")
+        if self.skew_threshold <= 1:
+            raise ServingError(
+                f"skew_threshold must be > 1, got {self.skew_threshold}")
+        if self.skew_observations < 1:
+            raise ServingError(
+                "skew_observations must be >= 1, got "
+                f"{self.skew_observations}")
+        if self.rebalance_cooldown < 0:
+            raise ServingError(
+                "rebalance_cooldown must be >= 0, got "
+                f"{self.rebalance_cooldown}")
+        if self.min_requests < 1:
+            raise ServingError(
+                f"min_requests must be >= 1, got {self.min_requests}")
+        if self.nodes_per_shard is not None and self.nodes_per_shard < 1:
+            raise ServingError(
+                "nodes_per_shard must be >= 1, got "
+                f"{self.nodes_per_shard}")
+        if self.max_shards < 1:
+            raise ServingError(
+                f"max_shards must be >= 1, got {self.max_shards}")
+
+
+@dataclass
+class _SlotState:
+    """Per-(shard, replica) supervision state across sweeps."""
+
+    attempts: int = 0
+    first_dead_at: float | None = None
+    next_attempt_at: float = 0.0
+    alive_since: float | None = None
+    gave_up: bool = False
+
+
+@dataclass
+class SweepReport:
+    """What one :meth:`ControlPlane.step` sweep did (tests + CLI)."""
+
+    dead_slots: int = 0
+    respawned: int = 0
+    respawn_failures: int = 0
+    gave_up: int = 0
+    skewed: bool = False
+    skew_ratio: float = 0.0
+    rebalanced_to: ShardPlan | None = None
+    requests_delta: float = 0.0
+    faulted: bool = False
+    slots_seen: list[tuple[int, int, bool]] = field(default_factory=list)
+
+
+class ControlPlane:
+    """Supervising loop over a :class:`ShardedFrontend` (policy layer).
+
+    All mutation goes through the frontend's own serialized entry
+    points (``respawn_replica``, ``rebalance``), so the plane composes
+    with concurrent :class:`~repro.serving.sharding.ShardedPublisher`
+    publishes — including stream-driven ``attach()`` fan-out — without
+    any locking of its own.  ``step()`` is public and synchronous:
+    production paces it from a daemon thread, tests drive it directly
+    under an injected ``clock``.
+    """
+
+    def __init__(self, frontend: ShardedFrontend,
+                 config: ControlPlaneConfig | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        self.frontend = frontend
+        self.config = config or ControlPlaneConfig()
+        self._fault_plan = fault_plan or FaultPlan()
+        self._clock = clock
+        self._slots: dict[tuple[int, int], _SlotState] = {}
+        self._last_table: object | None = None
+        self._last_requests: dict[int, float] = {}
+        self._skew_streak = 0
+        self._last_rebalance_at: float | None = None
+        self._sweep_index = 0
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> "ControlPlane":
+        """Start the supervision thread (idempotent); returns self."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, daemon=True, name="serving-controlplane")
+        self._thread.start()
+        return self
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the supervision thread (idempotent; bounded join)."""
+        self._stop.set()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout)
+
+    def __enter__(self) -> "ControlPlane":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.health_period):
+            try:
+                self.step()
+            except ServingError:
+                # The frontend closed under us (shutdown race) or a
+                # rebalance failed outright; the next sweep re-reads
+                # the world instead of killing the supervisor.
+                if self._stop.is_set():
+                    return
+
+    # ------------------------------------------------------------------
+    def step(self) -> SweepReport:
+        """One supervision sweep: health-check, respawn, watch skew."""
+        report = SweepReport()
+        frontend = self.frontend
+        if not frontend._started or frontend._closed:
+            return report
+        rec = get_recorder()
+        now = self._clock()
+        start = time.perf_counter()
+        self._sweep_index += 1
+        try:
+            self._fault_plan.fire("controlplane.health", shard=0,
+                                  attempt=self._sweep_index - 1)
+        except FaultInjected:
+            report.faulted = True
+            if rec.enabled:
+                rec.counter(_METRIC + "health_faults")
+            return report
+        table = frontend._table
+        if table is not self._last_table:
+            # A rebalance replaced the whole worker set: every slot is
+            # a different process now, so supervision state restarts.
+            self._slots.clear()
+            self._last_table = table
+        self._sweep_health(table, now, report)
+        self._sweep_skew(now, report)
+        if rec.enabled:
+            rec.counter(_METRIC + "sweeps")
+            rec.gauge(_METRIC + "dead_workers", report.dead_slots)
+            rec.observe(_METRIC + "decision_latency_s",
+                        time.perf_counter() - start)
+        return report
+
+    # ------------------------------------------------------------------
+    def _sweep_health(self, table, now: float,
+                      report: SweepReport) -> None:
+        cfg = self.config
+        rec = get_recorder()
+        for shard_id, group in enumerate(table.groups):
+            for replica, client in enumerate(group):
+                state = self._slots.setdefault((shard_id, replica),
+                                               _SlotState())
+                alive = client.alive
+                report.slots_seen.append((shard_id, replica, alive))
+                if alive:
+                    if state.alive_since is None:
+                        state.alive_since = now
+                    elif (state.attempts and not state.gave_up
+                          and now - state.alive_since
+                          >= cfg.healthy_reset_s):
+                        state.attempts = 0
+                        state.first_dead_at = None
+                        state.next_attempt_at = 0.0
+                    continue
+                state.alive_since = None
+                if state.gave_up:
+                    report.dead_slots += 1
+                    continue
+                if state.first_dead_at is None:
+                    state.first_dead_at = now
+                if state.attempts >= cfg.max_respawns:
+                    state.gave_up = True
+                    report.dead_slots += 1
+                    report.gave_up += 1
+                    if rec.enabled:
+                        rec.counter(_METRIC + "respawn_giveup")
+                    continue
+                if now < state.next_attempt_at:
+                    report.dead_slots += 1
+                    continue
+                attempt = state.attempts
+                state.attempts += 1
+                state.next_attempt_at = now + (
+                    cfg.respawn_backoff
+                    * cfg.backoff_multiplier ** attempt)
+                try:
+                    respawned = self.frontend.respawn_replica(
+                        shard_id, replica,
+                        fault_plan=self._fault_plan or None,
+                        attempt=attempt)
+                except ServingError:
+                    report.dead_slots += 1
+                    report.respawn_failures += 1
+                    if rec.enabled:
+                        rec.counter(_METRIC + "respawn_failures")
+                    continue
+                if respawned:
+                    report.respawned += 1
+                    if rec.enabled:
+                        rec.counter(_METRIC + "respawns")
+                        rec.observe(_METRIC + "recovery_seconds",
+                                    max(0.0, now - state.first_dead_at))
+                    state.alive_since = now
+                    state.first_dead_at = None
+                else:
+                    # The slot came back by itself (rebalance race);
+                    # give the attempt back.
+                    state.attempts = attempt
+
+    # ------------------------------------------------------------------
+    def _sweep_skew(self, now: float, report: SweepReport) -> None:
+        cfg = self.config
+        frontend = self.frontend
+        rec = get_recorder()
+        plan = frontend.plan
+        current = {
+            shard: float(rec.counters.get(
+                f"serving.shard.{shard}.requests", 0.0))
+            for shard in range(plan.num_shards)
+        }
+        deltas = [current[s] - self._last_requests.get(s, 0.0)
+                  for s in range(plan.num_shards)]
+        self._last_requests = current
+        total = sum(deltas)
+        report.requests_delta = total
+        num_nodes = (frontend._current.num_nodes
+                     if frontend._current is not None else 0)
+        target: ShardPlan | None = None
+        if total >= cfg.min_requests and plan.num_shards > 1:
+            mean = total / plan.num_shards
+            report.skew_ratio = max(deltas) / mean if mean > 0 else 0.0
+            if report.skew_ratio >= cfg.skew_threshold:
+                report.skewed = True
+                self._skew_streak += 1
+                if rec.enabled:
+                    rec.counter(_METRIC + "skew_observations")
+            else:
+                self._skew_streak = 0
+            if self._skew_streak >= cfg.skew_observations:
+                target = self.choose_plan(plan, num_nodes, deltas)
+        if (target is None and cfg.nodes_per_shard is not None
+                and num_nodes > 0):
+            wanted = min(cfg.max_shards,
+                         math.ceil(num_nodes / cfg.nodes_per_shard))
+            if wanted > plan.num_shards:
+                target = ShardPlan(wanted, plan.strategy)
+        if target is None or target == plan:
+            return
+        if (self._last_rebalance_at is not None
+                and now - self._last_rebalance_at
+                < cfg.rebalance_cooldown):
+            return
+        self.frontend.rebalance(target)
+        self._last_rebalance_at = now
+        self._skew_streak = 0
+        # The new table's counters start from the same ambient
+        # recorder, but the *shard ids* change meaning under a new
+        # plan; re-baseline so the first post-move sweep isn't judged
+        # against pre-move traffic.
+        self._last_requests = {}
+        report.rebalanced_to = target
+        if rec.enabled:
+            rec.counter(_METRIC + "rebalance_decisions")
+
+    # ------------------------------------------------------------------
+    def choose_plan(self, plan: ShardPlan, num_nodes: int,
+                    rates: list[float]) -> ShardPlan | None:
+        """Pick the next plan for a sustained-skew tier, or None.
+
+        A skewed ``range`` plan means a hot contiguous id range —
+        switching to ``hash`` at the same width scatters those ids
+        across every shard.  A skewed ``hash`` plan means individually
+        hot ids; the only dilution left is widening the tier (capped by
+        ``max_shards``; at the cap the skew is accepted and no move is
+        proposed).
+        """
+        if plan.strategy not in PLAN_CHOICES:  # pragma: no cover
+            raise ServingError(f"unknown strategy {plan.strategy!r}")
+        if plan.strategy == "range":
+            return ShardPlan(plan.num_shards, "hash")
+        wanted = min(self.config.max_shards, plan.num_shards * 2)
+        if wanted <= plan.num_shards:
+            return None
+        return ShardPlan(wanted, "hash")

@@ -328,7 +328,8 @@ class _WorkerState:
 
 
 def _shard_worker_main(conn, shard_id: int, plan: ShardPlan,
-                       cfg: _WorkerConfig) -> None:
+                       cfg: _WorkerConfig, fault_plan=None,
+                       attempt: int = 0) -> None:
     """Worker entry point: serve commands until ``stop`` or EOF.
 
     Replies are ``(request_id, ok, payload, seconds)``; a failure
@@ -339,7 +340,16 @@ def _shard_worker_main(conn, shard_id: int, plan: ShardPlan,
     .Recorder`, so index/ANN/store metrics recorded by shard-local
     components accumulate here instead of vanishing; the ``metrics`` op
     ships the recorder's mergeable state back to the router.
+
+    ``fault_plan``/``attempt`` are only passed on the *respawn* path:
+    the ``controlplane.respawn`` site fires here, before the first
+    command is served, so a ``crash`` spec kills the replacement worker
+    deterministically — the crash-loop drill the control plane's
+    circuit breaker is tested against.
     """
+    if fault_plan is not None:
+        fault_plan.fire("controlplane.respawn", shard=shard_id,
+                        attempt=attempt)
     recorder = Recorder()
     state = _WorkerState(shard_id, plan, cfg)
     handlers = {
@@ -674,15 +684,27 @@ class _RoutingTable:
         """Live workers of ``shard_id``, rotated round-robin.
 
         The first entry is the chosen replica for this request; the
-        rest are the failover order if it dies mid-request.
+        rest are the failover order if it dies mid-request.  The cursor
+        rotates over the *live* subset, not the full group: a known-dead
+        replica is skipped at selection time (counted under
+        ``serving.shard.replica.skipped_dead``) instead of soaking up
+        every len(group)-th pick and skewing load 2:1 onto whichever
+        sibling follows it in the rotation.
         """
         group = self.groups[shard_id]
         if len(group) == 1:
             client = group[0]
             return [client] if client.alive else []
-        start = next(self._rr[shard_id]) % len(group)
-        rotated = group[start:] + group[:start]
-        return [client for client in rotated if client.alive]
+        live = [client for client in group if client.alive]
+        if len(live) < len(group):
+            rec = get_recorder()
+            if rec.enabled:
+                rec.counter("serving.shard.replica.skipped_dead",
+                            len(group) - len(live))
+            if not live:
+                return []
+        start = next(self._rr[shard_id]) % len(live)
+        return live[start:] + live[:start]
 
     def all_clients(self) -> list[EmbeddingShard]:
         return [client for group in self.groups for client in group]
@@ -741,14 +763,37 @@ class ShardedFrontend:
             OrderedDict())
 
     # ------------------------------------------------------------------
-    def _spawn_table(self, plan: ShardPlan) -> _RoutingTable:
-        """Fork ``num_shards x replication_factor`` workers for ``plan``."""
+    def _worker_config(self) -> _WorkerConfig:
         cfg = self.config
-        worker_cfg = _WorkerConfig(
+        return _WorkerConfig(
             metric=cfg.metric, block_size=cfg.block_size,
             cache_size=cfg.cache_size, index=cfg.index, ann=cfg.ann,
             keep_versions=cfg.keep_versions,
         )
+
+    def _spawn_worker(self, plan: ShardPlan, shard_id: int, replica: int,
+                      worker_cfg: _WorkerConfig, epoch: int,
+                      fault_plan=None, attempt: int = 0) -> EmbeddingShard:
+        """Fork one shard worker and wrap it in a router-side client."""
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        process = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, shard_id, plan, worker_cfg, fault_plan,
+                  attempt),
+            daemon=True,
+            name=f"embedding-shard-e{epoch}-{shard_id}.{replica}",
+        )
+        process.start()
+        # Drop the parent's copy of the child end *before* spawning the
+        # next worker, so a dead worker reads as EOF and later workers
+        # never inherit this pipe.
+        child_conn.close()
+        return EmbeddingShard(shard_id, process, parent_conn,
+                              replica=replica)
+
+    def _spawn_table(self, plan: ShardPlan) -> _RoutingTable:
+        """Fork ``num_shards x replication_factor`` workers for ``plan``."""
+        worker_cfg = self._worker_config()
         # Start the parent's shared-memory resource tracker *before*
         # forking, so every worker inherits it.  A worker forked first
         # would lazily start a private tracker at its first publish
@@ -759,23 +804,11 @@ class ShardedFrontend:
         epoch = self._epoch
         groups: list[list[EmbeddingShard]] = []
         for shard_id in range(plan.num_shards):
-            group: list[EmbeddingShard] = []
-            for replica in range(cfg.replication_factor):
-                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
-                process = self._ctx.Process(
-                    target=_shard_worker_main,
-                    args=(child_conn, shard_id, plan, worker_cfg),
-                    daemon=True,
-                    name=f"embedding-shard-e{epoch}-{shard_id}.{replica}",
-                )
-                process.start()
-                # Drop the parent's copy of the child end *before*
-                # spawning the next worker, so a dead worker reads as
-                # EOF and later workers never inherit this pipe.
-                child_conn.close()
-                group.append(EmbeddingShard(
-                    shard_id, process, parent_conn, replica=replica))
-            groups.append(group)
+            groups.append([
+                self._spawn_worker(plan, shard_id, replica, worker_cfg,
+                                   epoch)
+                for replica in range(self.config.replication_factor)
+            ])
         return _RoutingTable(plan, groups)
 
     def start(self) -> "ShardedFrontend":
@@ -929,6 +962,86 @@ class ShardedFrontend:
         if table is None:
             raise ServingError("sharded frontend is not started")
         table.groups[shard_id][replica].kill()
+
+    def respawn_replica(self, shard_id: int, replica: int,
+                        fault_plan=None, attempt: int = 0,
+                        timeout: float | None = None) -> bool:
+        """Replace one dead replica with a freshly forked worker.
+
+        The recovery mechanism the control plane drives: under
+        ``_publish_lock``, fork a replacement, ping it, install the
+        retained served matrix's slice under the *currently served*
+        version, and swap the new client into the live routing table's
+        slot in one assignment — readers pick it up at their next
+        round-robin selection, so recovery is invisible to queries.
+
+        Holding ``_publish_lock`` end to end serializes the install
+        with :meth:`ShardedPublisher.publish` and :meth:`rebalance`:
+        a respawn racing a publish reads ``_current``/``_last_matrix``
+        either entirely before or entirely after the publish's flip,
+        so the replacement can never hold a version the router no
+        longer serves (and a publish that wins the race installs onto
+        the replacement like any other live replica).
+
+        Returns False without spawning when the slot is already live
+        (the sweep raced a rebalance that replaced the whole table).
+        ``fault_plan``/``attempt`` forward to the worker's
+        ``controlplane.respawn`` fault site for crash-loop drills.
+        """
+        if not self._started:
+            raise ServingError("sharded frontend is not started")
+        if self._closed:
+            raise ServingError("sharded frontend is closed")
+        timeout = self.config.request_timeout if timeout is None else timeout
+        with self._publish_lock:
+            table = self._table
+            if not 0 <= shard_id < table.plan.num_shards:
+                raise ServingError(
+                    f"shard {shard_id} out of range "
+                    f"[0, {table.plan.num_shards})")
+            group = table.groups[shard_id]
+            if not 0 <= replica < len(group):
+                raise ServingError(
+                    f"replica {replica} out of range [0, {len(group)})")
+            if group[replica].alive:
+                return False
+            resource_tracker.ensure_running()
+            client = self._spawn_worker(
+                table.plan, shard_id, replica, self._worker_config(),
+                self._epoch, fault_plan, attempt)
+            try:
+                client.request("ping", None, timeout=timeout)
+                info = self._current
+                if info is not None:
+                    if self._last_matrix is None:  # pragma: no cover
+                        raise ServingError(
+                            "respawn cannot re-slice: the served matrix "
+                            "was not retained"
+                        )
+                    ids = table.plan.owned_ids(shard_id, info.num_nodes)
+                    block: SharedArray | None = None
+                    spec = None
+                    try:
+                        if len(ids) > 0:
+                            block = SharedArray.create(
+                                self._last_matrix[ids])
+                            spec = block.spec
+                        client.request(
+                            "install",
+                            (info.version, info.generation,
+                             info.num_nodes, spec),
+                            timeout=timeout)
+                    finally:
+                        if block is not None:
+                            block.close()
+            except BaseException:
+                client.stop(self.config.stop_timeout)
+                raise
+            # THE swap: one list-slot assignment on the live table;
+            # queries routed before it keep failing over to siblings,
+            # queries routed after it see the recovered replica.
+            group[replica] = client
+        return True
 
     # ------------------------------------------------------------------
     def _install(self, version: int, num_nodes: int, generation: int,

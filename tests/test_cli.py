@@ -236,3 +236,49 @@ class TestStreamSim:
         assert recorded["counters"]["stream.wal.batches"] >= 4
         assert recorded["counters"]["stream.controller.batches"] >= 3
         assert "stream.wal.fsync_seconds" in recorded["histograms"]
+
+
+class TestPipelineSim:
+    PIPE_FAST = ["--nodes", "200", "--edges", "1500",
+                 "--requests", "200", "--clients", "2",
+                 "--batches", "2", "--batch-interval", "0.01",
+                 "--refresh-edges", "150", "--shards", "2",
+                 "--replicas", "2", "--walks", "2", "--length", "4",
+                 "--dim", "4", "--w2v-epochs", "1",
+                 "--health-period", "0.05", "--seed", "1"]
+
+    def test_end_to_end_stream_to_serve(self, tmp_path, capsys):
+        """The one-command loop: stream ingest → incremental refresh →
+        sharded publish → routed queries, supervised by the control
+        plane — every stage's counters land in one metrics document."""
+        import json
+
+        metrics = tmp_path / "pipeline_metrics.json"
+        code = main(["pipeline-sim", "--wal-dir", str(tmp_path / "wal"),
+                     "--metrics-out", str(metrics), *self.PIPE_FAST])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Closed-loop load" in out
+        assert "Streaming ingest" in out
+        assert "Sharded tier" in out
+        assert "Control plane" in out
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["stream.controller.batches"] > 0
+        assert counters["serving.shard.publishes"] > 0
+        assert counters["serving.controlplane.sweeps"] > 0
+        assert counters.get("loadgen.errors", 0) == 0
+        assert counters.get("serving.shard.gather_drops", 0) == 0
+
+    def test_chaos_kill_is_respawned(self, tmp_path, capsys):
+        import json
+
+        metrics = tmp_path / "pipeline_metrics.json"
+        args = [arg for arg in self.PIPE_FAST]
+        args[args.index("--requests") + 1] = "400"  # outlast the kill
+        code = main(["pipeline-sim", "--kill-replica", "0:1:0.05",
+                     "--metrics-out", str(metrics), *args])
+        assert code == 0
+        counters = json.loads(metrics.read_text())["counters"]
+        assert counters["serving.controlplane.respawns"] >= 1
+        assert counters.get("loadgen.errors", 0) == 0
+        assert counters.get("serving.shard.degraded_queries", 0) == 0

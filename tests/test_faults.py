@@ -94,6 +94,20 @@ def test_fault_plan_fire_error():
     plan.fire("after-word2vec")  # non-matching site is a no-op
 
 
+def test_controlplane_sites_registered():
+    from repro.faults import CONTROLPLANE_SITES, SITES
+
+    assert set(CONTROLPLANE_SITES) <= set(SITES)
+    plan = FaultPlan.parse(
+        "controlplane.health:error:*:1, controlplane.respawn:crash:0:2")
+    assert plan.match("controlplane.health", shard=0, attempt=0) is not None
+    assert plan.match("controlplane.health", shard=0, attempt=1) is None
+    assert plan.match("controlplane.respawn", shard=0, attempt=1) is not None
+    assert plan.match("controlplane.respawn", shard=1, attempt=0) is None
+    with pytest.raises(ReproError):
+        FaultSpec.parse("controlplane.respwan:crash")  # typo'd site
+
+
 # ---------------------------------------------------------------------------
 # run_supervised unit behavior (module-level fns so workers can run them)
 # ---------------------------------------------------------------------------

@@ -512,3 +512,40 @@ class TestReplicationConfig:
         assert counters.get("serving.shard.degraded_queries", 0) == 0
         fanin = recorder.histograms["serving.shard.gather_fanin"]
         assert fanin.mean == 2.0
+
+
+class TestDeadReplicaRotation:
+    """Regression (PR 10 satellite): ``live_replicas`` must rotate over
+    the *live* subset.  The old code rotated over the full group and
+    filtered afterwards, so a dead replica's every pick collapsed onto
+    whichever sibling followed it in the rotation — a deterministic 2:1
+    load skew at R=3 — and nothing counted the skipped picks."""
+
+    def test_rotation_balances_around_dead_replica(self):
+        rng = np.random.default_rng(67)
+        matrix = rng.standard_normal((90, 6))
+        # Range plan so shard 0 owns [0, 45): querying only those nodes
+        # keeps the anchor fetch off shard 1, whose cursor then advances
+        # exactly once per query (at scatter) — the balance assertion
+        # below is deterministic, not statistical.
+        plan = ShardPlan(2, "range")
+        config = ShardedServingConfig(replication_factor=3, cache_size=0)
+        recorder = Recorder()
+        with use_recorder(recorder):
+            with sharded(plan, make_store(matrix), config) as frontend:
+                frontend.kill_replica(1, 1)
+                for node in range(30):
+                    ids, _scores = frontend.top_k(node, 5)
+                    assert len(ids) == 5
+        counters = recorder.counters
+        picks = [counters.get(
+            f"serving.shard.1.replica.{replica}.requests", 0.0)
+            for replica in range(3)]
+        assert picks[1] == 0  # the dead slot never chosen
+        assert picks[0] + picks[2] == 30
+        # Live siblings alternate: the dead slot's share is split
+        # evenly, not dumped onto its rotation successor (old behavior:
+        # 10 vs 20).
+        assert abs(picks[0] - picks[2]) <= 1
+        assert counters["serving.shard.replica.skipped_dead"] >= 30
+        assert counters.get("serving.shard.degraded_queries", 0) == 0
